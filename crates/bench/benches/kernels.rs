@@ -1,0 +1,156 @@
+//! Criterion benches for the computational kernels underneath the
+//! experiments: the `ē_b` inversion, OSTBC encode/decode, the GMSK modem,
+//! the FFT and the CSMA/CA engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use comimo_dsp::gmsk::GmskModem;
+use comimo_energy::ebar::EbarSolver;
+use comimo_math::cmatrix::CMatrix;
+use comimo_math::complex::Complex;
+use comimo_math::rng::{complex_gaussian, seeded};
+use comimo_stbc::decode::decode_block;
+use comimo_stbc::design::{Ostbc, StbcKind};
+
+fn bench_ebar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ebar_solver");
+    g.sample_size(20);
+    let solver = EbarSolver::paper();
+    for &(b, mt, mr) in &[(2u32, 1usize, 1usize), (2, 2, 3), (8, 4, 4)] {
+        g.bench_function(format!("solve_b{b}_{mt}x{mr}"), |bench| {
+            bench.iter(|| black_box(solver.solve(black_box(1e-3), b, mt, mr)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_stbc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stbc");
+    let mut rng = seeded(1);
+    for kind in [StbcKind::Alamouti, StbcKind::H4] {
+        let code = Ostbc::new(kind);
+        let syms: Vec<Complex> = (0..code.n_symbols())
+            .map(|_| complex_gaussian(&mut rng, 1.0))
+            .collect();
+        g.throughput(Throughput::Elements(code.n_symbols() as u64));
+        g.bench_function(format!("encode_{kind:?}"), |bench| {
+            bench.iter(|| black_box(code.encode(black_box(&syms))));
+        });
+        let h = CMatrix::from_fn(2, code.n_tx(), |_, _| complex_gaussian(&mut rng, 1.0));
+        let y = &code.encode(&syms) * &h.transpose();
+        g.bench_function(format!("decode_{kind:?}_2rx"), |bench| {
+            bench.iter(|| black_box(decode_block(&code, black_box(&h), black_box(&y))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gmsk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gmsk");
+    let modem = GmskModem::gnuradio_default();
+    let bits = comimo_dsp::bits::pn_sequence(3, 12_000); // one 1500-B packet
+    let samples = modem.modulate(&bits);
+    g.throughput(Throughput::Elements(bits.len() as u64));
+    g.bench_function("modulate_1500B_packet", |bench| {
+        bench.iter(|| black_box(modem.modulate(black_box(&bits))));
+    });
+    g.bench_function("demodulate_1500B_packet", |bench| {
+        bench.iter(|| black_box(modem.demodulate(black_box(&samples), bits.len())));
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    let mut rng = seeded(2);
+    for n in [256usize, 4096] {
+        let x: Vec<Complex> = (0..n).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("fft_{n}"), |bench| {
+            bench.iter(|| black_box(comimo_dsp::fft::fft(black_box(&x))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csma_mac");
+    g.sample_size(20);
+    g.bench_function("three_node_contention_60_frames", |bench| {
+        bench.iter(|| {
+            let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+            let mut sim = comimo_net::mac::CsmaSim::new(
+                adj,
+                comimo_net::mac::MacConfig::default_250kbps(),
+                7,
+            );
+            for i in 0..30 {
+                sim.offer(
+                    comimo_net::mac::MacFrame { src: 0, dst: 1 },
+                    comimo_sim::SimTime::from_millis(i),
+                );
+                sim.offer(
+                    comimo_net::mac::MacFrame { src: 2, dst: 1 },
+                    comimo_sim::SimTime::from_millis(i),
+                );
+            }
+            black_box(sim.run(1_000_000))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fec");
+    let bits = comimo_dsp::bits::pn_sequence(4, 4_000);
+    let coded = comimo_dsp::fec::conv_encode(&bits);
+    g.throughput(Throughput::Elements(bits.len() as u64));
+    g.bench_function("conv_encode_4k", |bench| {
+        bench.iter(|| black_box(comimo_dsp::fec::conv_encode(black_box(&bits))));
+    });
+    g.bench_function("viterbi_hard_4k", |bench| {
+        bench.iter(|| {
+            black_box(comimo_dsp::fec::conv_decode_hard(black_box(&coded), bits.len()))
+        });
+    });
+    g.finish();
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync");
+    g.sample_size(20);
+    let mut rng = seeded(5);
+    let tx = comimo_testbed::sync_rx::BurstTx::new();
+    let burst = tx.transmit(&vec![0x5A; 100]);
+    let air = comimo_testbed::sync_rx::impair(&mut rng, &burst, 300, 25.0, 0.005);
+    let rx = comimo_testbed::sync_rx::BurstRx::new();
+    g.bench_function("acquire_and_decode_100B", |bench| {
+        bench.iter(|| black_box(rx.receive(black_box(&air))));
+    });
+    g.finish();
+}
+
+fn bench_equalizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("equalizer");
+    let h = vec![Complex::new(1.0, 0.0), Complex::new(0.5, 0.2)];
+    g.bench_function("zf_design_31_taps", |bench| {
+        bench.iter(|| {
+            black_box(comimo_dsp::equalizer::zero_forcing_taps(black_box(&h), 31, 15))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_ebar,
+    bench_stbc,
+    bench_gmsk,
+    bench_fft,
+    bench_mac,
+    bench_fec,
+    bench_sync,
+    bench_equalizer
+);
+criterion_main!(kernels);

@@ -1,0 +1,105 @@
+//! Criterion benches — one per paper artefact (DESIGN.md §3).
+//!
+//! Each bench times the regeneration of a *scaled* version of its table or
+//! figure (coarser sweep grid / fewer packets), so `cargo bench` completes
+//! in minutes; the `--bin` targets produce the full-resolution artefacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use comimo_core::overlay::{Overlay, OverlayConfig};
+use comimo_core::underlay::{Underlay, UnderlayConfig};
+use comimo_energy::model::EnergyModel;
+use comimo_testbed::experiments::overlay_multi::{self, MultiRelayConfig};
+use comimo_testbed::experiments::overlay_single::{self, SingleRelayConfig};
+use comimo_testbed::experiments::underlay_image::{self, UnderlayImageConfig};
+
+fn bench_fig6(c: &mut Criterion) {
+    let model = EnergyModel::paper();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("overlay_analysis_m3_b40k_one_point", |b| {
+        let ov = Overlay::new(&model, OverlayConfig::paper(3, 40_000.0));
+        b.iter(|| black_box(ov.analyze(black_box(250.0))));
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let model = EnergyModel::paper();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("underlay_analysis_2x3_one_point", |b| {
+        let u = Underlay::new(&model, UnderlayConfig::paper(2, 3, 10_000.0));
+        b.iter(|| black_box(u.analyze(black_box(200.0))));
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("ten_interweave_trials", |b| {
+        let cfg = comimo_core::interweave::InterweaveConfig::paper();
+        b.iter(|| black_box(comimo_core::interweave::run_table1(black_box(2013), &cfg)));
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("single_relay_30k_bits", |b| {
+        let cfg = SingleRelayConfig { n_bits: 30_000, ..SingleRelayConfig::paper() };
+        b.iter(|| black_box(overlay_single::run(&cfg, black_box(2013))));
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("multi_relay_30k_bits", |b| {
+        let cfg = MultiRelayConfig {
+            n_bits: 30_000,
+            n_experiments: 1,
+            ..MultiRelayConfig::paper()
+        };
+        b.iter(|| black_box(overlay_multi::run(&cfg, black_box(2013))));
+    });
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("underlay_image_10_packets", |b| {
+        let cfg = UnderlayImageConfig { n_packets: 10, ..UnderlayImageConfig::paper() };
+        b.iter(|| black_box(underlay_image::run(&cfg, &[800, 600, 400], black_box(2013))));
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("beam_scan_10_points", |b| {
+        let cfg = comimo_testbed::experiments::beam_scan::BeamScanConfig::paper();
+        b.iter(|| {
+            black_box(comimo_testbed::experiments::beam_scan::run(&cfg, black_box(2013)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    artifacts,
+    bench_fig6,
+    bench_fig7,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_fig8
+);
+criterion_main!(artifacts);

@@ -1,0 +1,46 @@
+//! Regenerates Figure 7: total power-amplifier energy per bit of all SU
+//! nodes in the underlay system, `D ∈ [100, 300] m`, `d = 1 m`,
+//! `p = 0.001` — SISO (upper plot) vs cooperative MIMO (lower plot).
+//!
+//! Usage: `cargo run --release -p comimo-bench --bin fig7 [step_m]`
+
+use comimo_bench::tables::{render_table, sci};
+
+fn main() {
+    let step: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25.0);
+    let series = comimo_bench::fig7(step);
+
+    println!("Figure 7: total PA energy per bit (J/bit) in underlay systems");
+    println!("(d = 1 m, target BER 0.001, B = 10 kHz; b optimised per point)\n");
+    let mut headers: Vec<String> = vec!["D (m)".into()];
+    for s in &series {
+        headers.push(format!("mt={},mr={}", s.mt, s.mr));
+    }
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let n = series[0].points.len();
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let mut row = vec![format!("{:.0}", series[0].points[i].d_long)];
+            for s in &series {
+                row.push(sci(s.points[i].total_pa()));
+            }
+            row
+        })
+        .collect();
+    println!("{}", render_table(&hdr_refs, &rows));
+    let last = series[0].points.len() - 1;
+    let siso = series[0].points[last].total_pa();
+    let best = series[1..]
+        .iter()
+        .map(|s| s.points[last].total_pa())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "At D = {:.0} m the SISO system needs {:.1}x the best cooperative total\n\
+         (paper: \"the difference of magnitude is 2 to 4 orders\").",
+        series[0].points[last].d_long,
+        siso / best
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerates every evaluation artefact and writes a machine-readable
+//! report (JSON) alongside the human-readable tables — the data behind
+//! EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p comimo-bench --bin report [out.json] [table4_packets]`
+
+use serde::Serialize;
+use std::io::Write;
+
+#[derive(Serialize)]
+struct Report {
+    seed: u64,
+    fig6: Vec<comimo_bench::Fig6Series>,
+    fig7: Vec<comimo_bench::Fig7Series>,
+    table1: Vec<comimo_core::interweave::InterweaveTrial>,
+    table2: comimo_testbed::experiments::overlay_single::SingleRelayResult,
+    table3: comimo_testbed::experiments::overlay_multi::MultiRelayRow,
+    table4: comimo_testbed::experiments::underlay_image::UnderlayImageResult,
+    fig8: Vec<comimo_testbed::experiments::beam_scan::BeamScanPoint>,
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "results/report.json".into());
+    let t4_packets = std::env::args().nth(2).and_then(|s| s.parse().ok());
+    eprintln!("regenerating all artefacts (seed {})...", comimo_bench::EXPERIMENT_SEED);
+    let report = Report {
+        seed: comimo_bench::EXPERIMENT_SEED,
+        fig6: comimo_bench::fig6(25.0),
+        fig7: comimo_bench::fig7(25.0),
+        table1: comimo_bench::table1(),
+        table2: comimo_bench::table2(),
+        table3: comimo_bench::table3(),
+        table4: comimo_bench::table4(t4_packets.or(Some(100))),
+        fig8: comimo_bench::fig8(),
+    };
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    let mut f = std::fs::File::create(&out_path).expect("create report file");
+    f.write_all(json.as_bytes()).expect("write report");
+    eprintln!("wrote {out_path} ({} bytes)", json.len());
+}

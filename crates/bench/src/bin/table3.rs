@@ -1,0 +1,19 @@
+//! Regenerates Table 3: BER of the multi-relay overlay testbed
+//! (paper: 2.93 % multi-relay, 10.57 % single-relay, 22.74 % direct).
+//!
+//! Usage: `cargo run --release -p comimo-bench --bin table3`
+
+use comimo_bench::tables::{pct, render_table};
+
+fn main() {
+    let row = comimo_bench::table3();
+    println!("Table 3: BER results for multi-relay overlay system\n");
+    println!(
+        "{}",
+        render_table(
+            &["Multi-relay", "Single-relay", "without cooperation"],
+            &[vec![pct(row.ber_multi), pct(row.ber_single), pct(row.ber_direct)]]
+        )
+    );
+    println!("Paper: 2.93% | 10.57% | 22.74%");
+}

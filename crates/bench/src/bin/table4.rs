@@ -1,0 +1,27 @@
+//! Regenerates Table 4: PER of the underlay image transfer at transmit
+//! amplitudes 800/600/400 (paper: coop {0, 6.12, 13.72} % vs solo
+//! {24.85, 70.28, 97.1} %).
+//!
+//! Usage: `cargo run --release -p comimo-bench --bin table4 [n_packets]`
+//! (default: the paper's full 474 packets; pass a smaller count for a
+//! quick look)
+
+use comimo_bench::tables::{pct, render_table};
+
+fn main() {
+    let n_packets = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let res = comimo_bench::table4(n_packets);
+    println!("Table 4: PER results for underlay system (GMSK, 1500-byte packets)\n");
+    let mut rows: Vec<Vec<String>> = res
+        .rows
+        .iter()
+        .map(|r| vec![r.amplitude.to_string(), pct(r.per_coop), pct(r.per_solo)])
+        .collect();
+    let (ac, asolo) = res.average();
+    rows.push(vec!["Average".into(), pct(ac), pct(asolo)]);
+    println!(
+        "{}",
+        render_table(&["Amplitude", "with cooperation", "without cooperation"], &rows)
+    );
+    println!("Paper: 800: 0/24.85, 600: 6.12/70.28, 400: 13.72/97.1, avg 6.61/64.08 (%).");
+}

@@ -1,0 +1,140 @@
+//! Shared experiment runners — one function per paper artefact, with the
+//! paper's exact parameters baked in as defaults.
+
+use comimo_core::interweave::{run_table1, InterweaveConfig, InterweaveTrial};
+use comimo_core::overlay::{Overlay, OverlayAnalysis, OverlayConfig};
+use comimo_core::underlay::{Underlay, UnderlayAnalysis, UnderlayConfig};
+use comimo_energy::model::EnergyModel;
+use comimo_testbed::experiments::beam_scan::{self, BeamScanConfig, BeamScanPoint};
+use comimo_testbed::experiments::overlay_multi::{self, MultiRelayConfig, MultiRelayRow};
+use comimo_testbed::experiments::overlay_single::{self, SingleRelayConfig, SingleRelayResult};
+use comimo_testbed::experiments::underlay_image::{self, UnderlayImageConfig, UnderlayImageResult};
+use serde::Serialize;
+
+/// The workspace-wide experiment seed (recorded in EXPERIMENTS.md).
+pub const EXPERIMENT_SEED: u64 = 2013;
+
+/// One Figure-6 series: `(m, bandwidth)` ↦ analyses over `D1`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Series {
+    /// Relay count `m`.
+    pub m: usize,
+    /// Bandwidth (Hz).
+    pub bandwidth_hz: f64,
+    /// One analysis per `D1` point.
+    pub points: Vec<OverlayAnalysis>,
+}
+
+/// Figure 6: sweeps `D1 ∈ [150, 350] m` for the paper's `(m, B)` grid
+/// (`m ∈ {2, 3}`, `B ∈ {20 k, 40 k}`), at `step` metres resolution.
+pub fn fig6(step: f64) -> Vec<Fig6Series> {
+    let model = EnergyModel::paper();
+    let mut out = Vec::new();
+    for &m in &[2usize, 3] {
+        for &bw in &[20_000.0, 40_000.0] {
+            let overlay = Overlay::new(&model, OverlayConfig::paper(m, bw));
+            out.push(Fig6Series {
+                m,
+                bandwidth_hz: bw,
+                points: overlay.sweep(150.0, 350.0, step),
+            });
+        }
+    }
+    out
+}
+
+/// One Figure-7 series: an `(mt, mr)` configuration over `D`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Series {
+    /// Transmit cluster size.
+    pub mt: usize,
+    /// Receive cluster size.
+    pub mr: usize,
+    /// One analysis per long-haul distance.
+    pub points: Vec<UnderlayAnalysis>,
+}
+
+/// The six `(mt, mr)` configurations of Figure 7.
+pub const FIG7_CONFIGS: [(usize, usize); 6] = [(1, 1), (2, 1), (1, 2), (1, 3), (2, 3), (3, 3)];
+
+/// Figure 7: total PA energy per bit over `D ∈ [100, 300] m` at `d = 1 m`,
+/// `p = 0.001`, `B = 10 kHz`, for the six cluster configurations.
+pub fn fig7(step: f64) -> Vec<Fig7Series> {
+    let model = EnergyModel::paper();
+    FIG7_CONFIGS
+        .iter()
+        .map(|&(mt, mr)| {
+            let u = Underlay::new(&model, UnderlayConfig::paper(mt, mr, 10_000.0));
+            Fig7Series { mt, mr, points: u.sweep(100.0, 300.0, step) }
+        })
+        .collect()
+}
+
+/// Table 1: ten interweave trials with the paper's geometry.
+pub fn table1() -> Vec<InterweaveTrial> {
+    run_table1(EXPERIMENT_SEED, &InterweaveConfig::paper())
+}
+
+/// Table 2: the single-relay overlay testbed experiment (three runs of
+/// 100 000 bits).
+pub fn table2() -> SingleRelayResult {
+    overlay_single::run(&SingleRelayConfig::paper(), EXPERIMENT_SEED)
+}
+
+/// Table 3: the multi-relay overlay testbed experiment.
+pub fn table3() -> MultiRelayRow {
+    overlay_multi::run(&MultiRelayConfig::paper(), EXPERIMENT_SEED)
+}
+
+/// Table 4: the underlay image transfer at amplitudes 800/600/400.
+/// `n_packets = None` runs the paper's full 474 packets.
+pub fn table4(n_packets: Option<usize>) -> UnderlayImageResult {
+    let mut cfg = UnderlayImageConfig::paper();
+    if let Some(n) = n_packets {
+        cfg.n_packets = n;
+    }
+    underlay_image::run(&cfg, &[800, 600, 400], EXPERIMENT_SEED)
+}
+
+/// Figure 8: the interweave beam scan (null at 120°, 0°–180° in 20° steps).
+pub fn fig8() -> Vec<BeamScanPoint> {
+    beam_scan::run(&BeamScanConfig::paper(), EXPERIMENT_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_grid_shape() {
+        let series = fig6(100.0);
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.points.len(), 3); // 150, 250, 350
+        }
+    }
+
+    #[test]
+    fn fig7_grid_shape() {
+        let series = fig7(100.0);
+        assert_eq!(series.len(), 6);
+        assert_eq!(series[0].points.len(), 3); // 100, 200, 300
+        // SISO is the most expensive at every point
+        let siso = &series[0];
+        for s in &series[1..] {
+            for (a, b) in siso.points.iter().zip(&s.points) {
+                assert!(a.total_pa() > b.total_pa(), "({}, {})", s.mt, s.mr);
+            }
+        }
+    }
+
+    #[test]
+    fn table1_has_ten_rows() {
+        assert_eq!(table1().len(), 10);
+    }
+
+    #[test]
+    fn fig8_has_ten_points() {
+        assert_eq!(fig8().len(), 10);
+    }
+}

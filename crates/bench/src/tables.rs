@@ -1,0 +1,80 @@
+//! ASCII table rendering for the experiment binaries.
+
+/// Renders a fixed-width ASCII table: a header row, a rule, then rows.
+/// Column widths adapt to the longest cell.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), cols, "row {i} has {} cells, expected {cols}", r.len());
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals (Table 2–4 style).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a number in scientific notation with three significant digits.
+pub fn sci(x: f64) -> String {
+    format!("{x:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render_table(
+            &["Test", "Value"],
+            &[
+                vec!["1".into(), "1.87".into()],
+                vec!["10".into(), "1.9".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines equal width
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].contains("Test"));
+        assert!(lines[2].contains("1.87"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0246), "2.46%");
+        assert_eq!(sci(1.9e-18), "1.900e-18");
+    }
+}

@@ -1,0 +1,189 @@
+//! Additive white Gaussian noise injection.
+//!
+//! The testbed simulator operates on complex-baseband sample streams; this
+//! module adds calibrated `CN(0, N0)` noise so that a desired `Es/N0` or
+//! SNR is met exactly, and provides the matching analytic BER anchors used
+//! in validation tests.
+
+use comimo_math::complex::Complex;
+use comimo_math::rng::complex_gaussian;
+use comimo_math::special::q_function;
+
+/// An AWGN source with a fixed complex-noise variance `N0`
+/// (`E[|n|²] = N0`, i.e. `N0/2` per real dimension).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Awgn {
+    n0: f64,
+}
+
+impl Awgn {
+    /// Noise with total complex variance `n0`.
+    pub fn with_n0(n0: f64) -> Self {
+        assert!(n0 >= 0.0, "noise variance must be non-negative");
+        Self { n0 }
+    }
+
+    /// Noise calibrated so that symbols of energy `es` see the given
+    /// `Es/N0` expressed in dB.
+    pub fn for_es_n0_db(es: f64, es_n0_db: f64) -> Self {
+        assert!(es > 0.0);
+        Self::with_n0(es / comimo_math::db::db_to_lin(es_n0_db))
+    }
+
+    /// The configured `N0`.
+    pub fn n0(&self) -> f64 {
+        self.n0
+    }
+
+    /// Draws one noise sample.
+    pub fn sample(&self, rng: &mut impl rand::Rng) -> Complex {
+        if self.n0 == 0.0 {
+            Complex::zero()
+        } else {
+            complex_gaussian(rng, self.n0)
+        }
+    }
+
+    /// Adds noise to a sample.
+    pub fn corrupt(&self, x: Complex, rng: &mut impl rand::Rng) -> Complex {
+        x + self.sample(rng)
+    }
+
+    /// Adds noise in place to a whole buffer.
+    pub fn corrupt_buffer(&self, xs: &mut [Complex], rng: &mut impl rand::Rng) {
+        for x in xs {
+            *x = *x + self.sample(rng);
+        }
+    }
+}
+
+/// Analytic BER of coherent BPSK over AWGN at `Eb/N0` (linear):
+/// `Q(√(2·Eb/N0))` — the paper's equation (6) with a deterministic channel.
+pub fn bpsk_ber_awgn(eb_n0: f64) -> f64 {
+    assert!(eb_n0 >= 0.0);
+    q_function((2.0 * eb_n0).sqrt())
+}
+
+/// Analytic BER of coherent BPSK over flat Rayleigh fading at average
+/// `Eb/N0` (linear): `½(1 − √(γ̄/(1+γ̄)))` — the single-antenna baseline the
+/// testbed's "without cooperation" rows gravitate to.
+pub fn bpsk_ber_rayleigh(avg_eb_n0: f64) -> f64 {
+    assert!(avg_eb_n0 >= 0.0);
+    0.5 * (1.0 - (avg_eb_n0 / (1.0 + avg_eb_n0)).sqrt())
+}
+
+/// Approximate BER of square M-QAM with Gray mapping over AWGN at symbol
+/// SNR `γ_s` (linear), for `b = log2(M)` bits/symbol — the paper's
+/// equation (5) integrand with `γ_b` substituted:
+/// `(4/b)(1 − 2^{−b/2}) Q(√(3b/(M−1)·γ_b))` where `γ_s = b·γ_b`.
+pub fn mqam_ber_awgn(b: u32, gamma_b: f64) -> f64 {
+    assert!(b >= 1, "constellation size must be at least 1 bit");
+    assert!(gamma_b >= 0.0);
+    if b == 1 {
+        return q_function((2.0 * gamma_b).sqrt());
+    }
+    let bf = b as f64;
+    let m = 2f64.powi(b as i32);
+    let coef = 4.0 / bf * (1.0 - 2f64.powf(-bf / 2.0));
+    coef * q_function((3.0 * bf / (m - 1.0) * gamma_b).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comimo_math::rng::seeded;
+    use comimo_math::stats::RunningStats;
+
+    #[test]
+    fn noise_power_calibrated() {
+        let mut rng = seeded(31);
+        let awgn = Awgn::with_n0(0.25);
+        let mut st = RunningStats::new();
+        for _ in 0..100_000 {
+            st.push(awgn.sample(&mut rng).norm_sqr());
+        }
+        assert!((st.mean() - 0.25).abs() < 0.005, "noise power {}", st.mean());
+    }
+
+    #[test]
+    fn es_n0_db_calibration() {
+        // Es = 2.0, Es/N0 = 3 dB → N0 = 2/10^0.3
+        let awgn = Awgn::for_es_n0_db(2.0, 3.0);
+        assert!((awgn.n0() - 2.0 / comimo_math::db::db_to_lin(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut rng = seeded(32);
+        let awgn = Awgn::with_n0(0.0);
+        let x = Complex::new(1.0, -1.0);
+        assert_eq!(awgn.corrupt(x, &mut rng), x);
+    }
+
+    #[test]
+    fn monte_carlo_bpsk_matches_analytic() {
+        // simulate BPSK at Eb/N0 = 4 dB and compare with Q(sqrt(2 Eb/N0))
+        let mut rng = seeded(33);
+        let eb_n0 = comimo_math::db::db_to_lin(4.0);
+        let awgn = Awgn::with_n0(1.0 / eb_n0); // Es = Eb = 1
+        let n = 400_000;
+        let mut errors = 0usize;
+        for i in 0..n {
+            let bit = i % 2 == 0;
+            let s = Complex::real(if bit { 1.0 } else { -1.0 });
+            let r = awgn.corrupt(s, &mut rng);
+            if (r.re > 0.0) != bit {
+                errors += 1;
+            }
+        }
+        let ber = errors as f64 / n as f64;
+        let analytic = bpsk_ber_awgn(eb_n0);
+        assert!(
+            (ber - analytic).abs() / analytic < 0.06,
+            "MC {ber} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn rayleigh_ber_is_higher_than_awgn() {
+        for &db in &[0.0, 5.0, 10.0, 20.0] {
+            let g = comimo_math::db::db_to_lin(db);
+            assert!(bpsk_ber_rayleigh(g) > bpsk_ber_awgn(g));
+        }
+    }
+
+    #[test]
+    fn rayleigh_ber_anchor() {
+        // at 10 dB average, BPSK/Rayleigh BER ≈ 0.0233
+        let ber = bpsk_ber_rayleigh(10.0);
+        assert!((ber - 0.02327).abs() < 1e-4, "{ber}");
+    }
+
+    #[test]
+    fn mqam_reduces_to_bpsk_at_b1() {
+        for &g in &[0.5, 2.0, 8.0] {
+            assert!((mqam_ber_awgn(1, g) - bpsk_ber_awgn(g)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mqam_ber_increases_with_b_at_fixed_gamma() {
+        // at fixed per-bit SNR, denser constellations are more error-prone
+        let g = 8.0;
+        let mut prev = mqam_ber_awgn(2, g);
+        for b in [4u32, 6, 8] {
+            let ber = mqam_ber_awgn(b, g);
+            assert!(ber > prev, "b={b}: {ber} <= {prev}");
+            prev = ber;
+        }
+    }
+
+    #[test]
+    fn qpsk_anchor() {
+        // b=2 (QPSK): BER = Q(sqrt(2*gamma_b)), same as BPSK per-bit
+        let g = 4.0;
+        let qpsk = mqam_ber_awgn(2, g);
+        // coef = (4/2)(1-1/2) = 1, arg = sqrt(3*2/3*g) = sqrt(2g)
+        assert!((qpsk - q_function((2.0 * g).sqrt())).abs() < 1e-15);
+    }
+}

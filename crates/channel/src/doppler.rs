@@ -1,0 +1,186 @@
+//! Time-varying fading: a Jakes/Clarke sum-of-sinusoids generator.
+//!
+//! The block-fading model of [`crate::fading`] freezes the channel per
+//! packet; real indoor channels drift *within* a packet when anything
+//! moves. The testbed's long GMSK packets (48 ms at 250 kbps) are exactly
+//! where that matters, so this module provides a classic Jakes-style
+//! generator: `N` plane waves with uniformly spread arrival angles and
+//! random phases, producing a complex gain process with the Clarke
+//! autocorrelation `J₀(2π f_D τ)` and unit mean power.
+
+use comimo_math::complex::Complex;
+use rand::Rng;
+
+/// A sum-of-sinusoids time-varying Rayleigh fading process.
+#[derive(Debug, Clone)]
+pub struct JakesProcess {
+    /// Angular Doppler per sample for each path: `2π f_D cos(θ_i) / f_s`.
+    omegas: Vec<f64>,
+    /// Initial phases.
+    phases: Vec<f64>,
+    /// Per-path amplitude (normalises total power to 1).
+    amp: f64,
+}
+
+impl JakesProcess {
+    /// Builds a process with `n_paths` scatterers (≥ 8 recommended) at
+    /// maximum Doppler `f_d_hz` and sample rate `f_s_hz`.
+    pub fn new(rng: &mut impl Rng, n_paths: usize, f_d_hz: f64, f_s_hz: f64) -> Self {
+        assert!(n_paths >= 2, "need at least two paths for fading");
+        assert!(f_d_hz >= 0.0 && f_s_hz > 0.0);
+        let mut omegas = Vec::with_capacity(n_paths);
+        let mut phases = Vec::with_capacity(n_paths);
+        for i in 0..n_paths {
+            // deterministic angle spread plus a random offset per path
+            let theta = std::f64::consts::TAU * (i as f64 + rng.gen_range(0.0..1.0)) / n_paths as f64;
+            omegas.push(std::f64::consts::TAU * f_d_hz * theta.cos() / f_s_hz);
+            phases.push(rng.gen_range(0.0..std::f64::consts::TAU));
+        }
+        Self { omegas, phases, amp: (1.0 / n_paths as f64).sqrt() }
+    }
+
+    /// The complex gain at sample index `n`.
+    pub fn gain_at(&self, n: u64) -> Complex {
+        let t = n as f64;
+        self.omegas
+            .iter()
+            .zip(&self.phases)
+            .map(|(&w, &p)| Complex::cis(w * t + p).scale(self.amp))
+            .sum()
+    }
+
+    /// Renders a whole gain trace of `len` samples starting at sample 0.
+    pub fn trace(&self, len: usize) -> Vec<Complex> {
+        (0..len as u64).map(|n| self.gain_at(n)).collect()
+    }
+
+    /// Applies the process multiplicatively to a signal.
+    pub fn apply(&self, signal: &[Complex]) -> Vec<Complex> {
+        signal
+            .iter()
+            .enumerate()
+            .map(|(n, &s)| s * self.gain_at(n as u64))
+            .collect()
+    }
+
+    /// Theoretical coherence time in samples (`≈ 0.423 / f_D` scaled by
+    /// the sample rate embedded in the omegas). Returns `f64::INFINITY`
+    /// for a static channel.
+    pub fn coherence_samples(&self) -> f64 {
+        let w_max = self.omegas.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        if w_max == 0.0 {
+            f64::INFINITY
+        } else {
+            // w_max = 2π f_D / f_s  →  T_c·f_s = 0.423·2π / w_max
+            0.423 * std::f64::consts::TAU / w_max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comimo_math::rng::seeded;
+    use comimo_math::stats::RunningStats;
+
+    #[test]
+    fn unit_mean_power() {
+        let mut rng = seeded(61);
+        let mut st = RunningStats::new();
+        // average over independent realisations at a fixed time
+        for _ in 0..4000 {
+            let p = JakesProcess::new(&mut rng, 16, 30.0, 250_000.0);
+            st.push(p.gain_at(1000).norm_sqr());
+        }
+        assert!((st.mean() - 1.0).abs() < 0.05, "mean power {}", st.mean());
+    }
+
+    #[test]
+    fn envelope_is_rayleigh_like() {
+        // deep fades must occur over a long trace
+        let mut rng = seeded(62);
+        let p = JakesProcess::new(&mut rng, 32, 200.0, 250_000.0);
+        let trace = p.trace(200_000);
+        let deep = trace.iter().filter(|g| g.norm_sqr() < 0.01).count();
+        // Rayleigh: P(|h|² < 0.01) ≈ 1 %
+        let frac = deep as f64 / trace.len() as f64;
+        assert!(frac > 0.001 && frac < 0.05, "deep-fade fraction {frac}");
+    }
+
+    #[test]
+    fn correlation_decays_with_doppler() {
+        let mut rng = seeded(63);
+        let slow = JakesProcess::new(&mut rng, 16, 5.0, 250_000.0);
+        let fast = JakesProcess::new(&mut rng, 16, 500.0, 250_000.0);
+        let corr = |p: &JakesProcess, lag: u64| {
+            let n = 20_000u64;
+            let mut acc = Complex::zero();
+            for i in 0..n {
+                acc += p.gain_at(i) * p.gain_at(i + lag).conj();
+            }
+            (acc / n as f64).abs()
+        };
+        let lag = 5_000; // 20 ms at 250 kHz
+        assert!(
+            corr(&slow, lag) > corr(&fast, lag),
+            "slow {} vs fast {}",
+            corr(&slow, lag),
+            corr(&fast, lag)
+        );
+    }
+
+    #[test]
+    fn autocorrelation_matches_clarke_j0() {
+        // the Clarke model autocorrelation is J0(2π f_D τ); check the
+        // ensemble autocorrelation at a few lags against it
+        let f_d = 100.0;
+        let f_s = 100_000.0;
+        let mut rng = seeded(67);
+        for &lag in &[100u64, 300, 700] {
+            let tau = lag as f64 / f_s;
+            let expect = comimo_math::special::bessel_j0(std::f64::consts::TAU * f_d * tau);
+            // ensemble average over many independent processes
+            let mut acc = comimo_math::complex::Complex::zero();
+            let n_proc = 600;
+            for _ in 0..n_proc {
+                let p = JakesProcess::new(&mut rng, 32, f_d, f_s);
+                acc += p.gain_at(0) * p.gain_at(lag).conj();
+            }
+            let measured = (acc / n_proc as f64).re;
+            assert!(
+                (measured - expect).abs() < 0.1,
+                "lag {lag}: measured {measured} vs J0 {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_doppler_is_static() {
+        let mut rng = seeded(64);
+        let p = JakesProcess::new(&mut rng, 8, 0.0, 250_000.0);
+        let g0 = p.gain_at(0);
+        let g1 = p.gain_at(1_000_000);
+        assert!(g0.approx_eq(g1, 1e-9));
+        assert!(p.coherence_samples().is_infinite());
+    }
+
+    #[test]
+    fn coherence_time_formula() {
+        let mut rng = seeded(65);
+        let p = JakesProcess::new(&mut rng, 64, 100.0, 1_000_000.0);
+        // T_c = 0.423/f_D = 4.23 ms → 4230 samples at 1 MHz
+        let tc = p.coherence_samples();
+        assert!((tc - 4230.0).abs() / 4230.0 < 0.1, "coherence {tc} samples");
+    }
+
+    #[test]
+    fn apply_scales_signal() {
+        let mut rng = seeded(66);
+        let p = JakesProcess::new(&mut rng, 8, 50.0, 250_000.0);
+        let sig = vec![Complex::real(2.0); 100];
+        let out = p.apply(&sig);
+        for (n, y) in out.iter().enumerate() {
+            assert!(y.approx_eq(p.gain_at(n as u64) * 2.0, 1e-12));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Small-scale fading: flat block-Rayleigh and Rician channels.
+//!
+//! The paper's long-haul links assume "a flat Rayleigh fading channel as
+//! those used in \[10\]" (Section 2.3): the channel matrix `H` (size
+//! `mr × mt`) has i.i.d. `CN(0,1)` entries, constant over a block (packet)
+//! and independent across blocks. The indoor testbed adds a line-of-sight
+//! component, modelled here as Rician with configurable K-factor.
+
+use comimo_math::cmatrix::CMatrix;
+use comimo_math::complex::Complex;
+use comimo_math::rng::complex_gaussian;
+use rand::Rng;
+
+/// A generator of per-block channel realisations.
+pub trait FadingChannel {
+    /// Draws one scalar channel coefficient for a new block.
+    fn sample_coeff(&self, rng: &mut dyn rand::RngCore) -> Complex;
+
+    /// Draws an `mr × mt` channel matrix for a new block
+    /// (entry `(j, i)` couples transmit antenna `i` to receive antenna `j`).
+    fn sample_matrix(&self, rng: &mut dyn rand::RngCore, mr: usize, mt: usize) -> CMatrix {
+        assert!(mr > 0 && mt > 0);
+        CMatrix::from_fn(mr, mt, |_, _| self.sample_coeff(rng))
+    }
+
+    /// Mean power `E[|h|²]` of a coefficient.
+    fn mean_power(&self) -> f64;
+}
+
+/// Flat block-Rayleigh fading: coefficients are `CN(0, mean_power)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockRayleigh {
+    mean_power: f64,
+}
+
+impl BlockRayleigh {
+    /// Unit-mean-power Rayleigh fading — the paper's assumption.
+    pub fn unit() -> Self {
+        Self { mean_power: 1.0 }
+    }
+
+    /// Rayleigh fading with mean power `E[|h|²] = mean_power`.
+    pub fn with_mean_power(mean_power: f64) -> Self {
+        assert!(mean_power > 0.0);
+        Self { mean_power }
+    }
+}
+
+impl FadingChannel for BlockRayleigh {
+    fn sample_coeff(&self, rng: &mut dyn rand::RngCore) -> Complex {
+        complex_gaussian(rng, self.mean_power)
+    }
+
+    fn mean_power(&self) -> f64 {
+        self.mean_power
+    }
+}
+
+/// Rician fading with K-factor `k` (ratio of line-of-sight power to
+/// scattered power) and total mean power `mean_power`:
+/// `h = √(K/(K+1))·e^{iφ} + √(1/(K+1))·CN(0,1)`, scaled by `√mean_power`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rician {
+    k_factor: f64,
+    mean_power: f64,
+    los_phase: f64,
+}
+
+impl Rician {
+    /// Builds a Rician channel with the given K-factor, unit mean power and
+    /// a fixed line-of-sight phase.
+    pub fn new(k_factor: f64, mean_power: f64, los_phase: f64) -> Self {
+        assert!(k_factor >= 0.0 && mean_power > 0.0);
+        Self { k_factor, mean_power, los_phase }
+    }
+
+    /// A typical strong-LOS indoor channel (K = 6 dB ≈ 4.0).
+    pub fn indoor_los() -> Self {
+        Self::new(4.0, 1.0, 0.0)
+    }
+
+    /// K-factor accessor.
+    pub fn k_factor(&self) -> f64 {
+        self.k_factor
+    }
+}
+
+impl FadingChannel for Rician {
+    fn sample_coeff(&self, rng: &mut dyn rand::RngCore) -> Complex {
+        let k = self.k_factor;
+        let los_amp = (self.mean_power * k / (k + 1.0)).sqrt();
+        let scatter_power = self.mean_power / (k + 1.0);
+        Complex::from_polar(los_amp, self.los_phase) + complex_gaussian(rng, scatter_power)
+    }
+
+    fn mean_power(&self) -> f64 {
+        self.mean_power
+    }
+}
+
+/// Sum of the squared magnitudes of an `mr × mt` fading matrix drawn from
+/// unit Rayleigh — convenience used by Monte-Carlo validators; distributed
+/// `Gamma(mt·mr, 1)`.
+pub fn rayleigh_frobenius_sqr(rng: &mut impl Rng, mr: usize, mt: usize) -> f64 {
+    let ch = BlockRayleigh::unit();
+    ch.sample_matrix(rng, mr, mt).frobenius_norm_sqr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comimo_math::rng::seeded;
+    use comimo_math::stats::RunningStats;
+
+    #[test]
+    fn rayleigh_unit_power() {
+        let mut rng = seeded(21);
+        let ch = BlockRayleigh::unit();
+        let mut st = RunningStats::new();
+        for _ in 0..100_000 {
+            st.push(ch.sample_coeff(&mut rng).norm_sqr());
+        }
+        assert!((st.mean() - 1.0).abs() < 0.02, "mean power {}", st.mean());
+    }
+
+    #[test]
+    fn rayleigh_matrix_dims_and_power() {
+        let mut rng = seeded(22);
+        let ch = BlockRayleigh::with_mean_power(2.0);
+        let h = ch.sample_matrix(&mut rng, 3, 4);
+        assert_eq!((h.rows(), h.cols()), (3, 4));
+        let mut st = RunningStats::new();
+        for _ in 0..5_000 {
+            st.push(ch.sample_matrix(&mut rng, 3, 4).frobenius_norm_sqr());
+        }
+        // E[||H||^2] = mr*mt*mean_power = 24
+        assert!((st.mean() - 24.0).abs() < 0.5, "{}", st.mean());
+    }
+
+    #[test]
+    fn frobenius_is_gamma_distributed() {
+        // mean = k, variance = k for Gamma(k,1)
+        let mut rng = seeded(23);
+        let k = 6.0; // 2x3
+        let mut st = RunningStats::new();
+        for _ in 0..50_000 {
+            st.push(rayleigh_frobenius_sqr(&mut rng, 2, 3));
+        }
+        assert!((st.mean() - k).abs() < 0.1, "mean {}", st.mean());
+        assert!((st.variance() - k).abs() < 0.3, "var {}", st.variance());
+    }
+
+    #[test]
+    fn rician_mean_power_preserved() {
+        let mut rng = seeded(24);
+        let ch = Rician::new(4.0, 1.0, 0.3);
+        let mut st = RunningStats::new();
+        for _ in 0..100_000 {
+            st.push(ch.sample_coeff(&mut rng).norm_sqr());
+        }
+        assert!((st.mean() - 1.0).abs() < 0.02, "mean power {}", st.mean());
+    }
+
+    #[test]
+    fn rician_k0_is_rayleigh_like() {
+        // K = 0: no LOS, the amplitude CDF should match Rayleigh closely
+        let mut rng = seeded(25);
+        let ch = Rician::new(0.0, 1.0, 0.0);
+        let ray = BlockRayleigh::unit();
+        let mut below_ric = 0usize;
+        let mut below_ray = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            if ch.sample_coeff(&mut rng).abs() < 0.5 {
+                below_ric += 1;
+            }
+            if ray.sample_coeff(&mut rng).abs() < 0.5 {
+                below_ray += 1;
+            }
+        }
+        let d = (below_ric as f64 - below_ray as f64).abs() / n as f64;
+        assert!(d < 0.01, "CDF gap {d}");
+    }
+
+    #[test]
+    fn rician_high_k_concentrates() {
+        let mut rng = seeded(26);
+        let ch = Rician::new(100.0, 1.0, 0.0);
+        let mut st = RunningStats::new();
+        for _ in 0..20_000 {
+            st.push(ch.sample_coeff(&mut rng).abs());
+        }
+        // amplitude should hug 1 with small spread
+        assert!((st.mean() - 1.0).abs() < 0.02);
+        assert!(st.stddev() < 0.12, "stddev {}", st.stddev());
+    }
+}

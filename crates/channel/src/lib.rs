@@ -1,0 +1,44 @@
+//! # comimo-channel
+//!
+//! Propagation substrate for the `comimo` workspace: everything between a
+//! transmit antenna and a receive antenna.
+//!
+//! The paper (Chen, Hong & Chen, IJNC 2014) assumes, in its Section 2.3:
+//!
+//! * a **κ-th-power path loss with AWGN** for local/intra-cluster links
+//!   (`G_d = G1·d^κ·Ml` with `G1 = 10 mW`, `κ = 3.5`, `Ml = 40 dB`);
+//! * a **square-law long-haul loss** `(4πD)²/(Gt·Gr·λ²)·Ml·Nf` with a **flat
+//!   Rayleigh-fading** channel matrix `H` of i.i.d. unit-power entries for
+//!   the cooperative MIMO links; and
+//! * (Section 6.4) an **indoor environment** with obstacles and multipath
+//!   for the USRP testbed, which we substitute with wall-attenuation
+//!   segments and a tapped-delay-line model.
+//!
+//! Modules:
+//! * [`geometry`] — 2-D points, angles (`∠PrSt1St2` of Section 5), segments;
+//! * [`pathloss`] — the two path-loss laws plus Friis free space;
+//! * [`fading`] — block Rayleigh / Rician fading and channel matrices;
+//! * [`awgn`] — complex AWGN injection at calibrated Es/N0;
+//! * [`multipath`] — tapped-delay-line indoor channels;
+//! * [`obstacle`] — wall segments with penetration loss;
+//! * [`link`] — link budget: received power, SNR, noise floor, margins;
+//! * [`doppler`] — Jakes sum-of-sinusoids time-varying fading;
+//! * [`shadowing`] — spatially correlated log-normal shadowing
+//!   (Gudmundson model).
+
+pub mod awgn;
+pub mod doppler;
+pub mod fading;
+pub mod geometry;
+pub mod link;
+pub mod multipath;
+pub mod obstacle;
+pub mod pathloss;
+pub mod shadowing;
+
+pub use doppler::JakesProcess;
+pub use fading::{BlockRayleigh, FadingChannel, Rician};
+pub use shadowing::{ShadowField, ShadowingConfig};
+pub use geometry::Point;
+pub use link::{noise_floor_watts, LinkBudget};
+pub use pathloss::{FriisFreeSpace, KappaLaw, PathLoss, SquareLawLongHaul};

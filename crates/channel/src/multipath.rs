@@ -1,0 +1,214 @@
+//! Tapped-delay-line multipath channels.
+//!
+//! The paper's indoor experiments note that "the multipath propagation
+//! happens in the in-door experiment environment", which is why the
+//! measured beamformer null at 120° is "not zero" (Section 6.4, Figure 8).
+//! The testbed simulator reproduces that mechanism with a classic
+//! tapped-delay-line: a line-of-sight tap plus exponentially decaying
+//! scattered taps with random phases.
+
+use comimo_math::complex::Complex;
+use comimo_math::rng::complex_gaussian;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One multipath tap: integer sample delay and complex gain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tap {
+    /// Delay in samples.
+    pub delay: usize,
+    /// Complex gain applied to the delayed signal.
+    pub gain: Complex,
+}
+
+/// A fixed tapped-delay-line channel realisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TappedDelayLine {
+    taps: Vec<Tap>,
+}
+
+impl TappedDelayLine {
+    /// Builds a channel from explicit taps.
+    ///
+    /// # Panics
+    /// If `taps` is empty.
+    pub fn new(taps: Vec<Tap>) -> Self {
+        assert!(!taps.is_empty(), "a channel needs at least one tap");
+        Self { taps }
+    }
+
+    /// An ideal single-tap (flat) channel with the given gain.
+    pub fn flat(gain: Complex) -> Self {
+        Self::new(vec![Tap { delay: 0, gain }])
+    }
+
+    /// Draws an indoor channel realisation: a deterministic line-of-sight
+    /// tap of amplitude `los_amp` at delay 0, plus `n_scatter` Rayleigh
+    /// taps whose mean powers follow an exponential power-delay profile
+    /// with decay `decay` per tap and total scattered power
+    /// `scatter_power`.
+    pub fn indoor(
+        rng: &mut impl Rng,
+        los_amp: f64,
+        scatter_power: f64,
+        n_scatter: usize,
+        tap_spacing: usize,
+        decay: f64,
+    ) -> Self {
+        assert!(los_amp >= 0.0 && scatter_power >= 0.0);
+        assert!(decay > 0.0 && decay < 1.0, "decay must be in (0,1)");
+        assert!(tap_spacing >= 1);
+        let mut taps = vec![Tap { delay: 0, gain: Complex::real(los_amp) }];
+        if n_scatter > 0 && scatter_power > 0.0 {
+            // normalise the profile so the scattered power sums to target
+            let norm: f64 = (0..n_scatter).map(|i| decay.powi(i as i32)).sum();
+            for i in 0..n_scatter {
+                let p = scatter_power * decay.powi(i as i32) / norm;
+                taps.push(Tap {
+                    delay: (i + 1) * tap_spacing,
+                    gain: complex_gaussian(rng, p),
+                });
+            }
+        }
+        Self::new(taps)
+    }
+
+    /// The taps.
+    pub fn taps(&self) -> &[Tap] {
+        &self.taps
+    }
+
+    /// Total channel power `Σ|g_k|²`.
+    pub fn total_power(&self) -> f64 {
+        self.taps.iter().map(|t| t.gain.norm_sqr()).sum()
+    }
+
+    /// Maximum tap delay (channel memory) in samples.
+    pub fn memory(&self) -> usize {
+        self.taps.iter().map(|t| t.delay).max().unwrap_or(0)
+    }
+
+    /// Convolves an input sample stream with the channel; the output has
+    /// `input.len() + memory()` samples.
+    pub fn apply(&self, input: &[Complex]) -> Vec<Complex> {
+        let mut out = vec![Complex::zero(); input.len() + self.memory()];
+        for tap in &self.taps {
+            for (i, &x) in input.iter().enumerate() {
+                out[i + tap.delay] += x * tap.gain;
+            }
+        }
+        out
+    }
+
+    /// Adds this channel's contribution of `input` into `out` (for summing
+    /// several transmitters at one receiver). `out` must be at least
+    /// `input.len() + memory()` long.
+    pub fn apply_into(&self, input: &[Complex], out: &mut [Complex]) {
+        assert!(out.len() >= input.len() + self.memory(), "output buffer too short");
+        for tap in &self.taps {
+            for (i, &x) in input.iter().enumerate() {
+                out[i + tap.delay] += x * tap.gain;
+            }
+        }
+    }
+
+    /// Frequency response at normalised frequency `f ∈ [0, 1)` (cycles per
+    /// sample): `H(f) = Σ g_k e^{-i2πf·d_k}`.
+    pub fn frequency_response(&self, f: f64) -> Complex {
+        self.taps
+            .iter()
+            .map(|t| t.gain * Complex::cis(-std::f64::consts::TAU * f * t.delay as f64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comimo_math::rng::seeded;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn flat_channel_is_scalar_gain() {
+        let ch = TappedDelayLine::flat(c(0.5, 0.5));
+        let x = vec![c(1.0, 0.0), c(0.0, 1.0)];
+        let y = ch.apply(&x);
+        assert_eq!(y.len(), 2);
+        assert!(y[0].approx_eq(c(0.5, 0.5), 1e-12));
+        assert!(y[1].approx_eq(c(-0.5, 0.5), 1e-12));
+    }
+
+    #[test]
+    fn two_tap_echo() {
+        let ch = TappedDelayLine::new(vec![
+            Tap { delay: 0, gain: c(1.0, 0.0) },
+            Tap { delay: 2, gain: c(0.5, 0.0) },
+        ]);
+        let x = vec![c(1.0, 0.0)];
+        let y = ch.apply(&x);
+        assert_eq!(y.len(), 3);
+        assert!(y[0].approx_eq(c(1.0, 0.0), 1e-12));
+        assert!(y[1].approx_eq(Complex::zero(), 1e-12));
+        assert!(y[2].approx_eq(c(0.5, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn indoor_power_budget() {
+        let mut rng = seeded(41);
+        let mut total = 0.0;
+        let n = 2000;
+        for _ in 0..n {
+            let ch = TappedDelayLine::indoor(&mut rng, 1.0, 0.5, 6, 1, 0.5);
+            total += ch.total_power();
+        }
+        // E[total power] = los² + scatter = 1.5
+        let mean = total / n as f64;
+        assert!((mean - 1.5).abs() < 0.05, "mean channel power {mean}");
+    }
+
+    #[test]
+    fn apply_into_accumulates_two_transmitters() {
+        let ch1 = TappedDelayLine::flat(c(1.0, 0.0));
+        let ch2 = TappedDelayLine::flat(c(0.0, 1.0));
+        let x1 = vec![c(1.0, 0.0); 4];
+        let x2 = vec![c(2.0, 0.0); 4];
+        let mut out = vec![Complex::zero(); 4];
+        ch1.apply_into(&x1, &mut out);
+        ch2.apply_into(&x2, &mut out);
+        for s in &out {
+            assert!(s.approx_eq(c(1.0, 2.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn frequency_response_flat_for_single_tap() {
+        let ch = TappedDelayLine::flat(c(2.0, 0.0));
+        for &f in &[0.0, 0.1, 0.25, 0.49] {
+            assert!(ch.frequency_response(f).approx_eq(c(2.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn frequency_response_notch_of_two_taps() {
+        // taps 1 and 1 at delays 0,1 null out at f = 0.5
+        let ch = TappedDelayLine::new(vec![
+            Tap { delay: 0, gain: c(1.0, 0.0) },
+            Tap { delay: 1, gain: c(1.0, 0.0) },
+        ]);
+        assert!(ch.frequency_response(0.5).abs() < 1e-12);
+        assert!((ch.frequency_response(0.0).abs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_matches_longest_delay() {
+        let ch = TappedDelayLine::new(vec![
+            Tap { delay: 0, gain: c(1.0, 0.0) },
+            Tap { delay: 7, gain: c(0.1, 0.0) },
+        ]);
+        assert_eq!(ch.memory(), 7);
+        assert_eq!(ch.apply(&[c(1.0, 0.0); 3]).len(), 10);
+    }
+}

@@ -1,0 +1,280 @@
+//! Spectrum sensing and channel selection — the front half of Algorithm 3
+//! Step 1: "The head of transmission cluster C-St determines the PU to
+//! share the frequency based on the sensed environment."
+//!
+//! The cognitive-radio environment is a set of licensed channels, each
+//! owned by a [`crate::pu::PrimaryPair`] with an on/off activity process.
+//! The head senses (energy detection with a threshold, including missed
+//! detections/false alarms), maintains per-channel occupancy estimates,
+//! and picks a channel + primary according to the paradigm:
+//!
+//! * **interweave without nulling** — pick an *idle* channel (classic
+//!   opportunistic access);
+//! * **interweave with nulling** (the paper's contribution) — a busy
+//!   channel is usable too, if its primary receiver can be nulled; prefer
+//!   the PU that is far and non-collinear with the data receiver.
+
+use crate::pu::{PrimaryPair, PuActivity};
+use comimo_channel::geometry::{collinearity_deviation, Point};
+use serde::{Deserialize, Serialize};
+
+/// One licensed channel in the sensed environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensedChannel {
+    /// The owning primary pair.
+    pub pu: PrimaryPair,
+    /// Its activity model.
+    pub activity: PuActivity,
+    /// Sampled on/off schedule over the sensing horizon.
+    pub schedule: Vec<(f64, f64, bool)>,
+}
+
+/// Energy-detector quality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensingConfig {
+    /// Probability a busy channel is detected busy.
+    pub p_detect: f64,
+    /// Probability an idle channel is flagged busy anyway.
+    pub p_false_alarm: f64,
+    /// Sensing instants per horizon.
+    pub n_samples: usize,
+    /// Sensing horizon (s).
+    pub horizon_s: f64,
+}
+
+impl SensingConfig {
+    /// A decent detector: 95 % detection, 5 % false alarm, 50 samples
+    /// over 10 s.
+    pub fn typical() -> Self {
+        Self { p_detect: 0.95, p_false_alarm: 0.05, n_samples: 50, horizon_s: 10.0 }
+    }
+}
+
+/// Per-channel occupancy estimate after sensing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyEstimate {
+    /// Channel index.
+    pub channel: usize,
+    /// Estimated fraction of time busy.
+    pub busy_fraction: f64,
+    /// Ground-truth duty cycle (for evaluation).
+    pub true_duty: f64,
+}
+
+/// The sensed environment held by a cluster head.
+#[derive(Debug, Clone)]
+pub struct SpectrumMap {
+    channels: Vec<SensedChannel>,
+}
+
+impl SpectrumMap {
+    /// Builds the environment: samples each PU's schedule over the
+    /// horizon.
+    pub fn sense(
+        rng: &mut impl rand::Rng,
+        pus: &[(PrimaryPair, PuActivity)],
+        cfg: &SensingConfig,
+    ) -> Self {
+        let channels = pus
+            .iter()
+            .map(|(pu, act)| SensedChannel {
+                pu: *pu,
+                activity: *act,
+                schedule: act.sample_schedule(rng, cfg.horizon_s),
+            })
+            .collect();
+        Self { channels }
+    }
+
+    /// The channels.
+    pub fn channels(&self) -> &[SensedChannel] {
+        &self.channels
+    }
+
+    /// Runs the energy detector over every channel, producing occupancy
+    /// estimates corrupted by missed detections and false alarms.
+    pub fn estimate_occupancy(
+        &self,
+        rng: &mut impl rand::Rng,
+        cfg: &SensingConfig,
+    ) -> Vec<OccupancyEstimate> {
+        assert!(cfg.n_samples >= 1);
+        assert!((0.0..=1.0).contains(&cfg.p_detect) && (0.0..=1.0).contains(&cfg.p_false_alarm));
+        self.channels
+            .iter()
+            .map(|ch| {
+                let mut busy_hits = 0usize;
+                for i in 0..cfg.n_samples {
+                    let t = cfg.horizon_s * (i as f64 + 0.5) / cfg.n_samples as f64;
+                    let truly_busy = PuActivity::is_active_at(&ch.schedule, t);
+                    let sensed_busy = if truly_busy {
+                        rng.gen_bool(cfg.p_detect)
+                    } else {
+                        rng.gen_bool(cfg.p_false_alarm)
+                    };
+                    if sensed_busy {
+                        busy_hits += 1;
+                    }
+                }
+                OccupancyEstimate {
+                    channel: ch.pu.channel,
+                    busy_fraction: busy_hits as f64 / cfg.n_samples as f64,
+                    true_duty: ch.activity.duty_cycle(),
+                }
+            })
+            .collect()
+    }
+
+    /// Classic interweave (no nulling): the least-occupied channel.
+    pub fn pick_idlest(&self, estimates: &[OccupancyEstimate]) -> usize {
+        estimates
+            .iter()
+            .min_by(|a, b| {
+                a.busy_fraction
+                    .partial_cmp(&b.busy_fraction)
+                    .expect("NaN occupancy")
+                    .then(a.channel.cmp(&b.channel))
+            })
+            .map(|e| e.channel)
+            .expect("no channels sensed")
+    }
+
+    /// The paper's nulling-enabled pick (Algorithm 3 Step 1): among *all*
+    /// channels (busy ones are fine — their receiver gets nulled), choose
+    /// the PU "as far as possible from C-St and/or [such that] the line
+    /// segments of C-St·Pr and C-St·C-Sr are not as collinear as
+    /// possible".
+    pub fn pick_for_nulling(&self, st: Point, sr: Point) -> usize {
+        assert!(!self.channels.is_empty());
+        let max_dist = self
+            .channels
+            .iter()
+            .map(|c| st.distance(c.pu.rx))
+            .fold(1e-12, f64::max);
+        self.channels
+            .iter()
+            .max_by(|a, b| {
+                let score = |c: &SensedChannel| {
+                    collinearity_deviation(c.pu.rx, st, sr)
+                        + 0.1 * st.distance(c.pu.rx) / max_dist
+                };
+                score(a).partial_cmp(&score(b)).expect("NaN score")
+            })
+            .map(|c| c.pu.channel)
+            .expect("no channels")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comimo_math::rng::seeded;
+
+    fn env(rng: &mut comimo_math::rng::SeededRng, duties: &[(f64, Point)]) -> SpectrumMap {
+        let pus: Vec<(PrimaryPair, PuActivity)> = duties
+            .iter()
+            .enumerate()
+            .map(|(i, &(duty, rx))| {
+                let act = PuActivity::new(duty * 10.0, (1.0 - duty) * 10.0);
+                (PrimaryPair::new(Point::new(-50.0, 0.0), rx, i), act)
+            })
+            .collect();
+        SpectrumMap::sense(rng, &pus, &SensingConfig::typical())
+    }
+
+    #[test]
+    fn occupancy_estimates_track_duty_cycles() {
+        let mut rng = seeded(31);
+        // long horizon + many samples for a tight estimate
+        let cfg = SensingConfig { n_samples: 2_000, horizon_s: 2_000.0, ..SensingConfig::typical() };
+        let pus = vec![
+            (
+                PrimaryPair::new(Point::origin(), Point::new(10.0, 0.0), 0),
+                PuActivity::new(2.0, 8.0), // 20 %
+            ),
+            (
+                PrimaryPair::new(Point::origin(), Point::new(20.0, 0.0), 1),
+                PuActivity::new(8.0, 2.0), // 80 %
+            ),
+        ];
+        let map = SpectrumMap::sense(&mut rng, &pus, &cfg);
+        let est = map.estimate_occupancy(&mut rng, &cfg);
+        assert!((est[0].busy_fraction - 0.2).abs() < 0.12, "{:?}", est[0]);
+        assert!((est[1].busy_fraction - 0.8).abs() < 0.12, "{:?}", est[1]);
+        assert!(est[0].busy_fraction < est[1].busy_fraction);
+    }
+
+    #[test]
+    fn idlest_pick_prefers_quiet_channels() {
+        let mut rng = seeded(32);
+        let map = env(
+            &mut rng,
+            &[
+                (0.9, Point::new(100.0, 0.0)),
+                (0.1, Point::new(100.0, 50.0)),
+                (0.5, Point::new(0.0, 100.0)),
+            ],
+        );
+        let est = map.estimate_occupancy(&mut rng, &SensingConfig::typical());
+        assert_eq!(map.pick_idlest(&est), 1);
+    }
+
+    #[test]
+    fn nulling_pick_prefers_perpendicular_far_pu() {
+        let mut rng = seeded(33);
+        let st = Point::origin();
+        let sr = Point::new(100.0, 0.0);
+        let map = env(
+            &mut rng,
+            &[
+                (0.5, Point::new(150.0, 5.0)),  // nearly collinear with Sr
+                (0.5, Point::new(5.0, 140.0)),  // perpendicular — best
+                (0.5, Point::new(30.0, 30.0)),  // diagonal
+            ],
+        );
+        assert_eq!(map.pick_for_nulling(st, sr), 1);
+    }
+
+    #[test]
+    fn false_alarms_inflate_idle_estimates() {
+        let mut rng = seeded(34);
+        let pus = vec![(
+            PrimaryPair::new(Point::origin(), Point::new(10.0, 0.0), 0),
+            PuActivity::new(0.001, 100.0), // essentially always idle
+        )];
+        let noisy = SensingConfig { p_false_alarm: 0.3, n_samples: 1000, ..SensingConfig::typical() };
+        let map = SpectrumMap::sense(&mut rng, &pus, &noisy);
+        let est = map.estimate_occupancy(&mut rng, &noisy);
+        assert!(
+            (est[0].busy_fraction - 0.3).abs() < 0.07,
+            "false alarms should dominate: {:?}",
+            est[0]
+        );
+    }
+
+    #[test]
+    fn perfect_detector_matches_schedule_exactly() {
+        let mut rng = seeded(35);
+        let cfg = SensingConfig {
+            p_detect: 1.0,
+            p_false_alarm: 0.0,
+            n_samples: 500,
+            horizon_s: 100.0,
+        };
+        let pus = vec![(
+            PrimaryPair::new(Point::origin(), Point::new(10.0, 0.0), 0),
+            PuActivity::new(5.0, 5.0),
+        )];
+        let map = SpectrumMap::sense(&mut rng, &pus, &cfg);
+        let est = map.estimate_occupancy(&mut rng, &cfg);
+        // busy_fraction must equal the schedule's sampled occupancy
+        let truth: f64 = (0..cfg.n_samples)
+            .filter(|&i| {
+                let t = cfg.horizon_s * (i as f64 + 0.5) / cfg.n_samples as f64;
+                PuActivity::is_active_at(&map.channels()[0].schedule, t)
+            })
+            .count() as f64
+            / cfg.n_samples as f64;
+        assert!((est[0].busy_fraction - truth).abs() < 1e-12);
+    }
+}

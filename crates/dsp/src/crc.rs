@@ -1,0 +1,96 @@
+//! CRC-32 (IEEE 802.3) for packet integrity.
+//!
+//! The underlay experiment's packet error rate (paper Table 4) needs a real
+//! integrity check: a packet "errors" when its received CRC disagrees with
+//! the recomputed one, exactly as GNU Radio's packet decoder does.
+
+const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data` (IEEE: init `0xFFFF_FFFF`, final XOR
+/// `0xFFFF_FFFF`, reflected).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &byte in data {
+        c = (c >> 8) ^ t[((c ^ byte as u32) & 0xFF) as usize];
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Appends the CRC (little-endian) to a payload.
+pub fn append_crc(mut data: Vec<u8>) -> Vec<u8> {
+    let c = crc32(&data);
+    data.extend_from_slice(&c.to_le_bytes());
+    data
+}
+
+/// Verifies and strips a trailing CRC; returns the payload on success.
+pub fn check_and_strip_crc(data: &[u8]) -> Option<&[u8]> {
+    if data.len() < 4 {
+        return None;
+    }
+    let (payload, tail) = data.split_at(data.len() - 4);
+    let got = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    (crc32(payload) == got).then_some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // the canonical check value: CRC32("123456789") = 0xCBF43926
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_check_roundtrip() {
+        let payload = b"the quick brown fox".to_vec();
+        let framed = append_crc(payload.clone());
+        assert_eq!(framed.len(), payload.len() + 4);
+        assert_eq!(check_and_strip_crc(&framed), Some(payload.as_slice()));
+    }
+
+    #[test]
+    fn single_bit_flip_detected() {
+        let framed = append_crc(vec![0x55; 64]);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut corrupted = framed.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    check_and_strip_crc(&corrupted).is_none(),
+                    "flip at {byte}:{bit} undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert!(check_and_strip_crc(&[1, 2, 3]).is_none());
+    }
+}

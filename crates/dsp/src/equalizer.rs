@@ -1,0 +1,314 @@
+//! Channel equalisation for multipath links.
+//!
+//! The indoor testbed's tapped-delay-line channels smear symbols into
+//! each other; a receiver that knows (or learns) the channel can undo
+//! most of it. Two standard equalisers:
+//!
+//! * [`zero_forcing_taps`] — designs a linear FIR inverse of a known
+//!   channel by solving the Toeplitz least-squares system;
+//! * [`LmsEqualizer`] — a decision-directed/trained LMS adaptive filter
+//!   that learns the inverse from a known preamble, as a GNU Radio
+//!   `lms_dd_equalizer` block would.
+
+use comimo_math::complex::Complex;
+
+/// Designs `n_taps` zero-forcing (least-squares) equaliser taps for a
+/// known channel impulse response `h`, targeting an overall delay of
+/// `delay` samples. Returns the tap vector `w` minimising
+/// `‖(h ⊛ w) − δ_delay‖²`.
+///
+/// # Panics
+/// If `h` is empty/zero or `delay` exceeds the combined length.
+pub fn zero_forcing_taps(h: &[Complex], n_taps: usize, delay: usize) -> Vec<Complex> {
+    assert!(!h.is_empty() && n_taps >= 1);
+    let out_len = h.len() + n_taps - 1;
+    assert!(delay < out_len, "target delay beyond combined response");
+    assert!(h.iter().any(|c| c.norm_sqr() > 0.0), "zero channel");
+    // normal equations: (AᴴA) w = Aᴴ d, where A is the convolution matrix
+    // (out_len x n_taps) with A[i][j] = h[i-j]
+    let a = |i: usize, j: usize| -> Complex {
+        if i >= j && i - j < h.len() {
+            h[i - j]
+        } else {
+            Complex::zero()
+        }
+    };
+    let n = n_taps;
+    // build AᴴA (n x n) and Aᴴd (n)
+    let mut gram = vec![Complex::zero(); n * n];
+    let mut rhs = vec![Complex::zero(); n];
+    for r in 0..n {
+        for c in 0..n {
+            let mut s = Complex::zero();
+            for i in 0..out_len {
+                s += a(i, r).conj() * a(i, c);
+            }
+            gram[r * n + c] = s;
+        }
+        rhs[r] = a(delay, r).conj();
+    }
+    solve_complex(&mut gram, &mut rhs, n);
+    rhs
+}
+
+/// Gaussian elimination with partial pivoting on a complex system
+/// (in place; `m` is row-major `n × n`, `b` is the RHS/solution).
+fn solve_complex(m: &mut [Complex], b: &mut [Complex], n: usize) {
+    for col in 0..n {
+        let mut piv = col;
+        for r in col + 1..n {
+            if m[r * n + col].norm_sqr() > m[piv * n + col].norm_sqr() {
+                piv = r;
+            }
+        }
+        assert!(m[piv * n + col].norm_sqr() > 1e-300, "singular equaliser system");
+        if piv != col {
+            for c in 0..n {
+                m.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        let d = m[col * n + col];
+        for r in col + 1..n {
+            let f = m[r * n + col] / d;
+            if f.norm_sqr() == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m[col * n + c];
+                m[r * n + c] -= f * v;
+            }
+            let v = b[col];
+            b[r] -= f * v;
+        }
+    }
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for c in col + 1..n {
+            s -= m[col * n + c] * b[c];
+        }
+        b[col] = s / m[col * n + col];
+    }
+}
+
+/// Applies equaliser taps to a signal (full convolution).
+pub fn equalize(signal: &[Complex], taps: &[Complex]) -> Vec<Complex> {
+    let mut out = vec![Complex::zero(); signal.len() + taps.len() - 1];
+    for (i, &x) in signal.iter().enumerate() {
+        for (j, &t) in taps.iter().enumerate() {
+            out[i + j] += x * t;
+        }
+    }
+    out
+}
+
+/// A trained LMS adaptive equaliser.
+#[derive(Debug, Clone)]
+pub struct LmsEqualizer {
+    taps: Vec<Complex>,
+    mu: f64,
+}
+
+impl LmsEqualizer {
+    /// Builds an `n_taps` equaliser with step size `mu` (typ. 0.01),
+    /// initialised to a centre spike.
+    pub fn new(n_taps: usize, mu: f64) -> Self {
+        assert!(n_taps >= 1 && mu > 0.0 && mu < 1.0);
+        let mut taps = vec![Complex::zero(); n_taps];
+        taps[n_taps / 2] = Complex::one();
+        Self { taps, mu }
+    }
+
+    /// Current taps.
+    pub fn taps(&self) -> &[Complex] {
+        &self.taps
+    }
+
+    /// Trains on a received sequence with its known transmitted symbols
+    /// (the preamble); `delay` aligns the desired output with the filter
+    /// centre. Returns the final mean-square error over the last quarter
+    /// of the training window.
+    pub fn train(&mut self, received: &[Complex], desired: &[Complex], delay: usize) -> f64 {
+        assert!(received.len() >= self.taps.len());
+        let n = self.taps.len();
+        let mut err_acc = 0.0;
+        let mut err_count = 0usize;
+        let total = received.len() - n;
+        for k in 0..total {
+            // filter output at position k (taps over received[k..k+n])
+            let mut y = Complex::zero();
+            for (j, &t) in self.taps.iter().enumerate() {
+                y += t * received[k + j];
+            }
+            let want_idx = k + n / 2;
+            if want_idx < delay {
+                continue;
+            }
+            let Some(&d) = desired.get(want_idx - delay) else { continue };
+            let e = d - y;
+            // LMS update: w += mu·e·x*
+            for (j, t) in self.taps.iter_mut().enumerate() {
+                *t += e * received[k + j].conj() * self.mu;
+            }
+            if k >= total * 3 / 4 {
+                err_acc += e.norm_sqr();
+                err_count += 1;
+            }
+        }
+        if err_count == 0 {
+            f64::INFINITY
+        } else {
+            err_acc / err_count as f64
+        }
+    }
+
+    /// Runs the trained filter over a signal, in the same sliding-window
+    /// (correlation) form used during training:
+    /// `out[k] = Σ_j taps[j]·signal[k+j]`. With training delay `d` and
+    /// `n` taps, `out[k]` estimates the symbol `s[k + n/2 − d]`.
+    pub fn run(&self, signal: &[Complex]) -> Vec<Complex> {
+        let n = self.taps.len();
+        if signal.len() < n {
+            return Vec::new();
+        }
+        (0..=signal.len() - n)
+            .map(|k| {
+                let mut y = Complex::zero();
+                for (j, &t) in self.taps.iter().enumerate() {
+                    y += t * signal[k + j];
+                }
+                y
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::pn_sequence;
+    use crate::modem::{Bpsk, Modem};
+    use comimo_math::rng::{complex_gaussian, seeded};
+
+    fn two_tap_channel() -> Vec<Complex> {
+        vec![Complex::new(1.0, 0.0), Complex::new(0.45, 0.2)]
+    }
+
+    fn convolve(x: &[Complex], h: &[Complex]) -> Vec<Complex> {
+        equalize(x, h) // same operation
+    }
+
+    #[test]
+    fn zf_inverts_a_two_tap_channel() {
+        let h = two_tap_channel();
+        let w = zero_forcing_taps(&h, 15, 7);
+        // combined response ≈ delta at delay 7
+        let combined = convolve(&h, &w);
+        for (i, c) in combined.iter().enumerate() {
+            if i == 7 {
+                assert!((c.abs() - 1.0).abs() < 0.02, "main tap {}", c.abs());
+            } else {
+                assert!(c.abs() < 0.05, "residual ISI {} at {i}", c.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn zf_equalised_bpsk_is_clean() {
+        let h = two_tap_channel();
+        let bits = pn_sequence(5, 2_000);
+        let sym = Bpsk.modulate(&bits);
+        let rx = convolve(&sym, &h);
+        let w = zero_forcing_taps(&h, 21, 10);
+        let eq = equalize(&rx, &w);
+        let sliced = Bpsk.demodulate(&eq[10..10 + sym.len()]);
+        let errs = crate::bits::count_bit_errors(&bits, &sliced[..bits.len()]);
+        assert_eq!(errs, 0, "residual errors {errs}");
+    }
+
+    #[test]
+    fn hard_channel_without_equaliser_fails() {
+        // sanity: ISI plus noise causes errors the slicer cannot fix
+        // (with a 0.6 tail the worst-case eye margin is 0.4, so noise of
+        // std 0.27/dim errs a few percent of the time)
+        let mut rng = seeded(95);
+        let h = vec![Complex::new(1.0, 0.0), Complex::new(0.6, 0.0)];
+        let bits = pn_sequence(9, 4_000);
+        let sym = Bpsk.modulate(&bits);
+        let mut rx = convolve(&sym, &h);
+        for v in &mut rx {
+            *v += complex_gaussian(&mut rng, 0.15);
+        }
+        let sliced = Bpsk.demodulate(&rx[..sym.len()]);
+        let raw_errs = crate::bits::count_bit_errors(&bits, &sliced[..bits.len()]);
+        assert!(raw_errs > 40, "expected ISI errors, got {raw_errs}");
+        // the ZF equaliser restores the eye (at a mild noise-enhancement
+        // cost) and cuts the error count hard
+        let w = zero_forcing_taps(&h, 31, 15);
+        let eq = equalize(&rx, &w);
+        let fixed = Bpsk.demodulate(&eq[15..15 + sym.len()]);
+        let eq_errs = crate::bits::count_bit_errors(&bits, &fixed[..bits.len()]);
+        assert!(eq_errs * 4 < raw_errs, "equalised errors {eq_errs} vs raw {raw_errs}");
+    }
+
+    #[test]
+    fn lms_learns_the_channel_inverse() {
+        let mut rng = seeded(91);
+        let h = two_tap_channel();
+        let train_bits = pn_sequence(11, 4_000);
+        let train_sym = Bpsk.modulate(&train_bits);
+        let mut rx = convolve(&train_sym, &h);
+        for v in &mut rx {
+            *v += complex_gaussian(&mut rng, 1e-4);
+        }
+        // delay 0: the centred spike already estimates s[k + n/2], so the
+        // adaptation only has to cancel the ISI, not move the spike
+        let mut eq = LmsEqualizer::new(11, 0.01);
+        let mse = eq.train(&rx, &train_sym, 0);
+        assert!(mse < 0.05, "training MSE {mse}");
+        // now equalise fresh data through the same channel
+        let data_bits = pn_sequence(13, 2_000);
+        let data_sym = Bpsk.modulate(&data_bits);
+        let mut rx2 = convolve(&data_sym, &h);
+        for v in &mut rx2 {
+            *v += complex_gaussian(&mut rng, 1e-4);
+        }
+        let out = eq.run(&rx2);
+        // out[k] estimates s[k + n/2 - delay] = s[k + 5]
+        let shift = 11 / 2;
+        let usable = out.len().min(data_sym.len() - shift);
+        let sliced = Bpsk.demodulate(&out[..usable]);
+        let errs =
+            crate::bits::count_bit_errors(&data_bits[shift..shift + usable], &sliced[..usable]);
+        assert!(errs < 20, "LMS equalised errors {errs} over {usable} bits");
+    }
+
+    #[test]
+    fn lms_mse_decreases_with_training() {
+        let mut rng = seeded(92);
+        let h = vec![Complex::new(1.0, 0.0), Complex::new(0.6, -0.3)];
+        let make_rx = |bits: &[bool], rng: &mut comimo_math::rng::SeededRng| {
+            let sym = Bpsk.modulate(bits);
+            let mut rx = convolve(&sym, &h);
+            for v in &mut rx {
+                *v += complex_gaussian(rng, 1e-3);
+            }
+            (sym, rx)
+        };
+        let short_bits = pn_sequence(3, 200);
+        let long_bits = pn_sequence(3, 6_000);
+        let (s1, r1) = make_rx(&short_bits, &mut rng);
+        let (s2, r2) = make_rx(&long_bits, &mut rng);
+        let mut eq_short = LmsEqualizer::new(11, 0.01);
+        let mut eq_long = LmsEqualizer::new(11, 0.01);
+        let mse_short = eq_short.train(&r1, &s1, 0);
+        let mse_long = eq_long.train(&r2, &s2, 0);
+        assert!(mse_long < mse_short, "long {mse_long} vs short {mse_short}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_channel_rejected() {
+        let _ = zero_forcing_taps(&[Complex::zero()], 5, 2);
+    }
+}

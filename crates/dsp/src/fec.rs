@@ -1,0 +1,290 @@
+//! Forward error correction: a rate-1/2 convolutional code with Viterbi
+//! decoding.
+//!
+//! The extended energy model (`comimo_energy::extended` — the paper's
+//! "include the signal processing blocks" future work) charges a rate-`R`
+//! channel code with a coding gain; this module makes that block real:
+//! the classic `K = 7`, `(171, 133)₈` convolutional code used by 802.11a
+//! and countless satellite links, decoded by hard- or soft-decision
+//! Viterbi. The measured coding gain over uncoded BPSK (tested below) is
+//! what the energy model's `coding_gain_db` parameter stands for.
+
+use comimo_math::complex::Complex;
+
+/// The code's constraint length `K = 7` (64 trellis states).
+pub const CONSTRAINT: usize = 7;
+
+/// Generator polynomials (octal 171, 133), MSB-first over the shift
+/// register `[s0 .. s6]` with `s0` the newest bit.
+const G0: u8 = 0o171;
+const G1: u8 = 0o133;
+
+const N_STATES: usize = 1 << (CONSTRAINT - 1);
+
+/// Parity of the masked register.
+#[inline]
+fn parity(x: u8) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Encodes `bits` with the rate-1/2 code, appending `K − 1` zero tail
+/// bits to terminate the trellis. Output length: `2·(bits.len() + 6)`.
+pub fn conv_encode(bits: &[bool]) -> Vec<bool> {
+    let mut state: u8 = 0; // previous K-1 bits
+    let mut out = Vec::with_capacity(2 * (bits.len() + CONSTRAINT - 1));
+    let push = |b: bool, state: &mut u8, out: &mut Vec<bool>| {
+        let reg = ((b as u8) << (CONSTRAINT - 1)) | *state;
+        out.push(parity(reg & G0) == 1);
+        out.push(parity(reg & G1) == 1);
+        *state = reg >> 1;
+    };
+    for &b in bits {
+        push(b, &mut state, &mut out);
+    }
+    for _ in 0..CONSTRAINT - 1 {
+        push(false, &mut state, &mut out);
+    }
+    out
+}
+
+/// Branch metrics for one trellis step: the cost of the two coded bits
+/// given the received evidence.
+trait Metric {
+    /// Cost of hypothesising coded bits `(c0, c1)` at step `t`.
+    fn cost(&self, t: usize, c0: bool, c1: bool) -> f64;
+    /// Number of steps available.
+    fn len(&self) -> usize;
+}
+
+struct HardMetric<'a>(&'a [bool]);
+impl Metric for HardMetric<'_> {
+    fn cost(&self, t: usize, c0: bool, c1: bool) -> f64 {
+        let r0 = self.0[2 * t];
+        let r1 = self.0[2 * t + 1];
+        (r0 != c0) as u8 as f64 + (r1 != c1) as u8 as f64
+    }
+    fn len(&self) -> usize {
+        self.0.len() / 2
+    }
+}
+
+/// Soft metric over BPSK symbols (`+1` ⇔ bit 1): negative correlation.
+struct SoftMetric<'a>(&'a [Complex]);
+impl Metric for SoftMetric<'_> {
+    fn cost(&self, t: usize, c0: bool, c1: bool) -> f64 {
+        let s0 = if c0 { 1.0 } else { -1.0 };
+        let s1 = if c1 { 1.0 } else { -1.0 };
+        -(self.0[2 * t].re * s0 + self.0[2 * t + 1].re * s1)
+    }
+    fn len(&self) -> usize {
+        self.0.len() / 2
+    }
+}
+
+/// Viterbi decode over a metric; returns the information bits (tail
+/// stripped).
+fn viterbi(metric: &impl Metric, n_info: usize) -> Vec<bool> {
+    let steps = metric.len();
+    assert!(
+        steps >= n_info + CONSTRAINT - 1,
+        "received sequence too short: {steps} steps for {n_info} info bits"
+    );
+    // precompute branch outputs: for (state, input) -> (c0, c1, next)
+    let mut trans = [[(false, false, 0usize); 2]; N_STATES];
+    for (state, t) in trans.iter_mut().enumerate() {
+        for (input, entry) in t.iter_mut().enumerate() {
+            let reg = ((input as u8) << (CONSTRAINT - 1)) | state as u8;
+            *entry = (
+                parity(reg & G0) == 1,
+                parity(reg & G1) == 1,
+                (reg >> 1) as usize,
+            );
+        }
+    }
+    let inf = f64::INFINITY;
+    let mut pm = vec![inf; N_STATES];
+    pm[0] = 0.0; // trellis starts in the zero state
+    let mut back: Vec<[u8; N_STATES]> = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let mut next = vec![inf; N_STATES];
+        let mut bp = [0u8; N_STATES];
+        for state in 0..N_STATES {
+            if pm[state] == inf {
+                continue;
+            }
+            for input in 0..2 {
+                let (c0, c1, ns) = trans[state][input];
+                let m = pm[state] + metric.cost(t, c0, c1);
+                if m < next[ns] {
+                    next[ns] = m;
+                    // store predecessor state and input in one byte
+                    bp[ns] = ((state as u8) << 1) | input as u8;
+                }
+            }
+        }
+        pm = next;
+        back.push(bp);
+    }
+    // terminated trellis: trace back from state 0
+    let mut state = 0usize;
+    let mut decoded = vec![false; steps];
+    for t in (0..steps).rev() {
+        let b = back[t][state];
+        decoded[t] = (b & 1) == 1;
+        state = (b >> 1) as usize;
+    }
+    decoded.truncate(n_info);
+    decoded
+}
+
+/// Hard-decision Viterbi decode of `coded` (as produced by
+/// [`conv_encode`], possibly with bit errors) back to `n_info` bits.
+pub fn conv_decode_hard(coded: &[bool], n_info: usize) -> Vec<bool> {
+    assert_eq!(coded.len() % 2, 0, "coded stream must be even-length");
+    viterbi(&HardMetric(coded), n_info)
+}
+
+/// Soft-decision Viterbi decode from BPSK soft symbols (one per coded
+/// bit; only the real part is used).
+pub fn conv_decode_soft(soft: &[Complex], n_info: usize) -> Vec<bool> {
+    assert_eq!(soft.len() % 2, 0, "soft stream must be even-length");
+    viterbi(&SoftMetric(soft), n_info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{count_bit_errors, pn_sequence};
+    use comimo_math::db::db_to_lin;
+    use comimo_math::rng::{complex_gaussian, seeded};
+
+    #[test]
+    fn encode_rate_and_termination() {
+        let bits = pn_sequence(1, 100);
+        let coded = conv_encode(&bits);
+        assert_eq!(coded.len(), 2 * (100 + CONSTRAINT - 1));
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let bits = pn_sequence(2, 500);
+        let coded = conv_encode(&bits);
+        assert_eq!(conv_decode_hard(&coded, bits.len()), bits);
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        // the free distance of (171,133) is 10: up to 4 scattered channel
+        // errors per constraint-span are correctable
+        let bits = pn_sequence(3, 400);
+        let mut coded = conv_encode(&bits);
+        for i in (7..coded.len()).step_by(97) {
+            coded[i] = !coded[i];
+        }
+        assert_eq!(conv_decode_hard(&coded, bits.len()), bits);
+    }
+
+    #[test]
+    fn burst_beyond_capability_fails_but_does_not_panic() {
+        let bits = pn_sequence(4, 200);
+        let mut coded = conv_encode(&bits);
+        for c in coded.iter_mut().take(40) {
+            *c = !*c;
+        }
+        let dec = conv_decode_hard(&coded, bits.len());
+        // it may or may not recover; it must return the right length
+        assert_eq!(dec.len(), bits.len());
+    }
+
+    /// The headline: measured coding gain over uncoded BPSK at equal
+    /// Eb/N0. Rate 1/2 halves the energy per coded bit, and Viterbi more
+    /// than wins it back — several dB of net gain at BER ~1e-3.
+    #[test]
+    fn soft_viterbi_beats_uncoded_at_equal_eb_n0() {
+        let mut rng = seeded(5);
+        let eb_n0_db = 5.0;
+        let eb_n0 = db_to_lin(eb_n0_db);
+        let n_info = 30_000;
+        let bits = pn_sequence(6, n_info);
+
+        // uncoded BPSK: Es = Eb
+        let mut uncoded_errs = 0u64;
+        for &b in &bits {
+            let s = if b { 1.0 } else { -1.0 };
+            // real-dimension noise variance 1/(2·Eb/N0)
+            let r = s + comimo_math::rng::standard_normal(&mut rng) / (2.0 * eb_n0).sqrt();
+            if (r > 0.0) != b {
+                uncoded_errs += 1;
+            }
+        }
+        let uncoded_ber = uncoded_errs as f64 / n_info as f64;
+
+        // coded: each coded bit carries Eb/2 → per-symbol SNR halves
+        let coded = conv_encode(&bits);
+        let es_n0 = eb_n0 / 2.0;
+        let soft: Vec<Complex> = coded
+            .iter()
+            .map(|&b| {
+                let s = if b { 1.0 } else { -1.0 };
+                Complex::real(s) + complex_gaussian(&mut rng, 1.0 / es_n0)
+            })
+            .collect();
+        let dec = conv_decode_soft(&soft, n_info);
+        let coded_errs = count_bit_errors(&bits, &dec);
+        let coded_ber = (coded_errs.max(1)) as f64 / n_info as f64;
+
+        assert!(
+            coded_ber < uncoded_ber / 5.0,
+            "coded BER {coded_ber} vs uncoded {uncoded_ber} at {eb_n0_db} dB"
+        );
+    }
+
+    #[test]
+    fn soft_beats_hard_decisions() {
+        let mut rng = seeded(7);
+        let n_info = 30_000;
+        let bits = pn_sequence(8, n_info);
+        let coded = conv_encode(&bits);
+        let es_n0 = db_to_lin(2.0); // noisy channel
+        let soft: Vec<Complex> = coded
+            .iter()
+            .map(|&b| {
+                let s = if b { 1.0 } else { -1.0 };
+                Complex::real(s) + complex_gaussian(&mut rng, 1.0 / es_n0)
+            })
+            .collect();
+        let hard_bits: Vec<bool> = soft.iter().map(|s| s.re > 0.0).collect();
+        let soft_dec = conv_decode_soft(&soft, n_info);
+        let hard_dec = conv_decode_hard(&hard_bits, n_info);
+        let soft_errs = count_bit_errors(&bits, &soft_dec);
+        let hard_errs = count_bit_errors(&bits, &hard_dec);
+        assert!(
+            soft_errs * 2 < hard_errs.max(2),
+            "soft {soft_errs} vs hard {hard_errs}"
+        );
+    }
+
+    #[test]
+    fn measured_gain_supports_extended_model_default() {
+        // the ExtendedEnergyModel's typical stack claims 4 dB of coding
+        // gain; verify the real code achieves the target BER at >= 4 dB
+        // less Eb/N0 than uncoded BPSK. Uncoded BPSK needs ~6.8 dB for
+        // BER 1e-3; the coded chain must be clean at 3 dB.
+        let mut rng = seeded(9);
+        let n_info = 40_000;
+        let bits = pn_sequence(10, n_info);
+        let coded = conv_encode(&bits);
+        let eb_n0 = db_to_lin(3.0);
+        let es_n0 = eb_n0 / 2.0;
+        let soft: Vec<Complex> = coded
+            .iter()
+            .map(|&b| {
+                let s = if b { 1.0 } else { -1.0 };
+                Complex::real(s) + complex_gaussian(&mut rng, 1.0 / es_n0)
+            })
+            .collect();
+        let dec = conv_decode_soft(&soft, n_info);
+        let ber = count_bit_errors(&bits, &dec) as f64 / n_info as f64;
+        assert!(ber < 1e-3, "coded BER at 3 dB: {ber}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # comimo-dsp
+//!
+//! Complex-baseband DSP substrate for the testbed simulator that stands in
+//! for the paper's GNU Radio + USRP rig (Section 6.4). The paper's PHY
+//! choices are implemented directly:
+//!
+//! * **BPSK** modulation/demodulation "for overlay and interweave systems";
+//! * **GMSK** modulation/demodulation "for underlay systems"
+//!   (waveform-level: Gaussian pulse shaping + phase integration,
+//!   discriminator + integrate-and-dump receive);
+//! * **equal gain combination** "for overlay systems" (plus SC and MRC for
+//!   the ablation benches);
+//! * 1500-byte packets with CRC framing (underlay experiment transfers an
+//!   image "with 474 packets"; packet error detection needs a real CRC).
+//!
+//! Supporting machinery: bit/byte utilities ([`bits`]), CRC-32 ([`crc`]),
+//! FIR design/filtering ([`fir`]), a radix-2 FFT with a periodogram PSD
+//! estimator ([`fft`]) used by the underlay noise-floor checks, linear
+//! modems ([`modem`]), the GMSK waveform modem ([`gmsk`]), packet framing
+//! ([`frame`]), diversity combining ([`combining`]), receiver
+//! synchronisation — preamble timing + CFO estimation ([`sync`]) — and
+//! channel equalisation (zero-forcing and LMS, [`equalizer`]).
+
+pub mod bits;
+pub mod combining;
+pub mod crc;
+pub mod equalizer;
+pub mod fec;
+pub mod fft;
+pub mod fir;
+pub mod frame;
+pub mod gmsk;
+pub mod modem;
+pub mod pulse;
+pub mod sync;
+
+pub use combining::{egc_combine, mrc_combine, selection_combine};
+pub use frame::{Frame, FrameCodec};
+pub use gmsk::GmskModem;
+pub use modem::{Bpsk, Modem, Psk8, Qam16, Qpsk};

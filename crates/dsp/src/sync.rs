@@ -1,0 +1,208 @@
+//! Receiver synchronisation: timing acquisition and carrier-frequency-
+//! offset estimation.
+//!
+//! The testbed's aligned mode assumes the receiver knows where frames
+//! start; a real USRP receiver does not. This module provides the two
+//! classic estimators a GNU Radio chain would run:
+//!
+//! * **timing** — complex cross-correlation against the known modulated
+//!   preamble, peak-picked over a search window;
+//! * **CFO** — the Moose/Schmidl-&-Cox style phase-slope estimator over a
+//!   repeated (or known) preamble: the angle of the lag-`L`
+//!   autocorrelation divided by `L`.
+
+use comimo_math::complex::Complex;
+
+/// Cross-correlates `signal` against the known `template` and returns
+/// `(best_offset, normalised_peak)` where the peak is in `[0, 1]`
+/// (1 = perfect match). Searches offsets `0..=signal.len() - template.len()`.
+///
+/// # Panics
+/// If the template is empty or longer than the signal.
+pub fn correlate_timing(signal: &[Complex], template: &[Complex]) -> (usize, f64) {
+    assert!(!template.is_empty(), "empty template");
+    assert!(signal.len() >= template.len(), "signal shorter than template");
+    let t_energy: f64 = template.iter().map(|x| x.norm_sqr()).sum();
+    assert!(t_energy > 0.0, "zero-energy template");
+    let mut best = (0usize, 0.0f64);
+    for off in 0..=signal.len() - template.len() {
+        let mut acc = Complex::zero();
+        let mut s_energy = 0.0;
+        for (i, &t) in template.iter().enumerate() {
+            let s = signal[off + i];
+            acc += s * t.conj();
+            s_energy += s.norm_sqr();
+        }
+        if s_energy == 0.0 {
+            continue;
+        }
+        let peak = acc.abs() / (t_energy * s_energy).sqrt();
+        if peak > best.1 {
+            best = (off, peak);
+        }
+    }
+    best
+}
+
+/// Estimates a carrier frequency offset (radians/sample) from a received
+/// copy of a known reference: the phase slope of `r[n]·ref*[n]`,
+/// extracted robustly as the angle of the lag-`lag` autocorrelation of
+/// the de-modulated product.
+///
+/// Unambiguous for offsets below `π / lag` rad/sample.
+pub fn estimate_cfo(received: &[Complex], reference: &[Complex], lag: usize) -> f64 {
+    assert_eq!(received.len(), reference.len(), "length mismatch");
+    assert!(lag >= 1 && received.len() > lag, "lag out of range");
+    // strip the modulation
+    let z: Vec<Complex> = received
+        .iter()
+        .zip(reference)
+        .map(|(&r, &s)| r * s.conj())
+        .collect();
+    // lag-`lag` autocorrelation: angle = lag · cfo
+    let mut acc = Complex::zero();
+    for i in 0..z.len() - lag {
+        acc += z[i + lag] * z[i].conj();
+    }
+    acc.arg() / lag as f64
+}
+
+/// Applies a frequency correction of `-cfo` radians/sample.
+pub fn correct_cfo(signal: &[Complex], cfo: f64) -> Vec<Complex> {
+    signal
+        .iter()
+        .enumerate()
+        .map(|(n, &s)| s * Complex::cis(-cfo * n as f64))
+        .collect()
+}
+
+/// One-shot frame acquisition: finds the preamble, estimates and removes
+/// the CFO over it, and returns `(frame_start, cfo, corrected_signal)`.
+/// Returns `None` when the correlation peak is below `min_peak`.
+pub fn acquire(
+    signal: &[Complex],
+    preamble: &[Complex],
+    min_peak: f64,
+    cfo_lag: usize,
+) -> Option<(usize, f64, Vec<Complex>)> {
+    if signal.len() < preamble.len() {
+        return None;
+    }
+    let (off, peak) = correlate_timing(signal, preamble);
+    if peak < min_peak {
+        return None;
+    }
+    let seg = &signal[off..off + preamble.len()];
+    let cfo = estimate_cfo(seg, preamble, cfo_lag);
+    let corrected = correct_cfo(&signal[off..], cfo);
+    Some((off, cfo, corrected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::pn_sequence;
+    use crate::modem::{Bpsk, Modem};
+    use comimo_math::rng::{complex_gaussian, seeded};
+
+    fn preamble_symbols() -> Vec<Complex> {
+        Bpsk.modulate(&pn_sequence(0xB5A7, 64))
+    }
+
+    #[test]
+    fn timing_finds_exact_offset_clean() {
+        let pre = preamble_symbols();
+        let mut sig = vec![Complex::zero(); 37];
+        sig.extend(&pre);
+        sig.extend(vec![Complex::zero(); 20]);
+        let (off, peak) = correlate_timing(&sig, &pre);
+        assert_eq!(off, 37);
+        assert!(peak > 0.999);
+    }
+
+    #[test]
+    fn timing_survives_noise_and_phase() {
+        let mut rng = seeded(81);
+        let pre = preamble_symbols();
+        let rot = Complex::cis(1.1);
+        let mut sig: Vec<Complex> = (0..50).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+        sig.extend(pre.iter().map(|&s| s * rot + complex_gaussian(&mut rng, 0.2)));
+        sig.extend((0..30).map(|_| complex_gaussian(&mut rng, 1.0)));
+        let (off, peak) = correlate_timing(&sig, &pre);
+        assert_eq!(off, 50);
+        assert!(peak > 0.8, "peak {peak}");
+    }
+
+    #[test]
+    fn cfo_estimator_accuracy() {
+        let mut rng = seeded(82);
+        let pre = preamble_symbols();
+        for &cfo in &[0.0, 0.002, -0.015, 0.04] {
+            let rx: Vec<Complex> = pre
+                .iter()
+                .enumerate()
+                .map(|(n, &s)| {
+                    s * Complex::cis(cfo * n as f64) + complex_gaussian(&mut rng, 0.01)
+                })
+                .collect();
+            let est = estimate_cfo(&rx, &pre, 4);
+            assert!(
+                (est - cfo).abs() < 2e-3,
+                "cfo {cfo}: estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn cfo_correction_restores_constellation() {
+        let pre = preamble_symbols();
+        let cfo = 0.01;
+        let rx: Vec<Complex> = pre
+            .iter()
+            .enumerate()
+            .map(|(n, &s)| s * Complex::cis(cfo * n as f64))
+            .collect();
+        let fixed = correct_cfo(&rx, cfo);
+        for (a, b) in fixed.iter().zip(&pre) {
+            assert!(a.approx_eq(*b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn acquire_end_to_end() {
+        let mut rng = seeded(83);
+        let pre = preamble_symbols();
+        let payload = Bpsk.modulate(&pn_sequence(77, 200));
+        let cfo = 0.008;
+        let mut tx = pre.clone();
+        tx.extend(&payload);
+        // channel: delay 23, phase, CFO, noise
+        let mut air: Vec<Complex> = (0..23).map(|_| complex_gaussian(&mut rng, 0.05)).collect();
+        let rot = Complex::cis(0.7);
+        air.extend(tx.iter().enumerate().map(|(n, &s)| {
+            s * rot * Complex::cis(cfo * n as f64) + complex_gaussian(&mut rng, 0.02)
+        }));
+        let (off, est_cfo, corrected) = acquire(&air, &pre, 0.6, 4).expect("acquired");
+        assert_eq!(off, 23);
+        assert!((est_cfo - cfo).abs() < 1e-3, "cfo {est_cfo}");
+        // after correction, demod payload (constant residual phase is fine
+        // for a coherent check against the rotated reference)
+        let seg = &corrected[pre.len()..pre.len() + payload.len()];
+        let mut errs = 0;
+        for (r, s) in seg.iter().zip(&payload) {
+            // derotate by the (known) channel phase for the check
+            if ((*r * rot.conj()).re > 0.0) != (s.re > 0.0) {
+                errs += 1;
+            }
+        }
+        assert!(errs < 5, "payload errors after acquisition: {errs}");
+    }
+
+    #[test]
+    fn acquire_rejects_noise_only() {
+        let mut rng = seeded(84);
+        let pre = preamble_symbols();
+        let noise: Vec<Complex> = (0..300).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+        assert!(acquire(&noise, &pre, 0.6, 4).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! The paper's system constants (Section 2.3), converted once to SI.
+//!
+//! > "In the formulas, Pct = 48.64 mw, Pcr = 62.5 mw, Psyn = 50 mw,
+//! > Gd = G1·d^κ·Ml (G1 = 10 mw, κ = 3.5, Ml = 40 dB),
+//! > α = 3(√(2^b)−1)/(0.35(√(2^b)+1)), Nf = 10 dB, Ttr = 5 µs,
+//! > σ² = −174 dBm/Hz, GtGr = 5 dBi, λ = 0.1199. They are the system
+//! > constants."  — paper, Section 2.3
+//!
+//! plus `N0 = −171 dBm/Hz` from equations (5)–(6).
+
+use comimo_math::db::{db_to_lin, dbi_to_lin, dbm_per_hz_to_watts_per_hz, milliwatts_to_watts};
+use serde::{Deserialize, Serialize};
+
+/// Every constant of the paper's energy model, in SI units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConstants {
+    /// Transmitter circuit power `Pct` (W). Paper: 48.64 mW.
+    pub p_ct: f64,
+    /// Receiver circuit power `Pcr` (W). Paper: 62.5 mW.
+    pub p_cr: f64,
+    /// Synchronisation circuit power `Psyn` (W). Paper: 50 mW.
+    pub p_syn: f64,
+    /// κ-law reference gain `G1` at 1 m (linear). Paper: "10 mw" → 0.01.
+    pub g1: f64,
+    /// Local path-loss exponent `κ`. Paper: 3.5.
+    pub kappa: f64,
+    /// Link margin `Ml` (linear). Paper: 40 dB.
+    pub link_margin: f64,
+    /// Receiver noise figure `Nf` (linear). Paper: 10 dB.
+    pub noise_figure: f64,
+    /// Transceiver transient (start-up) time `Ttr` (s). Paper: 5 µs.
+    pub t_tr: f64,
+    /// Thermal noise PSD `σ²` (W/Hz ≡ J). Paper: −174 dBm/Hz.
+    pub sigma2: f64,
+    /// Antenna gain product `GtGr` (linear). Paper: 5 dBi.
+    pub gt_gr: f64,
+    /// Carrier wavelength `λ` (m). Paper: 0.1199 (≈ 2.5 GHz).
+    pub lambda_m: f64,
+    /// Noise PSD `N0` in the `γ_b` definition (W/Hz ≡ J).
+    /// Paper: −171 dBm/Hz (σ² degraded by ~3 dB of front-end loss).
+    pub n0: f64,
+}
+
+impl SystemConstants {
+    /// The exact constants of the paper's Section 2.3.
+    pub fn paper() -> Self {
+        Self {
+            p_ct: milliwatts_to_watts(48.64),
+            p_cr: milliwatts_to_watts(62.5),
+            p_syn: milliwatts_to_watts(50.0),
+            g1: milliwatts_to_watts(10.0),
+            kappa: 3.5,
+            link_margin: db_to_lin(40.0),
+            noise_figure: db_to_lin(10.0),
+            t_tr: 5e-6,
+            sigma2: dbm_per_hz_to_watts_per_hz(-174.0),
+            gt_gr: dbi_to_lin(5.0),
+            lambda_m: 0.1199,
+            n0: dbm_per_hz_to_watts_per_hz(-171.0),
+        }
+    }
+
+    /// Peak-to-average ratio term
+    /// `α(b) = 3(√(2^b) − 1) / (0.35(√(2^b) + 1))`
+    /// (the paper's drain-efficiency model for an M-QAM power amplifier;
+    /// `ξ/η − 1` in \[12\] with η = 0.35).
+    pub fn alpha(b: u32) -> f64 {
+        assert!(b >= 1, "constellation size must be at least 1 bit");
+        let root_m = 2f64.powf(b as f64 / 2.0);
+        3.0 * (root_m - 1.0) / (0.35 * (root_m + 1.0))
+    }
+
+    /// The κ-law attenuation `G_d = G1·d^κ·Ml` at cluster diameter `d`
+    /// metres (clamped to the 1 m reference below 1 m).
+    pub fn g_d(&self, d_m: f64) -> f64 {
+        assert!(d_m >= 0.0);
+        self.g1 * d_m.max(1.0).powf(self.kappa) * self.link_margin
+    }
+
+    /// The long-haul square-law factor `(4πD)² / (GtGr·λ²) · Ml · Nf`
+    /// at link length `d_m` metres.
+    pub fn long_haul_loss(&self, d_m: f64) -> f64 {
+        assert!(d_m >= 0.0);
+        let four_pi_d = 4.0 * std::f64::consts::PI * d_m.max(1.0);
+        four_pi_d * four_pi_d / (self.gt_gr * self.lambda_m * self.lambda_m)
+            * self.link_margin
+            * self.noise_figure
+    }
+
+    /// Coefficient `c` with `long_haul_loss(D) = c·D²` (for `D ≥ 1 m`) —
+    /// used to invert energy budgets into distances (paper Section 3).
+    pub fn long_haul_coefficient(&self) -> f64 {
+        let four_pi = 4.0 * std::f64::consts::PI;
+        four_pi * four_pi / (self.gt_gr * self.lambda_m * self.lambda_m)
+            * self.link_margin
+            * self.noise_figure
+    }
+}
+
+impl Default for SystemConstants {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_in_si() {
+        let c = SystemConstants::paper();
+        assert!((c.p_ct - 0.04864).abs() < 1e-12);
+        assert!((c.p_cr - 0.0625).abs() < 1e-12);
+        assert!((c.p_syn - 0.05).abs() < 1e-12);
+        assert!((c.g1 - 0.01).abs() < 1e-12);
+        assert!((c.link_margin - 1e4).abs() < 1e-6);
+        assert!((c.noise_figure - 10.0).abs() < 1e-9);
+        assert!((c.sigma2 - 3.9811e-21).abs() / 3.98e-21 < 1e-3);
+        assert!((c.n0 - 7.9433e-21).abs() / 7.94e-21 < 1e-3);
+        assert!((c.gt_gr - 3.1623).abs() < 1e-3);
+    }
+
+    #[test]
+    fn alpha_anchors() {
+        // b = 2: sqrt(M) = 2 → 3(1)/(0.35·3) = 2.857…
+        assert!((SystemConstants::alpha(2) - 3.0 / 1.05).abs() < 1e-12);
+        // alpha grows with b (denser constellations need more back-off)
+        let mut prev = SystemConstants::alpha(1);
+        for b in 2..=16 {
+            let a = SystemConstants::alpha(b);
+            assert!(a > prev);
+            prev = a;
+        }
+        // asymptote: 3/0.35 ≈ 8.571
+        assert!(SystemConstants::alpha(16) < 3.0 / 0.35);
+    }
+
+    #[test]
+    fn g_d_scaling() {
+        let c = SystemConstants::paper();
+        // at 1 m: G1 * Ml = 0.01 * 1e4 = 100
+        assert!((c.g_d(1.0) - 100.0).abs() < 1e-9);
+        // κ = 3.5 slope
+        assert!((c.g_d(4.0) / c.g_d(2.0) - 2f64.powf(3.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_haul_matches_channel_crate() {
+        use comimo_channel::pathloss::{PathLoss, SquareLawLongHaul};
+        let c = SystemConstants::paper();
+        let pl = SquareLawLongHaul::paper_defaults();
+        for &d in &[1.0, 10.0, 150.0, 350.0] {
+            let a = c.long_haul_loss(d);
+            let b = pl.loss_factor(d);
+            assert!((a - b).abs() / b < 1e-12, "mismatch at {d} m");
+        }
+    }
+
+    #[test]
+    fn coefficient_consistency() {
+        let c = SystemConstants::paper();
+        let d = 123.0;
+        assert!((c.long_haul_coefficient() * d * d - c.long_haul_loss(d)).abs()
+            / c.long_haul_loss(d)
+            < 1e-12);
+    }
+}

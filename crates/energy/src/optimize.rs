@@ -1,0 +1,151 @@
+//! Constellation-size optimisation.
+//!
+//! Both of the paper's Algorithms 1 and 2 include the per-link rule
+//! "according to p, mt and mr, SU nodes use the table of ē_b to determine
+//! constellation size b which minimizes ē_b", and Section 6.1 sweeps
+//! "constellation size b from 1 to 16" to minimise the *total* link energy.
+//! This module provides both: the exhaustive argmin (reference) and a
+//! golden-section variant over the convex envelope (ablation, DESIGN.md §5).
+
+use crate::model::{EnergyModel, LinkParams};
+
+/// The outcome of a constellation optimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalChoice {
+    /// Chosen constellation size (bits/symbol).
+    pub b: u32,
+    /// The minimised objective (J/bit).
+    pub energy: f64,
+}
+
+/// Exhaustively minimises `objective(b)` over `b ∈ lo..=hi`.
+///
+/// `objective` may return non-finite values for infeasible `b` (they are
+/// skipped); panics if every candidate is infeasible.
+pub fn minimize_over_b(lo: u32, hi: u32, mut objective: impl FnMut(u32) -> f64) -> OptimalChoice {
+    assert!(lo >= 1 && hi >= lo, "invalid b range {lo}..={hi}");
+    let mut best: Option<OptimalChoice> = None;
+    for b in lo..=hi {
+        let e = objective(b);
+        if !e.is_finite() {
+            continue;
+        }
+        if best.map_or(true, |c| e < c.energy) {
+            best = Some(OptimalChoice { b, energy: e });
+        }
+    }
+    best.expect("no feasible constellation size in range")
+}
+
+/// Golden-section variant (ablation): treats `b` as continuous on
+/// `[lo, hi]`, minimises, then evaluates the two bracketing integers.
+/// Valid when the objective is unimodal in `b` — true for the paper's
+/// energy curves (circuit energy falls with `b`, PA energy rises).
+pub fn minimize_over_b_golden(
+    lo: u32,
+    hi: u32,
+    mut objective: impl FnMut(u32) -> f64,
+) -> OptimalChoice {
+    assert!(lo >= 1 && hi > lo);
+    let (x, _) = comimo_math::roots::golden_section_min(
+        |b| {
+            let bi = b.round().clamp(lo as f64, hi as f64) as u32;
+            objective(bi)
+        },
+        lo as f64,
+        hi as f64,
+        0.49,
+    );
+    let c1 = x.floor().clamp(lo as f64, hi as f64) as u32;
+    let c2 = x.ceil().clamp(lo as f64, hi as f64) as u32;
+    let e1 = objective(c1);
+    let e2 = objective(c2);
+    if e1 <= e2 {
+        OptimalChoice { b: c1, energy: e1 }
+    } else {
+        OptimalChoice { b: c2, energy: e2 }
+    }
+}
+
+/// Minimises the per-node long-haul transmit energy `e^MIMOt` over
+/// `b ∈ 1..=16` for a link of `mt × mr` nodes across `d_m` metres at
+/// target BER `ber` (paper's per-link optimisation).
+pub fn optimal_constellation(
+    model: &EnergyModel,
+    ber: f64,
+    bandwidth_hz: f64,
+    block_bits: f64,
+    mt: usize,
+    mr: usize,
+    d_m: f64,
+) -> OptimalChoice {
+    minimize_over_b(1, 16, |b| {
+        let p = LinkParams::new(ber, b, bandwidth_hz, block_bits);
+        model.e_mimot(&p, mt, mr, d_m)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_finds_global_min() {
+        // a V-shaped objective with minimum at b = 7
+        let c = minimize_over_b(1, 16, |b| ((b as f64) - 7.0).abs() + 1.0);
+        assert_eq!(c.b, 7);
+        assert!((c.energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhaustive_skips_infeasible() {
+        let c = minimize_over_b(1, 16, |b| if b < 4 { f64::NAN } else { b as f64 });
+        assert_eq!(c.b, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_infeasible_panics() {
+        let _ = minimize_over_b(1, 4, |_| f64::INFINITY);
+    }
+
+    #[test]
+    fn golden_matches_exhaustive_on_unimodal() {
+        let obj = |b: u32| ((b as f64) - 5.3).powi(2) + 2.0;
+        let ex = minimize_over_b(1, 16, obj);
+        let go = minimize_over_b_golden(1, 16, obj);
+        assert_eq!(ex.b, go.b);
+    }
+
+    #[test]
+    fn optimal_constellation_balances_circuit_and_pa() {
+        let model = EnergyModel::paper();
+        // short link: PA cheap → higher b (less circuit time) wins;
+        // long link: PA dominates → smaller b wins
+        let short = optimal_constellation(&model, 1e-3, 10_000.0, 1e4, 1, 1, 5.0);
+        let long = optimal_constellation(&model, 1e-3, 10_000.0, 1e4, 1, 1, 2_000.0);
+        assert!(
+            short.b >= long.b,
+            "short-link b {} should be >= long-link b {}",
+            short.b,
+            long.b
+        );
+        assert!(short.energy > 0.0 && long.energy > 0.0);
+    }
+
+    #[test]
+    fn chosen_b_beats_neighbours() {
+        let model = EnergyModel::paper();
+        let c = optimal_constellation(&model, 5e-3, 40_000.0, 1e4, 2, 1, 250.0);
+        let obj = |b: u32| {
+            let p = LinkParams::new(5e-3, b, 40_000.0, 1e4);
+            model.e_mimot(&p, 2, 1, 250.0)
+        };
+        if c.b > 1 {
+            assert!(obj(c.b - 1) >= c.energy);
+        }
+        if c.b < 16 {
+            assert!(obj(c.b + 1) >= c.energy);
+        }
+    }
+}

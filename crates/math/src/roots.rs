@@ -1,0 +1,285 @@
+//! Scalar root finding and 1-D minimisation.
+//!
+//! `comimo-energy` inverts the strictly monotone map `ē_b ↦ BER(ē_b)` with
+//! [`bisect_monotone_decreasing`] / [`brent`], and the constellation optimiser uses
+//! [`golden_section_min`] as the ablation alternative to exhaustive search
+//! over `b ∈ 1..=16` (DESIGN.md §5).
+
+/// Outcome of a root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Abscissa of the root.
+    pub x: f64,
+    /// Residual `f(x)` at the returned abscissa.
+    pub residual: f64,
+    /// Number of function evaluations consumed.
+    pub evals: usize,
+}
+
+/// Error raised when a bracket does not straddle a sign change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoBracket;
+
+impl std::fmt::Display for NoBracket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "root bracket does not straddle a sign change")
+    }
+}
+
+impl std::error::Error for NoBracket {}
+
+/// Plain bisection on `[a, b]` requiring `f(a)·f(b) ≤ 0`.
+///
+/// Converges unconditionally; stops when the bracket width falls below
+/// `xtol` or `f` hits exactly zero.
+pub fn bisect(
+    f: impl Fn(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    xtol: f64,
+) -> Result<Root, NoBracket> {
+    assert!(b > a, "bisect needs an ordered bracket");
+    assert!(xtol > 0.0);
+    let mut fa = f(a);
+    let fb = f(b);
+    let mut evals = 2;
+    if fa == 0.0 {
+        return Ok(Root { x: a, residual: 0.0, evals });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, residual: 0.0, evals });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NoBracket);
+    }
+    while b - a > xtol {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        evals += 1;
+        if fm == 0.0 {
+            return Ok(Root { x: m, residual: 0.0, evals });
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    let x = 0.5 * (a + b);
+    let residual = f(x);
+    Ok(Root { x, residual, evals: evals + 1 })
+}
+
+/// Bisection specialised to a *strictly decreasing* `f` with target level
+/// `target`, searching `x` with `f(x) = target` by expanding an initial
+/// guess geometrically until a bracket is found (log-scale expansion, so it
+/// works across the ~20 orders of magnitude spanned by `ē_b` in joules).
+///
+/// Returns `None` if no bracket is found within `max_expand` doublings.
+pub fn bisect_monotone_decreasing(
+    f: impl Fn(f64) -> f64,
+    target: f64,
+    x0: f64,
+    rel_xtol: f64,
+    max_expand: usize,
+) -> Option<Root> {
+    assert!(x0 > 0.0, "initial guess must be positive");
+    assert!(rel_xtol > 0.0);
+    let g = |x: f64| f(x) - target;
+    let mut lo = x0;
+    let mut hi = x0;
+    let mut evals = 0;
+    // expand downward until g(lo) > 0 (f above target at small x)
+    let mut glo = g(lo);
+    evals += 1;
+    let mut n = 0;
+    while glo <= 0.0 {
+        if n >= max_expand {
+            return None;
+        }
+        lo /= 8.0;
+        glo = g(lo);
+        evals += 1;
+        n += 1;
+    }
+    // expand upward until g(hi) < 0
+    let mut ghi = g(hi);
+    evals += 1;
+    n = 0;
+    while ghi >= 0.0 {
+        if n >= max_expand {
+            return None;
+        }
+        hi *= 8.0;
+        ghi = g(hi);
+        evals += 1;
+        n += 1;
+    }
+    // bisect in log space for relative precision
+    let mut llo = lo.ln();
+    let mut lhi = hi.ln();
+    while lhi - llo > rel_xtol {
+        let lm = 0.5 * (llo + lhi);
+        let gm = g(lm.exp());
+        evals += 1;
+        if gm > 0.0 {
+            llo = lm;
+        } else {
+            lhi = lm;
+        }
+    }
+    let x = (0.5 * (llo + lhi)).exp();
+    let residual = g(x);
+    Some(Root { x, residual, evals: evals + 1 })
+}
+
+/// Brent's method on `[a, b]` requiring a sign change. Faster than bisection
+/// for smooth `f`; falls back to bisection steps internally when the
+/// inverse-quadratic step misbehaves.
+pub fn brent(
+    f: impl Fn(f64) -> f64,
+    a0: f64,
+    b0: f64,
+    xtol: f64,
+    max_iter: usize,
+) -> Result<Root, NoBracket> {
+    let mut a = a0;
+    let mut b = b0;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    let mut evals = 2;
+    if fa == 0.0 {
+        return Ok(Root { x: a, residual: 0.0, evals });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, residual: 0.0, evals });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NoBracket);
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = c;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < xtol {
+            break;
+        }
+        let mut s = if fa != fc && fb != fc {
+            // inverse quadratic interpolation
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // secant
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond = !((lo.min(b) < s && s < lo.max(b))
+            && !(mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            && !(!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            && !(mflag && (b - c).abs() < xtol)
+            && !(!mflag && (c - d).abs() < xtol));
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        evals += 1;
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Ok(Root { x: b, residual: fb, evals })
+}
+
+/// Golden-section minimisation of a unimodal `f` on `[a, b]`.
+pub fn golden_section_min(mut f: impl FnMut(f64) -> f64, mut a: f64, mut b: f64, xtol: f64) -> (f64, f64) {
+    assert!(b > a && xtol > 0.0);
+    let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > xtol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert_eq!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-6), Err(NoBracket));
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.exp() - 5.0;
+        let rb = bisect(f, 0.0, 10.0, 1e-13).unwrap();
+        let rn = brent(f, 0.0, 10.0, 1e-13, 200).unwrap();
+        assert!((rb.x - 5f64.ln()).abs() < 1e-10);
+        assert!((rn.x - 5f64.ln()).abs() < 1e-10);
+        assert!(rn.evals <= rb.evals, "brent used {} evals, bisect {}", rn.evals, rb.evals);
+    }
+
+    #[test]
+    fn monotone_solver_spans_magnitudes() {
+        // f(x) = 1/x is strictly decreasing; solve 1/x = 1e-18 from seed 1.0
+        let r = bisect_monotone_decreasing(|x| 1.0 / x, 1e-18, 1.0, 1e-12, 60).unwrap();
+        assert!((r.x - 1e18).abs() / 1e18 < 1e-9, "x = {}", r.x);
+    }
+
+    #[test]
+    fn monotone_solver_fails_gracefully() {
+        // constant function can never bracket
+        assert!(bisect_monotone_decreasing(|_| 0.5, 0.25, 1.0, 1e-9, 4).is_none());
+    }
+
+    #[test]
+    fn golden_section_parabola() {
+        let (x, fx) = golden_section_min(|x| (x - 3.25).powi(2) + 1.0, -10.0, 10.0, 1e-10);
+        assert!((x - 3.25).abs() < 1e-7);
+        assert!((fx - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,273 @@
+//! Descriptive statistics for experiment reporting.
+//!
+//! The paper reports averages over repeated runs (Tables 1–4 all carry an
+//! "Average" row or a 10-trial mean); [`RunningStats`] provides numerically
+//! stable accumulation and [`Histogram`] supports the testbed's BER/PER
+//! distribution sanity checks.
+
+/// Welford-style online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`n` in the denominator; 0 if fewer than 2 items).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (`n-1` denominator; 0 if fewer than 2 items).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sample_variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Computes the `q`-quantile (`0 ≤ q ≤ 1`) of a sample using linear
+/// interpolation between order statistics. Sorts a copy; fine for
+/// experiment-sized data.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Arithmetic mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with saturation buckets at the ends.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Records one observation (clamped into the edge buckets).
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64)
+            .floor()
+            .clamp(0.0, (bins - 1) as f64) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of mass in bucket `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Centre abscissa of bucket `i`.
+    pub fn bucket_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_known_sample() {
+        let mut st = RunningStats::new();
+        st.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(st.count(), 8);
+        assert!((st.mean() - 5.0).abs() < 1e-12);
+        assert!((st.variance() - 4.0).abs() < 1e-12);
+        assert!((st.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(st.min(), 2.0);
+        assert_eq!(st.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        whole.extend(data.iter().copied());
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        a.extend(data[..300].iter().copied());
+        b.extend(data[300..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-5.0); // clamps to first
+        h.push(50.0); // clamps to last
+        assert_eq!(h.total(), 12);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        assert!((h.bucket_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.fraction(5) - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stderr_shrinks_with_n() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        small.extend((0..10).map(|i| i as f64));
+        large.extend((0..1000).map(|i| (i % 10) as f64));
+        assert!(large.stderr() < small.stderr());
+    }
+}

@@ -1,0 +1,43 @@
+//! # comimo-net
+//!
+//! The **CoMIMONet** substrate of the paper's Section 2.1 (detailed in its
+//! reference \[9\], Chen–Miao–Hong): a network of single-antenna secondary
+//! users organised so that clusters act as virtual MIMO terminals.
+//!
+//! * `G = (V, E)`: SU nodes with an edge when within communication range
+//!   `r` — [`graph::SuGraph`];
+//! * **d-clustering**: a node-disjoint division where any two nodes of a
+//!   cluster are within `d ≤ r` of each other — [`cluster`];
+//! * **head nodes**: one per cluster, battery-aware election, holding the
+//!   member roster — [`cluster::Cluster`];
+//! * `G_MIMO`: the cluster graph with a `D`-`mt × mr` cooperative MIMO link
+//!   between clusters whose largest pairwise node distance is at most `D`
+//!   — [`comimonet::CoMimoNet`];
+//! * a **spanning-tree routing backbone** over the head nodes, used for
+//!   multi-hop data relay, with reconfiguration on node failure —
+//!   [`comimonet`];
+//! * **CSMA/CA** at the link layer, simulated on the `comimo-sim`
+//!   discrete-event engine — [`mac`];
+//! * route-level energy accounting with the `comimo-energy` model —
+//!   [`comimonet::CoMimoNet::route_energy_per_bit`];
+//! * minimum-energy routing over the full cluster graph (Dijkstra), for
+//!   comparison against the backbone policy — [`routing`];
+//! * network-lifetime simulation with battery drain and reconfiguration
+//!   — [`lifetime`].
+
+pub mod cluster;
+pub mod comimonet;
+pub mod graph;
+pub mod lifetime;
+pub mod mac;
+pub mod mobility;
+pub mod node;
+pub mod routing;
+
+pub use cluster::{d_clustering, Cluster};
+pub use comimonet::CoMimoNet;
+pub use graph::SuGraph;
+pub use lifetime::{run_lifetime, LifetimeConfig, LifetimeResult};
+pub use mobility::{MobileNetwork, RandomWaypoint, WaypointConfig};
+pub use node::SuNode;
+pub use routing::{min_energy_route, EnergyRoute};

@@ -1,0 +1,315 @@
+//! Node mobility: the random-waypoint model driving reconfiguration.
+//!
+//! "The clusters and the routing backbone are reconfigurable" (paper,
+//! Section 2.1) — reconfiguration exists because secondary users *move*.
+//! This module provides the standard random-waypoint process (pick a
+//! uniform destination, travel at a uniform speed, pause, repeat) and a
+//! [`MobileNetwork`] wrapper that advances node positions and rebuilds
+//! the CoMIMONet on a maintenance cadence, reporting how much of the
+//! structure each rebuild actually changed.
+
+use crate::cluster::SeedOrder;
+use crate::comimonet::CoMimoNet;
+use crate::graph::SuGraph;
+use comimo_channel::geometry::Point;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Random-waypoint parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaypointConfig {
+    /// Field width (m).
+    pub width: f64,
+    /// Field height (m).
+    pub height: f64,
+    /// Speed range (m/s), sampled uniformly per leg.
+    pub speed_min: f64,
+    /// Upper speed bound (m/s).
+    pub speed_max: f64,
+    /// Pause at each waypoint (s).
+    pub pause_s: f64,
+}
+
+impl WaypointConfig {
+    /// Pedestrian-speed defaults on a 400 m field.
+    pub fn pedestrian(width: f64, height: f64) -> Self {
+        Self { width, height, speed_min: 0.5, speed_max: 2.0, pause_s: 5.0 }
+    }
+}
+
+/// One node's motion state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Leg {
+    target: Point,
+    speed: f64,
+    pause_left: f64,
+}
+
+/// The random-waypoint process over a node population.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    cfg: WaypointConfig,
+    legs: Vec<Leg>,
+}
+
+impl RandomWaypoint {
+    /// Initialises one leg per node.
+    pub fn new(rng: &mut impl Rng, cfg: WaypointConfig, positions: &[Point]) -> Self {
+        assert!(cfg.width > 0.0 && cfg.height > 0.0);
+        assert!(cfg.speed_max >= cfg.speed_min && cfg.speed_min > 0.0);
+        assert!(cfg.pause_s >= 0.0);
+        let legs = positions.iter().map(|_| Self::fresh_leg(rng, &cfg)).collect();
+        Self { cfg, legs }
+    }
+
+    fn fresh_leg(rng: &mut impl Rng, cfg: &WaypointConfig) -> Leg {
+        Leg {
+            target: Point::new(rng.gen_range(0.0..cfg.width), rng.gen_range(0.0..cfg.height)),
+            speed: rng.gen_range(cfg.speed_min..=cfg.speed_max),
+            pause_left: 0.0,
+        }
+    }
+
+    /// Advances every position by `dt` seconds in place.
+    pub fn step(&mut self, rng: &mut impl Rng, positions: &mut [Point], dt: f64) {
+        assert_eq!(positions.len(), self.legs.len());
+        assert!(dt > 0.0);
+        for (pos, leg) in positions.iter_mut().zip(&mut self.legs) {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                if leg.pause_left > 0.0 {
+                    let t = leg.pause_left.min(remaining);
+                    leg.pause_left -= t;
+                    remaining -= t;
+                    continue;
+                }
+                let to_target = leg.target - *pos;
+                let dist = to_target.norm();
+                let travel = leg.speed * remaining;
+                if travel >= dist {
+                    // arrive, pause, pick a new leg
+                    *pos = leg.target;
+                    remaining -= dist / leg.speed;
+                    leg.pause_left = self.cfg.pause_s;
+                    *leg = Leg {
+                        pause_left: self.cfg.pause_s,
+                        ..Self::fresh_leg(rng, &self.cfg)
+                    };
+                } else {
+                    *pos = *pos + to_target.normalized() * travel;
+                    remaining = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Structural change between two consecutive reconfigurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigDelta {
+    /// Nodes whose cluster membership changed (handoffs).
+    pub handoffs: usize,
+    /// Cluster count before/after.
+    pub clusters_before: usize,
+    /// Cluster count after the rebuild.
+    pub clusters_after: usize,
+}
+
+/// A CoMIMONet whose nodes move, periodically rebuilt.
+pub struct MobileNetwork {
+    net: CoMimoNet,
+    mobility: RandomWaypoint,
+    d: f64,
+    max_cluster: usize,
+    order: SeedOrder,
+    long_range: f64,
+}
+
+impl MobileNetwork {
+    /// Wraps a network with a mobility process.
+    pub fn new(
+        rng: &mut impl Rng,
+        net: CoMimoNet,
+        waypoints: WaypointConfig,
+        d: f64,
+        max_cluster: usize,
+        order: SeedOrder,
+        long_range: f64,
+    ) -> Self {
+        let positions: Vec<Point> = net.graph().nodes().iter().map(|n| n.pos).collect();
+        let mobility = RandomWaypoint::new(rng, waypoints, &positions);
+        Self { net, mobility, d, max_cluster, order, long_range }
+    }
+
+    /// The current network.
+    pub fn net(&self) -> &CoMimoNet {
+        &self.net
+    }
+
+    /// Advances time by `dt` seconds and rebuilds the clustering/backbone,
+    /// returning the structural delta.
+    pub fn advance_and_reconfigure(&mut self, rng: &mut impl Rng, dt: f64) -> ReconfigDelta {
+        let before: Vec<Option<usize>> = (0..self.net.graph().len())
+            .map(|i| self.net.cluster_of(i))
+            .collect();
+        let clusters_before = self.net.clusters().len();
+        // move
+        let mut nodes = self.net.graph().nodes().to_vec();
+        let mut positions: Vec<Point> = nodes.iter().map(|n| n.pos).collect();
+        self.mobility.step(rng, &mut positions, dt);
+        for (n, p) in nodes.iter_mut().zip(&positions) {
+            n.pos = *p;
+        }
+        // rebuild
+        let range = self.net.graph().range();
+        let graph = SuGraph::build(nodes, range);
+        self.net = CoMimoNet::build(graph, self.d, self.max_cluster, self.order, self.long_range);
+        // measure handoffs: membership sets differ (cluster indices are
+        // not stable across rebuilds, so compare by co-membership of each
+        // node with its previous head)
+        let mut handoffs = 0;
+        for i in 0..self.net.graph().len() {
+            let now = self.net.cluster_of(i);
+            match (before[i], now) {
+                (Some(_), Some(c_now)) => {
+                    // the node "handed off" if its previous co-members no
+                    // longer share its cluster in the majority
+                    let prev_members: Vec<usize> = (0..before.len())
+                        .filter(|&j| before[j] == before[i] && j != i)
+                        .collect();
+                    if prev_members.is_empty() {
+                        continue;
+                    }
+                    let still = prev_members
+                        .iter()
+                        .filter(|&&j| self.net.cluster_of(j) == Some(c_now))
+                        .count();
+                    if still * 2 < prev_members.len() {
+                        handoffs += 1;
+                    }
+                }
+                _ => handoffs += 1,
+            }
+        }
+        ReconfigDelta {
+            handoffs,
+            clusters_before,
+            clusters_after: self.net.clusters().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::random_deployment;
+    use comimo_math::rng::seeded;
+
+    fn field() -> WaypointConfig {
+        WaypointConfig::pedestrian(400.0, 400.0)
+    }
+
+    #[test]
+    fn waypoint_stays_in_field() {
+        let mut rng = seeded(51);
+        let mut positions: Vec<Point> =
+            (0..30).map(|i| Point::new(i as f64 * 10.0, 200.0)).collect();
+        let mut rw = RandomWaypoint::new(&mut rng, field(), &positions);
+        for _ in 0..200 {
+            rw.step(&mut rng, &mut positions, 1.0);
+        }
+        for p in &positions {
+            assert!(p.x >= 0.0 && p.x <= 400.0 && p.y >= 0.0 && p.y <= 400.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn nodes_actually_move() {
+        let mut rng = seeded(52);
+        let start: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        let mut positions = start.clone();
+        let mut rw = RandomWaypoint::new(&mut rng, field(), &positions);
+        rw.step(&mut rng, &mut positions, 30.0);
+        let moved = positions
+            .iter()
+            .zip(&start)
+            .filter(|(a, b)| a.distance(**b) > 1.0)
+            .count();
+        assert!(moved >= 8, "only {moved} nodes moved");
+    }
+
+    #[test]
+    fn speed_bounds_respected() {
+        let mut rng = seeded(53);
+        let start: Vec<Point> = (0..20).map(|_| Point::new(200.0, 200.0)).collect();
+        let mut positions = start.clone();
+        let mut rw = RandomWaypoint::new(&mut rng, field(), &positions);
+        let dt = 3.0;
+        rw.step(&mut rng, &mut positions, dt);
+        for (a, b) in positions.iter().zip(&start) {
+            // at most speed_max * dt (pauses only slow things down)
+            assert!(a.distance(*b) <= 2.0 * dt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pauses_hold_position() {
+        let mut rng = seeded(54);
+        let cfg = WaypointConfig { pause_s: 1e6, speed_min: 100.0, speed_max: 101.0, ..field() };
+        let mut positions = vec![Point::new(200.0, 200.0); 5];
+        let mut rw = RandomWaypoint::new(&mut rng, cfg, &positions);
+        // first leg travels to the waypoint quickly, then the huge pause
+        // pins every node
+        rw.step(&mut rng, &mut positions, 10.0);
+        let frozen = positions.clone();
+        rw.step(&mut rng, &mut positions, 100.0);
+        for (a, b) in positions.iter().zip(&frozen) {
+            assert!(a.distance(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mobile_network_reconfigures_validly() {
+        let mut rng = seeded(55);
+        let nodes = random_deployment(&mut rng, 40, 400.0, 400.0, 10.0);
+        let graph = SuGraph::build(nodes, 80.0);
+        let net = CoMimoNet::build(graph, 40.0, 4, SeedOrder::DegreeGreedy, 600.0);
+        let mut mob = MobileNetwork::new(
+            &mut rng,
+            net,
+            field(),
+            40.0,
+            4,
+            SeedOrder::DegreeGreedy,
+            600.0,
+        );
+        let mut total_handoffs = 0;
+        for _ in 0..10 {
+            let delta = mob.advance_and_reconfigure(&mut rng, 30.0);
+            total_handoffs += delta.handoffs;
+            crate::cluster::validate_clustering(mob.net().graph(), mob.net().clusters(), 40.0)
+                .expect("valid clustering after mobility");
+        }
+        // half a minute at pedestrian speed shuffles some memberships
+        assert!(total_handoffs > 0, "no handoffs over 5 simulated minutes");
+    }
+
+    #[test]
+    fn static_interval_changes_little() {
+        let mut rng = seeded(56);
+        let nodes = random_deployment(&mut rng, 40, 400.0, 400.0, 10.0);
+        let graph = SuGraph::build(nodes, 80.0);
+        let net = CoMimoNet::build(graph, 40.0, 4, SeedOrder::DegreeGreedy, 600.0);
+        let cfg = WaypointConfig { speed_min: 0.01, speed_max: 0.02, ..field() };
+        let mut mob =
+            MobileNetwork::new(&mut rng, net, cfg, 40.0, 4, SeedOrder::DegreeGreedy, 600.0);
+        let delta = mob.advance_and_reconfigure(&mut rng, 1.0);
+        // nearly static nodes: the rebuild must be near-identical
+        assert!(
+            delta.handoffs <= 2,
+            "{} handoffs despite ~1 cm of motion",
+            delta.handoffs
+        );
+        assert_eq!(delta.clusters_before, delta.clusters_after);
+    }
+}

@@ -1,0 +1,243 @@
+//! Event queue: the heart of the discrete-event engine.
+//!
+//! Events are generic payloads scheduled at absolute times; same-instant
+//! events pop in schedule (FIFO) order, which makes every simulation in
+//! this workspace deterministic. Cancellation is lazy (a tombstone set), so
+//! it is O(log n) amortised.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle identifying a scheduled event (for cancellation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// A deterministic event queue carrying payloads of type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    now: SimTime,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// A fresh queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a payload at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        EventId(seq)
+    }
+
+    /// Schedules a payload `delay` after now.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op (returns `false`).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pops the next live event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs the simulation loop: pops events and feeds them to `handler`
+    /// (which may schedule more) until the queue drains, `handler` returns
+    /// `false`, or `max_events` fire. Returns the number of events handled.
+    pub fn run(
+        &mut self,
+        max_events: usize,
+        mut handler: impl FnMut(&mut Self, SimTime, E) -> bool,
+    ) -> usize {
+        let mut handled = 0;
+        while handled < max_events {
+            let Some((t, e)) = self.pop() else { break };
+            handled += 1;
+            if !handler(self, t, e) {
+                break;
+            }
+        }
+        handled
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), "c");
+        q.schedule_at(SimTime::from_nanos(10), "a");
+        q.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(1);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<i32> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(5), 2);
+    }
+
+    #[test]
+    fn run_loop_reschedules() {
+        // a self-perpetuating tick that stops after 5 firings
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(1), ());
+        let mut fired = 0;
+        let handled = q.run(100, |q, t, ()| {
+            fired += 1;
+            if fired < 5 {
+                q.schedule_at(t + SimTime::from_nanos(10), ());
+            }
+            true
+        });
+        assert_eq!(handled, 5);
+        assert_eq!(q.now(), SimTime::from_nanos(41));
+    }
+
+    #[test]
+    fn run_respects_event_budget() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(1), ());
+        let handled = q.run(3, |q, t, ()| {
+            q.schedule_at(t + SimTime::from_nanos(1), ());
+            true
+        });
+        assert_eq!(handled, 3);
+        assert_eq!(q.len(), 1, "the never-fired reschedule remains");
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_nanos(5), 1);
+        q.schedule_at(SimTime::from_nanos(9), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
+    }
+}

@@ -1,0 +1,248 @@
+//! A shared broadcast medium with carrier sensing and collision detection.
+//!
+//! Connectivity is an arbitrary symmetric adjacency relation supplied at
+//! construction (computed by `comimo-net` from node positions and the
+//! communication range `r` of the paper's Section 2.1). Semantics:
+//!
+//! * **carrier sense** — a node senses the channel busy iff some active
+//!   transmission's source is adjacent to it (or is itself);
+//! * **collision** — a receiver that hears two time-overlapping
+//!   transmissions decodes neither (the CSMA/CA layer's ACK timeout then
+//!   triggers a retry).
+
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// Handle for an in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(u64);
+
+/// Outcome of a finished transmission, per audible neighbour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxOutcome {
+    /// Neighbours that decoded the frame cleanly.
+    pub delivered_to: Vec<usize>,
+    /// Neighbours that heard a collision instead.
+    pub collided_at: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveTx {
+    src: usize,
+    end: SimTime,
+    /// Receivers at which this transmission has been clobbered by another.
+    collided: Vec<usize>,
+}
+
+/// The shared medium.
+#[derive(Debug)]
+pub struct Medium {
+    /// `adjacency[i]` lists the nodes that hear node `i` (symmetric).
+    adjacency: Vec<Vec<usize>>,
+    active: HashMap<u64, ActiveTx>,
+    next_id: u64,
+}
+
+impl Medium {
+    /// Builds a medium over an adjacency relation. The relation must be
+    /// symmetric; this is asserted.
+    pub fn new(adjacency: Vec<Vec<usize>>) -> Self {
+        let n = adjacency.len();
+        for (i, neigh) in adjacency.iter().enumerate() {
+            for &j in neigh {
+                assert!(j < n, "adjacency index out of range");
+                assert!(j != i, "self-loops are implicit");
+                assert!(
+                    adjacency[j].contains(&i),
+                    "adjacency must be symmetric ({i} hears {j} but not vice versa)"
+                );
+            }
+        }
+        Self { adjacency, active: HashMap::new(), next_id: 0 }
+    }
+
+    /// Fully connected medium over `n` nodes (single collision domain).
+    pub fn fully_connected(n: usize) -> Self {
+        let adjacency = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        Self::new(adjacency)
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbours(&self, node: usize) -> &[usize] {
+        &self.adjacency[node]
+    }
+
+    /// Drops transmissions that ended at or before `now`. (The MAC calls
+    /// [`Self::finish`] for its own frames; this handles foreign cleanup in
+    /// tests and defensive use.)
+    pub fn purge(&mut self, now: SimTime) {
+        self.active.retain(|_, tx| tx.end > now);
+    }
+
+    /// Whether `node` senses the channel busy at `now`.
+    pub fn carrier_busy(&self, node: usize, now: SimTime) -> bool {
+        self.active.values().any(|tx| {
+            tx.end > now && (tx.src == node || self.adjacency[tx.src].contains(&node))
+        })
+    }
+
+    /// Starts a transmission from `src` lasting until `end`. Any active
+    /// transmission overlapping at a common audible receiver collides with
+    /// it (both directions).
+    pub fn begin(&mut self, src: usize, now: SimTime, end: SimTime) -> TxId {
+        assert!(src < self.n_nodes());
+        assert!(end > now, "transmission must have positive duration");
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut collided = Vec::new();
+        // find mutual interference with every live transmission
+        let my_neighbours = self.adjacency[src].clone();
+        for other in self.active.values_mut() {
+            if other.end <= now {
+                continue;
+            }
+            for &rx in &my_neighbours {
+                // rx hears both src and other.src → collision at rx
+                if rx != other.src && (self.adjacency[other.src].contains(&rx)) {
+                    if !collided.contains(&rx) {
+                        collided.push(rx);
+                    }
+                    if !other.collided.contains(&rx) {
+                        other.collided.push(rx);
+                    }
+                }
+            }
+            // also: our src transmitting destroys reception of `other` at src
+            if self.adjacency[other.src].contains(&src) && !other.collided.contains(&src) {
+                other.collided.push(src);
+            }
+            // and other's source cannot hear us cleanly while it transmits
+            if my_neighbours.contains(&other.src) && !collided.contains(&other.src) {
+                collided.push(other.src);
+            }
+        }
+        self.active.insert(id, ActiveTx { src, end, collided });
+        TxId(id)
+    }
+
+    /// Finishes a transmission and reports who decoded it.
+    ///
+    /// # Panics
+    /// If the id is unknown (double finish).
+    pub fn finish(&mut self, id: TxId) -> TxOutcome {
+        let tx = self.active.remove(&id.0).expect("unknown or finished TxId");
+        let mut delivered_to = Vec::new();
+        let mut collided_at = Vec::new();
+        for &rx in &self.adjacency[tx.src] {
+            if tx.collided.contains(&rx) {
+                collided_at.push(rx);
+            } else {
+                delivered_to.push(rx);
+            }
+        }
+        TxOutcome { delivered_to, collided_at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn clean_broadcast_delivers_to_all_neighbours() {
+        let mut m = Medium::fully_connected(4);
+        let id = m.begin(0, t(0), t(100));
+        let out = m.finish(id);
+        assert_eq!(out.delivered_to, vec![1, 2, 3]);
+        assert!(out.collided_at.is_empty());
+    }
+
+    #[test]
+    fn carrier_sense_visibility() {
+        // line topology 0-1-2: node 2 cannot hear node 0
+        let m_adj = vec![vec![1], vec![0, 2], vec![1]];
+        let mut m = Medium::new(m_adj);
+        m.begin(0, t(0), t(100));
+        assert!(m.carrier_busy(0, t(10)), "transmitter senses itself");
+        assert!(m.carrier_busy(1, t(10)));
+        assert!(!m.carrier_busy(2, t(10)), "hidden from node 2");
+        m.purge(t(100));
+        assert!(!m.carrier_busy(1, t(100)), "ended transmissions are silent");
+    }
+
+    #[test]
+    fn overlapping_transmissions_collide_at_common_receiver() {
+        // hidden-terminal: 0 and 2 both transmit; 1 hears both → collision
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        let mut m = Medium::new(adj);
+        let a = m.begin(0, t(0), t(100));
+        let b = m.begin(2, t(50), t(150));
+        let oa = m.finish(a);
+        let ob = m.finish(b);
+        assert_eq!(oa.collided_at, vec![1]);
+        assert!(oa.delivered_to.is_empty());
+        assert_eq!(ob.collided_at, vec![1]);
+    }
+
+    #[test]
+    fn non_overlapping_in_time_do_not_collide() {
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        let mut m = Medium::new(adj);
+        let a = m.begin(0, t(0), t(100));
+        let oa = m.finish(a);
+        // second transmission starts after the first finished
+        let b = m.begin(2, t(100), t(200));
+        let ob = m.finish(b);
+        assert_eq!(oa.delivered_to, vec![1]);
+        assert_eq!(ob.delivered_to, vec![1]);
+    }
+
+    #[test]
+    fn spatial_reuse_no_collision_when_disjoint() {
+        // two separate pairs: 0-1 and 2-3, not adjacent across pairs
+        let adj = vec![vec![1], vec![0], vec![3], vec![2]];
+        let mut m = Medium::new(adj);
+        let a = m.begin(0, t(0), t(100));
+        let b = m.begin(2, t(0), t(100));
+        assert_eq!(m.finish(a).delivered_to, vec![1]);
+        assert_eq!(m.finish(b).delivered_to, vec![3]);
+    }
+
+    #[test]
+    fn transmitter_cannot_receive_while_transmitting() {
+        // 0 and 1 adjacent; both transmit overlapping → each misses the other
+        let mut m = Medium::fully_connected(2);
+        let a = m.begin(0, t(0), t(100));
+        let b = m.begin(1, t(10), t(90));
+        let oa = m.finish(a);
+        let ob = m.finish(b);
+        assert!(oa.delivered_to.is_empty(), "{oa:?}");
+        assert!(ob.delivered_to.is_empty(), "{ob:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn asymmetric_adjacency_rejected() {
+        let _ = Medium::new(vec![vec![1], vec![]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_finish_panics() {
+        let mut m = Medium::fully_connected(2);
+        let a = m.begin(0, t(0), t(10));
+        let _ = m.finish(a);
+        let _ = m.finish(a);
+    }
+}

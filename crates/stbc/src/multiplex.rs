@@ -1,0 +1,243 @@
+//! Spatial multiplexing (V-BLAST) with linear detection.
+//!
+//! The paper's introduction motivates MIMO with "extremely high spectral
+//! efficiencies by simultaneously transmitting multiple data streams in
+//! the same channel"; its own paradigms then use the diversity-oriented
+//! STBC mode. This module supplies the multiplexing mode as the natural
+//! extension: `mt` independent streams, one per (virtual) antenna,
+//! detected at `mr ≥ mt` receive antennas with zero-forcing or MMSE
+//! filters — letting the library compare diversity against multiplexing
+//! on the same cooperative clusters.
+
+use comimo_math::cmatrix::CMatrix;
+use comimo_math::complex::Complex;
+
+/// Linear MIMO detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Detector {
+    /// Zero-forcing: `x̂ = (HᴴH)⁻¹Hᴴ·y` (noise-enhancing near-singular H).
+    ZeroForcing,
+    /// MMSE: `x̂ = (HᴴH + σ²I)⁻¹Hᴴ·y` (regularised; needs the noise power).
+    Mmse {
+        /// Complex noise variance `σ² = N0`.
+        noise_var: f64,
+    },
+}
+
+/// Solves the square complex system `A·x = b` by Gaussian elimination.
+fn solve(a: &CMatrix, b: &[Complex]) -> Vec<Complex> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.len(), n);
+    let mut m: Vec<Complex> = a.as_slice().to_vec();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        let mut piv = col;
+        for r in col + 1..n {
+            if m[r * n + col].norm_sqr() > m[piv * n + col].norm_sqr() {
+                piv = r;
+            }
+        }
+        assert!(
+            m[piv * n + col].norm_sqr() > 1e-300,
+            "singular detection matrix (rank-deficient channel)"
+        );
+        if piv != col {
+            for c in 0..n {
+                m.swap(col * n + c, piv * n + c);
+            }
+            x.swap(col, piv);
+        }
+        let d = m[col * n + col];
+        for r in col + 1..n {
+            let f = m[r * n + col] / d;
+            if f.norm_sqr() == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m[col * n + c];
+                m[r * n + c] -= f * v;
+            }
+            let v = x[col];
+            x[r] -= f * v;
+        }
+    }
+    for col in (0..n).rev() {
+        let mut s = x[col];
+        for c in col + 1..n {
+            s -= m[col * n + c] * x[c];
+        }
+        x[col] = s / m[col * n + col];
+    }
+    x
+}
+
+/// Detects one multiplexed symbol vector: `y = H·x + n`, `H` is `mr × mt`,
+/// `y` has `mr` entries; returns the `mt` soft stream estimates.
+///
+/// # Panics
+/// If `mr < mt` (underdetermined) or shapes mismatch.
+pub fn detect(h: &CMatrix, y: &[Complex], detector: Detector) -> Vec<Complex> {
+    let (mr, mt) = (h.rows(), h.cols());
+    assert!(mr >= mt, "need at least as many receive as transmit antennas");
+    assert_eq!(y.len(), mr);
+    // G = HᴴH (+ σ²I), rhs = Hᴴy
+    let hh = h.hermitian();
+    let mut gram = &hh * h;
+    if let Detector::Mmse { noise_var } = detector {
+        assert!(noise_var >= 0.0);
+        for i in 0..mt {
+            gram[(i, i)] += Complex::real(noise_var);
+        }
+    }
+    let rhs = hh.mul_vec(y);
+    solve(&gram, &rhs)
+}
+
+/// Transmits a block of symbol vectors through `H` and detects them;
+/// returns the soft estimates (test/bench helper mirroring
+/// [`crate::sim::simulate_ber`] for the multiplexing mode).
+pub fn transmit_detect(
+    h: &CMatrix,
+    streams: &[Vec<Complex>],
+    noise: &mut impl FnMut() -> Complex,
+    detector: Detector,
+) -> Vec<Vec<Complex>> {
+    let mt = h.cols();
+    let mr = h.rows();
+    assert_eq!(streams.len(), mt, "one stream per transmit antenna");
+    let len = streams[0].len();
+    assert!(streams.iter().all(|s| s.len() == len));
+    let mut out = vec![Vec::with_capacity(len); mt];
+    for t in 0..len {
+        let x: Vec<Complex> = streams.iter().map(|s| s[t]).collect();
+        let mut y = h.mul_vec(&x);
+        for v in y.iter_mut().take(mr) {
+            *v += noise();
+        }
+        let est = detect(h, &y, detector);
+        for (o, e) in out.iter_mut().zip(est) {
+            o.push(e);
+        }
+    }
+    out
+}
+
+/// Spectral-efficiency comparison point: bits/symbol-period carried by
+/// multiplexing (`mt·b`) vs an OSTBC of rate `r` (`r·b`) — the paper's
+/// diversity/multiplexing trade-off in one number.
+pub fn multiplexing_gain(mt: usize, ostbc_rate: f64) -> f64 {
+    assert!(mt >= 1 && ostbc_rate > 0.0);
+    mt as f64 / ostbc_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comimo_math::rng::{complex_gaussian, seeded};
+
+    fn random_h(rng: &mut comimo_math::rng::SeededRng, mr: usize, mt: usize) -> CMatrix {
+        CMatrix::from_fn(mr, mt, |_, _| complex_gaussian(rng, 1.0))
+    }
+
+    #[test]
+    fn zf_recovers_streams_noiselessly() {
+        let mut rng = seeded(21);
+        for (mr, mt) in [(2usize, 2usize), (3, 2), (4, 4)] {
+            let h = random_h(&mut rng, mr, mt);
+            let x: Vec<Complex> = (0..mt).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+            let y = h.mul_vec(&x);
+            let est = detect(&h, &y, Detector::ZeroForcing);
+            for (e, s) in est.iter().zip(&x) {
+                assert!(e.approx_eq(*s, 1e-8), "{mr}x{mt}: {e} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn mmse_approaches_zf_at_high_snr() {
+        let mut rng = seeded(22);
+        let h = random_h(&mut rng, 3, 2);
+        let x: Vec<Complex> = (0..2).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+        let y = h.mul_vec(&x);
+        let zf = detect(&h, &y, Detector::ZeroForcing);
+        let mmse = detect(&h, &y, Detector::Mmse { noise_var: 1e-9 });
+        for (a, b) in zf.iter().zip(&mmse) {
+            assert!(a.approx_eq(*b, 1e-6));
+        }
+    }
+
+    #[test]
+    fn mmse_beats_zf_in_noise_on_ill_conditioned_channels() {
+        // a nearly rank-deficient H: ZF blows up the noise, MMSE shrinks
+        let mut rng = seeded(23);
+        let mut sq_err = (0.0f64, 0.0f64);
+        let n0 = 0.1;
+        for _ in 0..2_000 {
+            // two nearly parallel columns
+            let c0 = [complex_gaussian(&mut rng, 1.0), complex_gaussian(&mut rng, 1.0)];
+            let eps = complex_gaussian(&mut rng, 0.01);
+            let h = CMatrix::from_vec(
+                2,
+                2,
+                vec![c0[0], c0[0] + eps, c0[1], c0[1] - eps],
+            );
+            let x = [
+                Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 }),
+                Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 }),
+            ];
+            let mut y = h.mul_vec(&x);
+            for v in &mut y {
+                *v += complex_gaussian(&mut rng, n0);
+            }
+            let zf = detect(&h, &y, Detector::ZeroForcing);
+            let mm = detect(&h, &y, Detector::Mmse { noise_var: n0 });
+            sq_err.0 += zf.iter().zip(&x).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>();
+            sq_err.1 += mm.iter().zip(&x).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>();
+        }
+        assert!(
+            sq_err.1 < sq_err.0 * 0.8,
+            "MMSE {} vs ZF {}",
+            sq_err.1,
+            sq_err.0
+        );
+    }
+
+    #[test]
+    fn block_transmit_detect_roundtrip() {
+        let mut rng = seeded(24);
+        let h = random_h(&mut rng, 4, 3);
+        let streams: Vec<Vec<Complex>> = (0..3)
+            .map(|_| (0..50).map(|_| complex_gaussian(&mut rng, 1.0)).collect())
+            .collect();
+        let mut no_noise = || Complex::zero();
+        let out = transmit_detect(&h, &streams, &mut no_noise, Detector::ZeroForcing);
+        for (o, s) in out.iter().zip(&streams) {
+            for (a, b) in o.iter().zip(s) {
+                assert!(a.approx_eq(*b, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn multiplexing_gain_vs_ostbc() {
+        use crate::design::{Ostbc, StbcKind};
+        // 4 antennas: multiplexing carries 4 streams; H4 carries rate 3/4
+        let h4 = Ostbc::new(StbcKind::H4);
+        let g = multiplexing_gain(4, h4.rate());
+        assert!((g - 16.0 / 3.0).abs() < 1e-12);
+        // Alamouti is rate 1: gain factor 2 for 2 antennas
+        let g2 = multiplexing_gain(2, Ostbc::new(StbcKind::Alamouti).rate());
+        assert!((g2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underdetermined_rejected() {
+        let mut rng = seeded(25);
+        let h = random_h(&mut rng, 1, 2);
+        let _ = detect(&h, &[Complex::one()], Detector::ZeroForcing);
+    }
+
+    use rand::Rng;
+}

@@ -1,0 +1,303 @@
+//! End-to-end Monte-Carlo BER simulation of OSTBC links, plus the closed
+//! forms used to validate it.
+//!
+//! This module is the bridge between the code layer and the paper's energy
+//! model: `comimo-energy`'s `ē_b` solver is cross-checked against the BER
+//! this simulator measures at the SNR the solver predicts.
+
+use crate::decode::decode_block;
+use crate::design::Ostbc;
+use comimo_math::cmatrix::CMatrix;
+use comimo_math::complex::Complex;
+use comimo_math::rng::complex_gaussian;
+use comimo_math::special::q_function;
+use rand::Rng;
+
+/// A Gray-coded square/rectangular PSK-for-small-b constellation used by the
+/// simulator: BPSK for `b = 1`, QPSK for `b = 2` (Gray), and square M-QAM
+/// for even `b ≥ 4`.
+#[derive(Debug, Clone)]
+pub struct SimConstellation {
+    bits_per_symbol: u32,
+    points: Vec<Complex>,
+}
+
+impl SimConstellation {
+    /// Builds the constellation for `b` bits/symbol (`b = 1, 2, 4, 6, 8`
+    /// supported — the even sizes the paper's equation (5) models exactly).
+    pub fn new(b: u32) -> Self {
+        assert!(
+            b == 1 || (b % 2 == 0 && b <= 8),
+            "simulator supports b = 1 and even b up to 8, got {b}"
+        );
+        let points = if b == 1 {
+            vec![Complex::real(-1.0), Complex::real(1.0)]
+        } else {
+            // square M-QAM with Gray mapping per axis, unit average energy
+            let side = 1u32 << (b / 2);
+            let levels: Vec<f64> = (0..side)
+                .map(|i| 2.0 * i as f64 - (side as f64 - 1.0))
+                .collect();
+            // average energy of the square grid
+            let e_avg: f64 = levels.iter().map(|x| x * x).sum::<f64>() / side as f64 * 2.0;
+            let scale = (1.0 / e_avg).sqrt();
+            let mut pts = Vec::with_capacity((side * side) as usize);
+            for bits in 0..(side * side) {
+                let hi = gray_decode(bits >> (b / 2));
+                let lo = gray_decode(bits & (side - 1));
+                pts.push(Complex::new(
+                    levels[hi as usize] * scale,
+                    levels[lo as usize] * scale,
+                ));
+            }
+            pts
+        };
+        Self { bits_per_symbol: b, points }
+    }
+
+    /// Bits per symbol.
+    pub fn bits_per_symbol(&self) -> u32 {
+        self.bits_per_symbol
+    }
+
+    /// Number of constellation points `M = 2^b`.
+    pub fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Maps a symbol index to its point.
+    pub fn map(&self, index: u32) -> Complex {
+        self.points[index as usize]
+    }
+
+    /// Nearest-neighbour slicing: returns the index of the closest point.
+    pub fn slice(&self, x: Complex) -> u32 {
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for (i, &p) in self.points.iter().enumerate() {
+            let d = (x - p).norm_sqr();
+            if d < best_d {
+                best_d = d;
+                best = i as u32;
+            }
+        }
+        best
+    }
+
+    /// Average symbol energy (≈ 1 by construction).
+    pub fn avg_energy(&self) -> f64 {
+        self.points.iter().map(|p| p.norm_sqr()).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+fn gray_decode(mut g: u32) -> u32 {
+    let mut b = 0;
+    while g != 0 {
+        b ^= g;
+        g >>= 1;
+    }
+    b
+}
+
+/// Result of a Monte-Carlo BER run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerResult {
+    /// Bits simulated.
+    pub bits: u64,
+    /// Bit errors observed.
+    pub errors: u64,
+}
+
+impl BerResult {
+    /// The measured bit error rate.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits as f64
+        }
+    }
+}
+
+/// Simulates `n_blocks` OSTBC blocks over i.i.d. block-Rayleigh fading with
+/// `mr` receive antennas at per-symbol transmit energy `es` (split evenly
+/// over the `mt` antennas, as in the paper's `γ_b = ‖H‖²ē_b/(N0·mt)`) and
+/// complex noise variance `n0`. Returns the measured BER.
+pub fn simulate_ber<R: Rng + ?Sized>(
+    rng: &mut R,
+    code: &Ostbc,
+    constellation: &SimConstellation,
+    mr: usize,
+    es: f64,
+    n0: f64,
+    n_blocks: usize,
+) -> BerResult {
+    assert!(mr >= 1 && es > 0.0 && n0 > 0.0);
+    let mt = code.n_tx();
+    let b = constellation.bits_per_symbol();
+    let amp = (es / mt as f64).sqrt();
+    let mut bits = 0u64;
+    let mut errors = 0u64;
+    for _ in 0..n_blocks {
+        let h = CMatrix::from_fn(mr, mt, |_, _| complex_gaussian(rng, 1.0));
+        let idx: Vec<u32> = (0..code.n_symbols())
+            .map(|_| rng.gen_range(0..constellation.size() as u32))
+            .collect();
+        let syms: Vec<Complex> = idx.iter().map(|&i| constellation.map(i)).collect();
+        let x = code.encode(&syms).scale(amp);
+        let mut y = &x * &h.transpose();
+        for slot in 0..y.rows() {
+            for j in 0..y.cols() {
+                y[(slot, j)] += complex_gaussian(rng, n0);
+            }
+        }
+        let est = decode_block(code, &h, &y);
+        for (e, &i) in est.iter().zip(&idx) {
+            let hat = constellation.slice(e.scale(1.0 / amp));
+            errors += u64::from((hat ^ i).count_ones());
+            bits += u64::from(b);
+        }
+    }
+    BerResult { bits, errors }
+}
+
+/// Closed-form BER of BPSK with `L`-branch maximum-ratio combining over
+/// i.i.d. Rayleigh branches at *per-branch* average SNR `gamma_c`:
+/// `P = [½(1−μ)]^L · Σ_{i<L} C(L−1+i, i)·[½(1+μ)]^i`, `μ = √(γc/(1+γc))`.
+///
+/// An OSTBC with `mt` transmit and `mr` receive antennas at total per-bit
+/// SNR `γ̄` behaves as `L = mt·mr` MRC branches at `γc = γ̄/mt` — the anchor
+/// used to validate both this simulator and the `ē_b` solver.
+pub fn bpsk_mrc_rayleigh_ber(l: u32, gamma_c: f64) -> f64 {
+    assert!(l >= 1 && gamma_c >= 0.0);
+    let mu = (gamma_c / (1.0 + gamma_c)).sqrt();
+    let p = 0.5 * (1.0 - mu);
+    let q = 0.5 * (1.0 + mu);
+    let mut sum = 0.0;
+    for i in 0..l {
+        sum += binomial((l - 1 + i) as u64, i as u64) * q.powi(i as i32);
+    }
+    p.powi(l as i32) * sum
+}
+
+fn binomial(n: u64, k: u64) -> f64 {
+    let mut r = 1.0;
+    for i in 0..k {
+        r *= (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+/// Closed-form BER of BPSK over AWGN: `Q(√(2γ))` (sanity anchor).
+pub fn bpsk_awgn_ber(gamma: f64) -> f64 {
+    q_function((2.0 * gamma).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::StbcKind;
+    use comimo_math::rng::seeded;
+
+    #[test]
+    fn constellation_unit_energy_and_size() {
+        for b in [1u32, 2, 4, 6] {
+            let c = SimConstellation::new(b);
+            assert_eq!(c.size(), 1 << b);
+            assert!((c.avg_energy() - 1.0).abs() < 1e-12, "b={b}: E={}", c.avg_energy());
+        }
+    }
+
+    #[test]
+    fn slicing_recovers_exact_points() {
+        let c = SimConstellation::new(4);
+        for i in 0..c.size() as u32 {
+            assert_eq!(c.slice(c.map(i)), i);
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_by_one_bit_qpsk() {
+        let c = SimConstellation::new(2);
+        // adjacent-axis points must differ in exactly 1 bit
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i == j {
+                    continue;
+                }
+                let d = (c.map(i) - c.map(j)).norm_sqr();
+                if d < 2.1 {
+                    // nearest neighbours at squared distance 2 (unit energy)
+                    assert_eq!((i ^ j).count_ones(), 1, "{i} vs {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn siso_bpsk_matches_rayleigh_closed_form() {
+        let mut rng = seeded(71);
+        let code = Ostbc::new(StbcKind::Siso);
+        let cons = SimConstellation::new(1);
+        let gamma = 4.0; // Es/N0, = Eb/N0 for BPSK
+        let r = simulate_ber(&mut rng, &code, &cons, 1, gamma, 1.0, 60_000);
+        let expect = bpsk_mrc_rayleigh_ber(1, gamma);
+        assert!(
+            (r.ber() - expect).abs() / expect < 0.08,
+            "MC {} vs closed form {expect}",
+            r.ber()
+        );
+    }
+
+    #[test]
+    fn alamouti_2x1_matches_mrc_with_power_split() {
+        let mut rng = seeded(72);
+        let code = Ostbc::new(StbcKind::Alamouti);
+        let cons = SimConstellation::new(1);
+        let gamma = 8.0;
+        let r = simulate_ber(&mut rng, &code, &cons, 1, gamma, 1.0, 60_000);
+        // 2x1 Alamouti = 2-branch MRC at per-branch SNR gamma/2
+        let expect = bpsk_mrc_rayleigh_ber(2, gamma / 2.0);
+        assert!(
+            (r.ber() - expect).abs() / expect < 0.12,
+            "MC {} vs closed form {expect}",
+            r.ber()
+        );
+    }
+
+    #[test]
+    fn diversity_ordering_1x1_2x1_2x2() {
+        let mut rng = seeded(73);
+        let cons = SimConstellation::new(1);
+        let gamma = 8.0;
+        let siso = simulate_ber(&mut rng, &Ostbc::new(StbcKind::Siso), &cons, 1, gamma, 1.0, 30_000);
+        let a21 = simulate_ber(&mut rng, &Ostbc::new(StbcKind::Alamouti), &cons, 1, gamma, 1.0, 30_000);
+        let a22 = simulate_ber(&mut rng, &Ostbc::new(StbcKind::Alamouti), &cons, 2, gamma, 1.0, 30_000);
+        assert!(siso.ber() > a21.ber(), "SISO {} vs 2x1 {}", siso.ber(), a21.ber());
+        assert!(a21.ber() > a22.ber(), "2x1 {} vs 2x2 {}", a21.ber(), a22.ber());
+    }
+
+    #[test]
+    fn mrc_closed_form_anchors() {
+        // L=1: the textbook single-branch formula
+        let g = 10.0f64;
+        let single = 0.5 * (1.0 - (g / (1.0 + g)).sqrt());
+        assert!((bpsk_mrc_rayleigh_ber(1, g) - single).abs() < 1e-12);
+        // more branches help
+        assert!(bpsk_mrc_rayleigh_ber(2, g) < bpsk_mrc_rayleigh_ber(1, g));
+        assert!(bpsk_mrc_rayleigh_ber(4, g) < bpsk_mrc_rayleigh_ber(2, g));
+        // high-SNR slope: L-fold diversity ~ gamma^-L
+        let r = bpsk_mrc_rayleigh_ber(2, 100.0) / bpsk_mrc_rayleigh_ber(2, 1000.0);
+        assert!(r > 50.0 && r < 200.0, "diversity-2 slope ratio {r}");
+    }
+
+    #[test]
+    fn h3_rate_three_quarters_roundtrip_under_noise_floor() {
+        let mut rng = seeded(74);
+        let code = Ostbc::new(StbcKind::H3);
+        let cons = SimConstellation::new(2);
+        let r = simulate_ber(&mut rng, &code, &cons, 2, 50.0, 1.0, 4_000);
+        // with 3x2 diversity at high SNR the BER is tiny
+        assert!(r.ber() < 5e-3, "H3 3x2 BER {}", r.ber());
+    }
+}

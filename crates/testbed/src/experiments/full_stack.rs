@@ -1,0 +1,190 @@
+//! Full-stack experiment: CSMA/CA contention on top of the fading PHY.
+//!
+//! The paper evaluates its paradigms link by link; a deployed CoMIMONet
+//! runs them under a contended MAC (its Section 2.1 mandates CSMA/CA).
+//! This rig closes the stack: clients around an access node contend for
+//! the channel while each link's frames additionally survive or die by
+//! the *measured* PER of the calibrated BPSK PHY at that link's SNR — so
+//! MAC collisions and channel errors interact the way they do over the
+//! air.
+
+use crate::bpsk_link::{decode_single, transmit_bpsk, INDOOR_K_FACTOR};
+use crate::calib::TestbedCalibration;
+use comimo_channel::geometry::Point;
+use comimo_channel::obstacle::Environment;
+use comimo_net::mac::{CsmaSim, MacConfig, MacFrame, MacStats};
+use comimo_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the full-stack rig.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FullStackConfig {
+    /// Number of client nodes contending for the sink.
+    pub n_clients: usize,
+    /// Ring radius the clients sit on (m).
+    pub radius_m: f64,
+    /// Link calibration.
+    pub calib: TestbedCalibration,
+    /// Frames offered per client.
+    pub frames_per_client: usize,
+    /// Inter-arrival spacing per client (ms).
+    pub spacing_ms: u64,
+    /// Frame length in bits (sets the PHY PER).
+    pub frame_bits: usize,
+    /// Monte-Carlo packets per link when measuring the PER.
+    pub per_probe_packets: usize,
+    /// Use the RTS/CTS handshake.
+    pub rts_cts: bool,
+}
+
+impl FullStackConfig {
+    /// A small contended cell: 4 clients on a 6 m ring around the sink.
+    pub fn small_cell() -> Self {
+        Self {
+            n_clients: 4,
+            radius_m: 6.0,
+            calib: TestbedCalibration::new(30.0, 2.0),
+            frames_per_client: 25,
+            spacing_ms: 20,
+            frame_bits: 1_000,
+            per_probe_packets: 300,
+            rts_cts: false,
+        }
+    }
+}
+
+/// Output of a full-stack run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullStackResult {
+    /// Per-link PHY PER measured by the probe.
+    pub link_per: Vec<f64>,
+    /// MAC statistics of the contended run.
+    pub mac: MacStats,
+}
+
+/// Measures a link's frame error rate by Monte-Carlo over the calibrated
+/// Rician PHY at mean SNR `snr` (linear).
+pub fn probe_link_per<R: rand::Rng>(
+    rng: &mut R,
+    snr: f64,
+    frame_bits: usize,
+    packets: usize,
+) -> f64 {
+    let bits = comimo_dsp::bits::pn_sequence(0xFEED, frame_bits);
+    let mut failures = 0usize;
+    for _ in 0..packets {
+        let branch = transmit_bpsk(rng, &bits, snr, INDOOR_K_FACTOR);
+        let decided = decode_single(&branch);
+        if comimo_dsp::bits::count_bit_errors(&bits, &decided[..bits.len()]) > 0 {
+            failures += 1;
+        }
+    }
+    failures as f64 / packets as f64
+}
+
+/// Runs the full-stack experiment: clients on a ring, sink at the centre,
+/// PHY-coupled CSMA/CA.
+pub fn run(cfg: &FullStackConfig, seed: u64) -> FullStackResult {
+    assert!(cfg.n_clients >= 1);
+    let n = cfg.n_clients + 1; // node 0 is the sink
+    // geometry: ring of clients; everyone hears everyone (one cell)
+    let sink = Point::origin();
+    let positions: Vec<Point> = std::iter::once(sink)
+        .chain((0..cfg.n_clients).map(|i| {
+            let th = std::f64::consts::TAU * i as f64 / cfg.n_clients as f64;
+            Point::new(cfg.radius_m * th.cos(), cfg.radius_m * th.sin())
+        }))
+        .collect();
+    // PHY probe: PER of each client -> sink link
+    let env = Environment::open();
+    let mut rng = comimo_math::rng::derive(seed, 1);
+    let mut per_matrix = vec![vec![0.0f64; n]; n];
+    let mut link_per = Vec::with_capacity(cfg.n_clients);
+    for c in 1..n {
+        let snr = cfg.calib.mean_snr(positions[c], sink, &env, 1.0);
+        let per = probe_link_per(&mut rng, snr, cfg.frame_bits, cfg.per_probe_packets);
+        per_matrix[c][0] = per;
+        link_per.push(per);
+    }
+    // MAC run over a single collision domain with the measured PERs
+    let adjacency: Vec<Vec<usize>> = (0..n)
+        .map(|i| (0..n).filter(|&j| j != i).collect())
+        .collect();
+    let mac_cfg = MacConfig {
+        rts_cts: cfg.rts_cts,
+        // frame air time at 250 kbps
+        frame_duration: SimTime::from_micros(cfg.frame_bits as u64 * 4),
+        ..MacConfig::default_250kbps()
+    };
+    let mut sim = CsmaSim::new(adjacency, mac_cfg, seed ^ 0x1AC);
+    sim.set_phy_loss(per_matrix);
+    for f in 0..cfg.frames_per_client {
+        for c in 1..n {
+            sim.offer(
+                MacFrame { src: c, dst: 0 },
+                SimTime::from_millis(f as u64 * cfg.spacing_ms),
+            );
+        }
+    }
+    FullStackResult { link_per, mac: sim.run(5_000_000) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contended_cell_delivers_most_frames() {
+        let res = run(&FullStackConfig::small_cell(), 2013);
+        let offered = 4 * 25;
+        assert_eq!(res.mac.delivered + res.mac.dropped, offered);
+        assert!(
+            res.mac.delivery_ratio() > 0.9,
+            "delivery {} with link PERs {:?}",
+            res.mac.delivery_ratio(),
+            res.link_per
+        );
+    }
+
+    #[test]
+    fn phy_per_rises_with_radius() {
+        let near = run(
+            &FullStackConfig { radius_m: 3.0, ..FullStackConfig::small_cell() },
+            7,
+        );
+        let far = run(
+            &FullStackConfig { radius_m: 14.0, ..FullStackConfig::small_cell() },
+            7,
+        );
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&far.link_per) > mean(&near.link_per),
+            "far {:?} vs near {:?}",
+            far.link_per,
+            near.link_per
+        );
+    }
+
+    #[test]
+    fn bad_phy_forces_retries() {
+        // push the ring far out: the MAC must spend extra attempts per
+        // delivered frame
+        let res = run(
+            &FullStackConfig { radius_m: 30.0, ..FullStackConfig::small_cell() },
+            11,
+        );
+        assert!(
+            res.mac.attempts as f64 > 1.2 * res.mac.delivered as f64,
+            "attempts {} for {} deliveries",
+            res.mac.attempts,
+            res.mac.delivered
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(&FullStackConfig::small_cell(), 3);
+        let b = run(&FullStackConfig::small_cell(), 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,197 @@
+//! An over-the-air-realistic receive chain: unknown frame timing, carrier
+//! offset and channel phase.
+//!
+//! The experiment rigs in [`crate::experiments`] keep transmit and
+//! receive sample counters aligned, as the paper's packet-level results
+//! allow. This module drops that assumption and runs the full acquisition
+//! path a real USRP receiver needs — preamble correlation for timing,
+//! phase-slope CFO estimation, channel-phase removal — built from
+//! `comimo-dsp`'s [`sync`](comimo_dsp::sync) and
+//! [`frame`](comimo_dsp::frame) machinery.
+
+use comimo_dsp::frame::FrameCodec;
+use comimo_dsp::modem::{Bpsk, Modem};
+use comimo_dsp::sync::acquire;
+use comimo_math::complex::Complex;
+use rand::Rng;
+
+/// The BPSK burst transmitter: frames a payload and modulates it,
+/// preamble first.
+pub struct BurstTx {
+    codec: FrameCodec,
+}
+
+/// The matching acquiring receiver.
+pub struct BurstRx {
+    codec: FrameCodec,
+    preamble_symbols: Vec<Complex>,
+    /// Minimum normalised correlation peak to declare detection.
+    pub min_peak: f64,
+}
+
+impl Default for BurstTx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BurstTx {
+    /// Builds a transmitter with the standard frame codec.
+    pub fn new() -> Self {
+        Self { codec: FrameCodec::new() }
+    }
+
+    /// Produces the burst's complex baseband (1 sample/symbol).
+    pub fn transmit(&self, payload: &[u8]) -> Vec<Complex> {
+        Bpsk.modulate(&self.codec.encode(payload))
+    }
+}
+
+impl Default for BurstRx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BurstRx {
+    /// Builds a receiver for the standard codec.
+    pub fn new() -> Self {
+        let codec = FrameCodec::new();
+        let preamble_symbols = Bpsk.modulate(codec.preamble());
+        Self { codec, preamble_symbols, min_peak: 0.55 }
+    }
+
+    /// Attempts to acquire and decode one frame from an arbitrary-offset
+    /// sample stream. Returns the payload on success.
+    pub fn receive(&self, samples: &[Complex]) -> Option<Vec<u8>> {
+        let (start, _cfo, corrected) =
+            acquire(samples, &self.preamble_symbols, self.min_peak, 4)?;
+        let _ = start;
+        // estimate the residual channel phase from the preamble
+        let n_pre = self.preamble_symbols.len();
+        if corrected.len() < n_pre {
+            return None;
+        }
+        let mut acc = Complex::zero();
+        for (r, p) in corrected[..n_pre].iter().zip(&self.preamble_symbols) {
+            acc += *r * p.conj();
+        }
+        if acc.abs() == 0.0 {
+            return None;
+        }
+        let derot = (acc / acc.abs()).conj();
+        let bits: Vec<bool> = corrected.iter().map(|&s| (s * derot).re > 0.0).collect();
+        self.codec.decode(&bits).map(|f| f.payload)
+    }
+}
+
+/// A worst-case-ish air interface for tests and benches: random delay,
+/// complex channel gain, CFO and AWGN.
+pub fn impair<R: Rng>(
+    rng: &mut R,
+    burst: &[Complex],
+    max_delay: usize,
+    snr_db: f64,
+    cfo_rad_per_sample: f64,
+) -> Vec<Complex> {
+    let delay = rng.gen_range(0..=max_delay);
+    let gain = Complex::from_polar(1.0, rng.gen_range(0.0..std::f64::consts::TAU));
+    let n0 = 1.0 / comimo_math::db::db_to_lin(snr_db);
+    let mut out: Vec<Complex> = (0..delay)
+        .map(|_| comimo_math::rng::complex_gaussian(rng, n0))
+        .collect();
+    out.extend(burst.iter().enumerate().map(|(n, &s)| {
+        s * gain * Complex::cis(cfo_rad_per_sample * n as f64)
+            + comimo_math::rng::complex_gaussian(rng, n0)
+    }));
+    out.extend((0..32).map(|_| comimo_math::rng::complex_gaussian(rng, n0)));
+    out
+}
+
+/// Measures the frame success rate of the acquiring receiver over
+/// `n_frames` random-payload bursts at the given impairments.
+pub fn frame_success_rate<R: Rng>(
+    rng: &mut R,
+    n_frames: usize,
+    payload_len: usize,
+    max_delay: usize,
+    snr_db: f64,
+    cfo_rad_per_sample: f64,
+) -> f64 {
+    let tx = BurstTx::new();
+    let rx = BurstRx::new();
+    let mut ok = 0usize;
+    for _ in 0..n_frames {
+        let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
+        let burst = tx.transmit(&payload);
+        let air = impair(rng, &burst, max_delay, snr_db, cfo_rad_per_sample);
+        if rx.receive(&air).as_deref() == Some(payload.as_slice()) {
+            ok += 1;
+        }
+    }
+    ok as f64 / n_frames as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comimo_math::rng::seeded;
+
+    #[test]
+    fn clean_unaligned_burst_decodes() {
+        let mut rng = seeded(201);
+        let tx = BurstTx::new();
+        let rx = BurstRx::new();
+        let payload = b"hello cognitive radio".to_vec();
+        let burst = tx.transmit(&payload);
+        let air = impair(&mut rng, &burst, 100, 35.0, 0.0);
+        assert_eq!(rx.receive(&air), Some(payload));
+    }
+
+    #[test]
+    fn cfo_and_phase_are_handled() {
+        let mut rng = seeded(202);
+        let rate = frame_success_rate(&mut rng, 40, 60, 200, 18.0, 0.01);
+        assert!(rate > 0.9, "success rate {rate}");
+    }
+
+    #[test]
+    fn low_snr_degrades_gracefully() {
+        let mut rng = seeded(203);
+        let high = frame_success_rate(&mut rng, 40, 60, 100, 15.0, 0.004);
+        let low = frame_success_rate(&mut rng, 40, 60, 100, -2.0, 0.004);
+        assert!(high > low, "high {high} vs low {low}");
+        assert!(low < 0.8, "low-SNR rate {low}");
+    }
+
+    #[test]
+    fn noise_only_input_yields_nothing() {
+        let mut rng = seeded(204);
+        let rx = BurstRx::new();
+        let noise: Vec<Complex> = (0..2_000)
+            .map(|_| comimo_math::rng::complex_gaussian(&mut rng, 1.0))
+            .collect();
+        assert!(rx.receive(&noise).is_none());
+    }
+
+    #[test]
+    fn excessive_cfo_breaks_acquisition() {
+        // beyond the estimator's unambiguous range the chain must fail
+        // closed (CRC rejects), not return garbage
+        let mut rng = seeded(205);
+        let tx = BurstTx::new();
+        let rx = BurstRx::new();
+        let payload = vec![0x42; 40];
+        let burst = tx.transmit(&payload);
+        let air = impair(&mut rng, &burst, 50, 30.0, 1.2);
+        let got = rx.receive(&air);
+        assert!(got.is_none() || got == Some(payload));
+    }
+
+    #[test]
+    fn bytes_to_bits_helper_is_reexported_sane() {
+        // tiny guard that the frame bits round the same way the codec uses
+        let bits = comimo_dsp::bits::bytes_to_bits(&[0xF0]);
+        assert_eq!(&bits[..4], &[true, true, true, true]);
+    }
+}

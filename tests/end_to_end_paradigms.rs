@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: each paradigm exercised end-to-end
+//! through the real substrates (energy model ↔ STBC simulator ↔ channel ↔
+//! testbed), not through mocks.
+
+use comimo::energy::ebar::EbarSolver;
+use comimo::energy::model::{EnergyModel, LinkParams};
+use comimo::math::rng::seeded;
+use comimo::stbc::design::{Ostbc, StbcKind};
+use comimo::stbc::sim::{simulate_ber, SimConstellation};
+
+/// The central cross-validation of the whole reproduction: the energy
+/// model's `ē_b` (inverted from the paper's closed-form equations (5)–(6))
+/// must agree with the *measured* BER of the actual STBC encoder/decoder
+/// over the actual Rayleigh channel at that symbol energy.
+#[test]
+fn ebar_solver_agrees_with_stbc_simulation() {
+    let solver = EbarSolver::paper();
+    let cases = [
+        // (b, mt, mr, code, target BER, rel tolerance)
+        (1u32, 1usize, 1usize, StbcKind::Siso, 2e-2, 0.10),
+        (1, 2, 1, StbcKind::Alamouti, 2e-2, 0.10),
+        (1, 2, 2, StbcKind::Alamouti, 1e-2, 0.15),
+        (2, 2, 1, StbcKind::Alamouti, 2e-2, 0.15),
+    ];
+    for (b, mt, mr, kind, p, tol) in cases {
+        let ebar = solver.solve(p, b, mt, mr);
+        // ē_b is energy **per bit** (equation (5)'s 3b/(M−1) factor makes
+        // γ_b a per-bit SNR), so the per-symbol energy is b·ē_b;
+        // normalise to n0 = 1
+        let es = b as f64 * ebar / solver.n0;
+        let code = Ostbc::new(kind);
+        let cons = SimConstellation::new(b);
+        let mut rng = seeded(0xE2E ^ b as u64);
+        let blocks = (3_000_000 / (p * 1e6) as usize).clamp(20_000, 400_000);
+        let res = simulate_ber(&mut rng, &code, &cons, mr, es, 1.0, blocks);
+        let measured = res.ber();
+        assert!(
+            (measured - p).abs() / p < tol,
+            "{kind:?} b={b} {mt}x{mr}: solver says BER {p} at ē={ebar:.3e}, \
+             simulator measured {measured:.4}"
+        );
+    }
+}
+
+/// The paper's rate argument: for b = 1 and b = 2 the required ē_b is the
+/// same (identical Q-kernel), so QPSK carries twice the bits for the same
+/// symbol energy — which is why the optimiser rarely picks b = 1.
+#[test]
+fn qpsk_matches_bpsk_symbol_energy_in_simulation() {
+    let solver = EbarSolver::paper();
+    let e1 = solver.solve(1e-2, 1, 2, 1);
+    let e2 = solver.solve(1e-2, 2, 2, 1);
+    assert!((e1 - e2).abs() / e1 < 1e-6);
+    // and the simulator sees (approximately) the same BER for both
+    let code = Ostbc::new(StbcKind::Alamouti);
+    let mut rng = seeded(77);
+    // per-symbol energies: 1·ē for BPSK, 2·ē for QPSK (ē_b is per bit)
+    let b1 = simulate_ber(&mut rng, &code, &SimConstellation::new(1), 1, e1 / solver.n0, 1.0, 150_000);
+    let b2 = simulate_ber(&mut rng, &code, &SimConstellation::new(2), 1, 2.0 * e2 / solver.n0, 1.0, 150_000);
+    assert!(
+        (b1.ber() - b2.ber()).abs() < 0.25 * b1.ber().max(b2.ber()),
+        "BPSK {} vs QPSK {}",
+        b1.ber(),
+        b2.ber()
+    );
+}
+
+/// Overlay end-to-end: the distances from the analysis, replayed through
+/// the raw energy formulas, exactly exhaust the direct link's budget.
+#[test]
+fn overlay_distances_exhaust_the_budget() {
+    use comimo::core::overlay::{Overlay, OverlayConfig};
+    let model = EnergyModel::paper();
+    for m in [2usize, 3, 4] {
+        for bw in [10_000.0, 40_000.0, 100_000.0] {
+            let cfg = OverlayConfig::paper(m, bw);
+            let ov = Overlay::new(&model, cfg);
+            let a = ov.analyze(250.0);
+            let p_miso = LinkParams::new(cfg.ber_relay, a.b_miso, bw, cfg.block_bits);
+            let e_s = model.e_mimot(&p_miso, m, 1, a.d3) + model.e_mimor(&p_miso);
+            assert!(
+                (e_s - a.e1).abs() / a.e1 < 1e-6,
+                "m={m} B={bw}: E_S {e_s:e} vs budget {:e}",
+                a.e1
+            );
+        }
+    }
+}
+
+/// Underlay end-to-end: the Figure-7 ordering holds at every distance on
+/// the paper's sweep, for the paper's configuration set.
+#[test]
+fn underlay_figure7_ordering_holds_across_sweep() {
+    use comimo::core::underlay::{Underlay, UnderlayConfig};
+    let model = EnergyModel::paper();
+    let series: Vec<(usize, usize, Vec<f64>)> = [(1, 1), (2, 1), (1, 2), (1, 3), (2, 3)]
+        .iter()
+        .map(|&(mt, mr)| {
+            let u = Underlay::new(&model, UnderlayConfig::paper(mt, mr, 10_000.0));
+            let pts = u.sweep(100.0, 300.0, 50.0).iter().map(|a| a.total_pa()).collect();
+            (mt, mr, pts)
+        })
+        .collect();
+    let get = |mt: usize, mr: usize| -> &Vec<f64> {
+        &series.iter().find(|s| s.0 == mt && s.1 == mr).unwrap().2
+    };
+    for i in 0..5 {
+        // SISO is the worst everywhere (the upper plot of Figure 7);
+        // the 2x1 config (transmit diversity only, diversity order 2) is
+        // the closest follower — ~9x at short range — while everything
+        // else sits an order of magnitude or more below
+        for (mt, mr, pts) in &series[1..] {
+            let floor = if (*mt, *mr) == (2, 1) { 5.0 } else { 10.0 };
+            assert!(
+                get(1, 1)[i] > pts[i] * floor,
+                "SISO should tower over ({mt},{mr}) at point {i}"
+            );
+        }
+        // receiver-heavy beats transmitter-heavy (the lower plot)
+        assert!(get(1, 2)[i] < get(2, 1)[i], "1x2 vs 2x1 at point {i}");
+    }
+}
+
+/// Interweave end-to-end: the phase delay computed by Algorithm 3 cancels
+/// the pair's field at the primary for arbitrary geometry, while the
+/// testbed's multipath scan keeps a finite residual — both paper claims.
+#[test]
+fn interweave_null_ideal_vs_testbed() {
+    use comimo::channel::geometry::Point;
+    use comimo::core::interweave::TransmitPair;
+    use comimo::testbed::experiments::beam_scan::{run, BeamScanConfig};
+
+    let pair = TransmitPair::paper_table1(0.1199);
+    let mut rng = seeded(404);
+    for _ in 0..50 {
+        let (x, y) = comimo::math::rng::uniform_in_disc(&mut rng, 0.0, 0.0, 200.0);
+        let pr = Point::new(x, y);
+        if pr.norm() < 5.0 {
+            continue; // too close for the far-field formula
+        }
+        let delta = pair.null_delay_toward(pr);
+        assert!(
+            pair.far_field_amplitude_toward(pr, delta) < 1e-9,
+            "far-field null fails at {pr:?}"
+        );
+    }
+    // testbed: multipath fills the null but it stays well below the lobes
+    let scan = run(&BeamScanConfig::paper(), 99);
+    let null = scan
+        .iter()
+        .min_by(|a, b| {
+            (a.angle_deg - 120.0)
+                .abs()
+                .partial_cmp(&(b.angle_deg - 120.0).abs())
+                .unwrap()
+        })
+        .unwrap();
+    let peak = scan
+        .iter()
+        .map(|p| p.measured_beamformer)
+        .fold(0.0f64, f64::max);
+    assert!(null.measured_beamformer > 0.0);
+    assert!(null.measured_beamformer < 0.35 * peak);
+}
+
+/// The full DSP chain survives a round trip through the physical layer:
+/// frame → GMSK → channel with multipath → GMSK → deframe.
+#[test]
+fn framed_gmsk_over_multipath_roundtrip() {
+    use comimo::channel::multipath::TappedDelayLine;
+    use comimo::dsp::frame::FrameCodec;
+    use comimo::dsp::gmsk::GmskModem;
+    use comimo::math::complex::Complex;
+
+    let codec = FrameCodec::new();
+    let modem = GmskModem::gnuradio_default();
+    let payload: Vec<u8> = (0u16..600).map(|i| (i % 251) as u8).collect();
+    let bits = codec.encode(&payload);
+    let tx = modem.modulate(&bits);
+    // a mild indoor channel: strong LOS plus one weak echo
+    let ch = TappedDelayLine::new(vec![
+        comimo::channel::multipath::Tap { delay: 0, gain: Complex::from_polar(1.0, 0.4) },
+        comimo::channel::multipath::Tap { delay: 2, gain: Complex::from_polar(0.08, 2.0) },
+    ]);
+    let mut rx = ch.apply(&tx);
+    let mut rng = seeded(55);
+    for v in &mut rx {
+        *v += comimo::math::rng::complex_gaussian(&mut rng, 1e-4);
+    }
+    let decoded = modem.demodulate(&rx, bits.len());
+    let frame = codec.decode(&decoded).expect("frame survives the channel");
+    assert_eq!(frame.payload, payload);
+}
