@@ -62,24 +62,20 @@ fn ablate_accounting(c: &mut Criterion) {
     let mut rng = seeded(11);
     let nodes = random_deployment(&mut rng, 40, 300.0, 300.0, 10.0);
     let graph = SuGraph::build(nodes, 60.0);
-    let net = comimo_net::comimonet::CoMimoNet::build(
-        graph,
-        30.0,
-        4,
-        SeedOrder::DegreeGreedy,
-        500.0,
-    );
+    let net =
+        comimo_net::comimonet::CoMimoNet::build(graph, 30.0, 4, SeedOrder::DegreeGreedy, 500.0);
     let model = EnergyModel::paper();
-    let (a, b) = (0usize, net.cluster_neighbours(0).first().copied().unwrap_or(0));
+    let (a, b) = (
+        0usize,
+        net.cluster_neighbours(0).first().copied().unwrap_or(0),
+    );
     if a != b {
         for (name, policy) in [
             ("all_members", ForwardPolicy::AllMembers),
             ("exclude_head", ForwardPolicy::ExcludeHead),
         ] {
             g.bench_function(name, |bch| {
-                bch.iter(|| {
-                    black_box(net.hop_energy(&model, 1e-3, 40_000.0, 1e4, a, b, policy))
-                });
+                bch.iter(|| black_box(net.hop_energy(&model, 1e-3, 40_000.0, 1e4, a, b, policy)));
             });
         }
     }
@@ -134,7 +130,10 @@ fn ablate_simo_model(c: &mut Criterion) {
         ("independent_decode", SimoModel::IndependentDecode),
         ("receive_diversity", SimoModel::ReceiveDiversity),
     ] {
-        let cfg = OverlayConfig { simo_model: simo, ..OverlayConfig::paper(3, 40_000.0) };
+        let cfg = OverlayConfig {
+            simo_model: simo,
+            ..OverlayConfig::paper(3, 40_000.0)
+        };
         let ov = Overlay::new(&model, cfg);
         g.bench_function(name, |b| {
             b.iter(|| black_box(ov.analyze(black_box(250.0))));
@@ -151,17 +150,19 @@ fn ablate_routing(c: &mut Criterion) {
     let mut rng = seeded(14);
     let nodes = random_deployment(&mut rng, 60, 450.0, 450.0, 10.0);
     let graph = SuGraph::build(nodes, 80.0);
-    let net = comimo_net::comimonet::CoMimoNet::build(
-        graph,
-        40.0,
-        4,
-        SeedOrder::DegreeGreedy,
-        650.0,
-    );
+    let net =
+        comimo_net::comimonet::CoMimoNet::build(graph, 40.0, 4, SeedOrder::DegreeGreedy, 650.0);
     let model = EnergyModel::paper();
     // warm the ē_b cache so the bench measures routing, not root finding
     let _ = comimo_net::routing::min_energy_route(
-        &net, &model, 1e-3, 40e3, 1e4, 0, net.clusters().len() - 1, ForwardPolicy::AllMembers,
+        &net,
+        &model,
+        1e-3,
+        40e3,
+        1e4,
+        0,
+        net.clusters().len() - 1,
+        ForwardPolicy::AllMembers,
     );
     let k = net.clusters().len();
     g.bench_function("backbone_bfs", |b| {

@@ -12,6 +12,7 @@ use comimo_math::complex::Complex;
 use comimo_math::rng::{complex_gaussian, seeded};
 use comimo_stbc::decode::decode_block;
 use comimo_stbc::design::{Ostbc, StbcKind};
+use comimo_stbc::sim::{simulate_ber, simulate_ber_par, SimConstellation};
 
 fn bench_ebar(c: &mut Criterion) {
     let mut g = c.benchmark_group("ebar_solver");
@@ -43,6 +44,57 @@ fn bench_stbc(c: &mut Criterion) {
             bench.iter(|| black_box(decode_block(&code, black_box(&h), black_box(&y))));
         });
     }
+    g.finish();
+}
+
+fn bench_slicer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slicer");
+    let mut rng = seeded(6);
+    for b in [2u32, 6] {
+        let cons = SimConstellation::new(b);
+        let samples: Vec<Complex> = (0..4096)
+            .map(|_| {
+                let i = rand::Rng::gen_range(&mut rng, 0..cons.size() as u32);
+                cons.map(i) + complex_gaussian(&mut rng, 0.3)
+            })
+            .collect();
+        g.throughput(Throughput::Elements(samples.len() as u64));
+        g.bench_function(format!("scan_b{b}_4k"), |bench| {
+            bench.iter(|| {
+                samples
+                    .iter()
+                    .map(|&x| cons.slice(black_box(x)))
+                    .fold(0u32, u32::wrapping_add)
+            });
+        });
+        g.bench_function(format!("threshold_b{b}_4k"), |bench| {
+            bench.iter(|| {
+                samples
+                    .iter()
+                    .map(|&x| cons.slice_fast(black_box(x)))
+                    .fold(0u32, u32::wrapping_add)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monte_carlo");
+    g.sample_size(10);
+    let code = Ostbc::new(StbcKind::Alamouti);
+    let cons = SimConstellation::new(2);
+    let n_blocks = 10_000;
+    g.throughput(Throughput::Elements(n_blocks as u64));
+    g.bench_function("simulate_ber_serial_10k", |bench| {
+        bench.iter(|| {
+            let mut rng = seeded(2013);
+            black_box(simulate_ber(&mut rng, &code, &cons, 2, 4.0, 1.0, n_blocks))
+        });
+    });
+    g.bench_function("simulate_ber_par_10k", |bench| {
+        bench.iter(|| black_box(simulate_ber_par(2013, &code, &cons, 2, 4.0, 1.0, n_blocks)));
+    });
     g.finish();
 }
 
@@ -111,7 +163,10 @@ fn bench_fec(c: &mut Criterion) {
     });
     g.bench_function("viterbi_hard_4k", |bench| {
         bench.iter(|| {
-            black_box(comimo_dsp::fec::conv_decode_hard(black_box(&coded), bits.len()))
+            black_box(comimo_dsp::fec::conv_decode_hard(
+                black_box(&coded),
+                bits.len(),
+            ))
         });
     });
     g.finish();
@@ -122,7 +177,7 @@ fn bench_sync(c: &mut Criterion) {
     g.sample_size(20);
     let mut rng = seeded(5);
     let tx = comimo_testbed::sync_rx::BurstTx::new();
-    let burst = tx.transmit(&vec![0x5A; 100]);
+    let burst = tx.transmit(&[0x5A; 100]);
     let air = comimo_testbed::sync_rx::impair(&mut rng, &burst, 300, 25.0, 0.005);
     let rx = comimo_testbed::sync_rx::BurstRx::new();
     g.bench_function("acquire_and_decode_100B", |bench| {
@@ -136,7 +191,11 @@ fn bench_equalizer(c: &mut Criterion) {
     let h = vec![Complex::new(1.0, 0.0), Complex::new(0.5, 0.2)];
     g.bench_function("zf_design_31_taps", |bench| {
         bench.iter(|| {
-            black_box(comimo_dsp::equalizer::zero_forcing_taps(black_box(&h), 31, 15))
+            black_box(comimo_dsp::equalizer::zero_forcing_taps(
+                black_box(&h),
+                31,
+                15,
+            ))
         });
     });
     g.finish();
@@ -146,6 +205,8 @@ criterion_group!(
     kernels,
     bench_ebar,
     bench_stbc,
+    bench_slicer,
+    bench_monte_carlo,
     bench_gmsk,
     bench_fft,
     bench_mac,

@@ -50,7 +50,10 @@ fn bench_table2(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);
     g.bench_function("single_relay_30k_bits", |b| {
-        let cfg = SingleRelayConfig { n_bits: 30_000, ..SingleRelayConfig::paper() };
+        let cfg = SingleRelayConfig {
+            n_bits: 30_000,
+            ..SingleRelayConfig::paper()
+        };
         b.iter(|| black_box(overlay_single::run(&cfg, black_box(2013))));
     });
     g.finish();
@@ -74,7 +77,10 @@ fn bench_table4(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4");
     g.sample_size(10);
     g.bench_function("underlay_image_10_packets", |b| {
-        let cfg = UnderlayImageConfig { n_packets: 10, ..UnderlayImageConfig::paper() };
+        let cfg = UnderlayImageConfig {
+            n_packets: 10,
+            ..UnderlayImageConfig::paper()
+        };
         b.iter(|| black_box(underlay_image::run(&cfg, &[800, 600, 400], black_box(2013))));
     });
     g.finish();
@@ -86,7 +92,10 @@ fn bench_fig8(c: &mut Criterion) {
     g.bench_function("beam_scan_10_points", |b| {
         let cfg = comimo_testbed::experiments::beam_scan::BeamScanConfig::paper();
         b.iter(|| {
-            black_box(comimo_testbed::experiments::beam_scan::run(&cfg, black_box(2013)))
+            black_box(comimo_testbed::experiments::beam_scan::run(
+                &cfg,
+                black_box(2013),
+            ))
         });
     });
     g.finish();

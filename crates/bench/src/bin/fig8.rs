@@ -23,7 +23,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Angle (deg)", "Simulated pattern", "Measured (beamformer)", "Measured (SISO)"],
+            &[
+                "Angle (deg)",
+                "Simulated pattern",
+                "Measured (beamformer)",
+                "Measured (SISO)"
+            ],
             &rows
         )
     );

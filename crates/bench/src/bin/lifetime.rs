@@ -25,11 +25,18 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
     let model = EnergyModel::paper();
-    let cfg = LifetimeConfig { max_rounds: 500_000, ..LifetimeConfig::default_rounds() };
+    let cfg = LifetimeConfig {
+        max_rounds: 500_000,
+        ..LifetimeConfig::default_rounds()
+    };
 
     println!("Network lifetime, {n} SUs, 0.5 J batteries, 10-kbit rounds, corner-to-corner flow\n");
     let mut rows = Vec::new();
-    for (label, max_cluster) in [("cooperative (<=4)", 4usize), ("pairs (<=2)", 2), ("SISO (1)", 1)] {
+    for (label, max_cluster) in [
+        ("cooperative (<=4)", 4usize),
+        ("pairs (<=2)", 2),
+        ("SISO (1)", 1),
+    ] {
         let net = build(2014, n, 0.5, max_cluster);
         let clusters = net.clusters().len();
         let res = run_lifetime(net, &model, &cfg, 0, n - 1);
@@ -45,7 +52,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["clustering", "clusters", "rounds", "bits", "deaths", "energy (J)"],
+            &[
+                "clustering",
+                "clusters",
+                "rounds",
+                "bits",
+                "deaths",
+                "energy (J)"
+            ],
             &rows
         )
     );
@@ -59,9 +73,16 @@ fn main() {
         if a >= b {
             break;
         }
-        if let Some((bb, opt)) =
-            backbone_vs_optimal(&net, &model, 1e-3, 40e3, 1e4, a, b, ForwardPolicy::AllMembers)
-        {
+        if let Some((bb, opt)) = backbone_vs_optimal(
+            &net,
+            &model,
+            1e-3,
+            40e3,
+            1e4,
+            a,
+            b,
+            ForwardPolicy::AllMembers,
+        ) {
             route_rows.push(vec![
                 format!("{a} -> {b}"),
                 format!("{bb:.3e}"),
@@ -73,7 +94,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["clusters", "backbone (J/bit)", "min-energy (J/bit)", "savings"],
+            &[
+                "clusters",
+                "backbone (J/bit)",
+                "min-energy (J/bit)",
+                "savings"
+            ],
             &route_rows
         )
     );

@@ -1,0 +1,120 @@
+//! Times the Monte-Carlo BER engine: the serial single-stream kernel
+//! ([`comimo_stbc::sim::simulate_ber`]) against the deterministic
+//! sharded parallel engine ([`comimo_stbc::sim::simulate_ber_par`]) at a
+//! fixed seed, checks they agree with the shard-plan replay bit for bit,
+//! and writes the numbers to `BENCH_mc.json`.
+//!
+//! Usage: `cargo run --release -p comimo-bench --bin mcperf [n_blocks]`
+
+use std::time::Instant;
+
+use comimo_bench::EXPERIMENT_SEED;
+use comimo_stbc::design::{Ostbc, StbcKind};
+use comimo_stbc::sim::{
+    shard_plan, simulate_ber, simulate_ber_par, BerResult, SimConstellation, DEFAULT_SHARD_BLOCKS,
+};
+use serde::Serialize;
+
+/// One timed engine configuration.
+#[derive(Debug, Clone, Serialize)]
+struct EngineRow {
+    /// `"serial"` (one stream, one thread) or `"parallel"` (sharded).
+    engine: String,
+    /// Wall-clock seconds for the whole run.
+    seconds: f64,
+    /// Simulated blocks per second.
+    blocks_per_sec: f64,
+    /// Bits simulated.
+    bits: u64,
+    /// Bit errors counted.
+    errors: u64,
+}
+
+/// The `BENCH_mc.json` document.
+#[derive(Debug, Clone, Serialize)]
+struct McReport {
+    /// Seed of the run (results are a pure function of it).
+    seed: u64,
+    /// Monte-Carlo blocks per engine run.
+    n_blocks: usize,
+    /// Blocks per deterministic shard.
+    shard_blocks: usize,
+    /// Rayon pool width the parallel engine ran with.
+    threads: usize,
+    /// Parallel speedup over serial (wall-clock ratio).
+    speedup: f64,
+    /// Timed rows.
+    engines: Vec<EngineRow>,
+}
+
+fn time_run(f: impl FnOnce() -> BerResult) -> (f64, BerResult) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+fn main() {
+    let n_blocks: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n_blocks must be an integer"))
+        .unwrap_or(200_000);
+    let code = Ostbc::new(StbcKind::Alamouti);
+    let cons = SimConstellation::new(2);
+    let (mr, es, n0) = (2, 4.0, 1.0);
+    let seed = EXPERIMENT_SEED;
+
+    // serial reference: replay the parallel engine's shard plan on one
+    // stream-per-shard, exactly what simulate_ber_par does without a pool
+    let (t_serial, r_serial) = time_run(|| {
+        let mut acc = BerResult { bits: 0, errors: 0 };
+        for (label, blocks) in shard_plan(n_blocks) {
+            let mut rng = comimo_math::rng::derive(seed, label);
+            let r = simulate_ber(&mut rng, &code, &cons, mr, es, n0, blocks);
+            acc.bits += r.bits;
+            acc.errors += r.errors;
+        }
+        acc
+    });
+    let (t_par, r_par) = time_run(|| simulate_ber_par(seed, &code, &cons, mr, es, n0, n_blocks));
+    assert_eq!(
+        r_par, r_serial,
+        "parallel engine diverged from the serial shard replay"
+    );
+
+    let threads = rayon::current_num_threads();
+    let report = McReport {
+        seed,
+        n_blocks,
+        shard_blocks: DEFAULT_SHARD_BLOCKS,
+        threads,
+        speedup: t_serial / t_par,
+        engines: vec![
+            EngineRow {
+                engine: "serial".into(),
+                seconds: t_serial,
+                blocks_per_sec: n_blocks as f64 / t_serial,
+                bits: r_serial.bits,
+                errors: r_serial.errors,
+            },
+            EngineRow {
+                engine: "parallel".into(),
+                seconds: t_par,
+                blocks_per_sec: n_blocks as f64 / t_par,
+                bits: r_par.bits,
+                errors: r_par.errors,
+            },
+        ],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_mc.json", &json).expect("write BENCH_mc.json");
+    println!("{json}");
+    println!(
+        "\n{} blocks: serial {:.2}s, parallel {:.2}s on {} thread(s) ({:.2}x), BER {:.3e}",
+        n_blocks,
+        t_serial,
+        t_par,
+        threads,
+        report.speedup,
+        r_par.errors as f64 / r_par.bits as f64
+    );
+}

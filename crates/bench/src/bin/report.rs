@@ -20,9 +20,14 @@ struct Report {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "results/report.json".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/report.json".into());
     let t4_packets = std::env::args().nth(2).and_then(|s| s.parse().ok());
-    eprintln!("regenerating all artefacts (seed {})...", comimo_bench::EXPERIMENT_SEED);
+    eprintln!(
+        "regenerating all artefacts (seed {})...",
+        comimo_bench::EXPERIMENT_SEED
+    );
     let report = Report {
         seed: comimo_bench::EXPERIMENT_SEED,
         fig6: comimo_bench::fig6(25.0),

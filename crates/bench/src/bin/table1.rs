@@ -23,7 +23,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Test Number", "Location of Picked Pr", "Amplitude", "Null residual"],
+            &[
+                "Test Number",
+                "Location of Picked Pr",
+                "Amplitude",
+                "Null residual"
+            ],
             &table
         )
     );

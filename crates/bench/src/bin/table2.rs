@@ -13,11 +13,19 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, r)| {
-            vec![format!("Experiment {}", i + 1), pct(r.ber_coop), pct(r.ber_direct)]
+            vec![
+                format!("Experiment {}", i + 1),
+                pct(r.ber_coop),
+                pct(r.ber_direct),
+            ]
         })
         .collect();
     let avg = res.average();
-    rows.push(vec!["Average".into(), pct(avg.ber_coop), pct(avg.ber_direct)]);
+    rows.push(vec![
+        "Average".into(),
+        pct(avg.ber_coop),
+        pct(avg.ber_direct),
+    ]);
     println!(
         "{}",
         render_table(&["", "with cooperation", "without cooperation"], &rows)

@@ -12,7 +12,11 @@ fn main() {
         "{}",
         render_table(
             &["Multi-relay", "Single-relay", "without cooperation"],
-            &[vec![pct(row.ber_multi), pct(row.ber_single), pct(row.ber_direct)]]
+            &[vec![
+                pct(row.ber_multi),
+                pct(row.ber_single),
+                pct(row.ber_direct)
+            ]]
         )
     );
     println!("Paper: 2.93% | 10.57% | 22.74%");

@@ -21,7 +21,10 @@ fn main() {
     rows.push(vec!["Average".into(), pct(ac), pct(asolo)]);
     println!(
         "{}",
-        render_table(&["Amplitude", "with cooperation", "without cooperation"], &rows)
+        render_table(
+            &["Amplitude", "with cooperation", "without cooperation"],
+            &rows
+        )
     );
     println!("Paper: 800: 0/24.85, 600: 6.12/70.28, 400: 13.72/97.1, avg 6.61/64.08 (%).");
 }

@@ -9,6 +9,7 @@ use comimo_testbed::experiments::beam_scan::{self, BeamScanConfig, BeamScanPoint
 use comimo_testbed::experiments::overlay_multi::{self, MultiRelayConfig, MultiRelayRow};
 use comimo_testbed::experiments::overlay_single::{self, SingleRelayConfig, SingleRelayResult};
 use comimo_testbed::experiments::underlay_image::{self, UnderlayImageConfig, UnderlayImageResult};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// The workspace-wide experiment seed (recorded in EXPERIMENTS.md).
@@ -29,18 +30,22 @@ pub struct Fig6Series {
 /// (`m ∈ {2, 3}`, `B ∈ {20 k, 40 k}`), at `step` metres resolution.
 pub fn fig6(step: f64) -> Vec<Fig6Series> {
     let model = EnergyModel::paper();
-    let mut out = Vec::new();
-    for &m in &[2usize, 3] {
-        for &bw in &[20_000.0, 40_000.0] {
+    // the analytic sweeps are deterministic, so the (m, B) grid fans out
+    // onto the rayon pool with the output kept in grid order
+    let grid: Vec<(usize, f64)> = [2usize, 3]
+        .iter()
+        .flat_map(|&m| [20_000.0, 40_000.0].iter().map(move |&bw| (m, bw)))
+        .collect();
+    grid.par_iter()
+        .map(|&(m, bw)| {
             let overlay = Overlay::new(&model, OverlayConfig::paper(m, bw));
-            out.push(Fig6Series {
+            Fig6Series {
                 m,
                 bandwidth_hz: bw,
                 points: overlay.sweep(150.0, 350.0, step),
-            });
-        }
-    }
-    out
+            }
+        })
+        .collect()
 }
 
 /// One Figure-7 series: an `(mt, mr)` configuration over `D`.
@@ -62,10 +67,14 @@ pub const FIG7_CONFIGS: [(usize, usize); 6] = [(1, 1), (2, 1), (1, 2), (1, 3), (
 pub fn fig7(step: f64) -> Vec<Fig7Series> {
     let model = EnergyModel::paper();
     FIG7_CONFIGS
-        .iter()
+        .par_iter()
         .map(|&(mt, mr)| {
             let u = Underlay::new(&model, UnderlayConfig::paper(mt, mr, 10_000.0));
-            Fig7Series { mt, mr, points: u.sweep(100.0, 300.0, step) }
+            Fig7Series {
+                mt,
+                mr,
+                points: u.sweep(100.0, 300.0, step),
+            }
         })
         .collect()
 }
@@ -119,7 +128,7 @@ mod tests {
         let series = fig7(100.0);
         assert_eq!(series.len(), 6);
         assert_eq!(series[0].points.len(), 3); // 100, 200, 300
-        // SISO is the most expensive at every point
+                                               // SISO is the most expensive at every point
         let siso = &series[0];
         for s in &series[1..] {
             for (a, b) in siso.points.iter().zip(&s.points) {

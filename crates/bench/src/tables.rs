@@ -5,7 +5,12 @@
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cols = headers.len();
     for (i, r) in rows.iter().enumerate() {
-        assert_eq!(r.len(), cols, "row {i} has {} cells, expected {cols}", r.len());
+        assert_eq!(
+            r.len(),
+            cols,
+            "row {i} has {} cells, expected {cols}",
+            r.len()
+        );
     }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for r in rows {

@@ -52,7 +52,7 @@ impl Awgn {
     /// Adds noise in place to a whole buffer.
     pub fn corrupt_buffer(&self, xs: &mut [Complex], rng: &mut impl rand::Rng) {
         for x in xs {
-            *x = *x + self.sample(rng);
+            *x += self.sample(rng);
         }
     }
 }
@@ -102,7 +102,11 @@ mod tests {
         for _ in 0..100_000 {
             st.push(awgn.sample(&mut rng).norm_sqr());
         }
-        assert!((st.mean() - 0.25).abs() < 0.005, "noise power {}", st.mean());
+        assert!(
+            (st.mean() - 0.25).abs() < 0.005,
+            "noise power {}",
+            st.mean()
+        );
     }
 
     #[test]

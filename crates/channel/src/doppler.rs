@@ -32,11 +32,16 @@ impl JakesProcess {
         let mut phases = Vec::with_capacity(n_paths);
         for i in 0..n_paths {
             // deterministic angle spread plus a random offset per path
-            let theta = std::f64::consts::TAU * (i as f64 + rng.gen_range(0.0..1.0)) / n_paths as f64;
+            let theta =
+                std::f64::consts::TAU * (i as f64 + rng.gen_range(0.0..1.0)) / n_paths as f64;
             omegas.push(std::f64::consts::TAU * f_d_hz * theta.cos() / f_s_hz);
             phases.push(rng.gen_range(0.0..std::f64::consts::TAU));
         }
-        Self { omegas, phases, amp: (1.0 / n_paths as f64).sqrt() }
+        Self {
+            omegas,
+            phases,
+            amp: (1.0 / n_paths as f64).sqrt(),
+        }
     }
 
     /// The complex gain at sample index `n`.

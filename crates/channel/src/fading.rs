@@ -71,7 +71,11 @@ impl Rician {
     /// a fixed line-of-sight phase.
     pub fn new(k_factor: f64, mean_power: f64, los_phase: f64) -> Self {
         assert!(k_factor >= 0.0 && mean_power > 0.0);
-        Self { k_factor, mean_power, los_phase }
+        Self {
+            k_factor,
+            mean_power,
+            los_phase,
+        }
     }
 
     /// A typical strong-LOS indoor channel (K = 6 dB ≈ 4.0).

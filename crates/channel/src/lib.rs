@@ -38,7 +38,7 @@ pub mod shadowing;
 
 pub use doppler::JakesProcess;
 pub use fading::{BlockRayleigh, FadingChannel, Rician};
-pub use shadowing::{ShadowField, ShadowingConfig};
 pub use geometry::Point;
 pub use link::{noise_floor_watts, LinkBudget};
 pub use pathloss::{FriisFreeSpace, KappaLaw, PathLoss, SquareLawLongHaul};
+pub use shadowing::{ShadowField, ShadowingConfig};

@@ -43,6 +43,7 @@ pub struct LinkBudget {
 
 impl LinkBudget {
     /// Builds a budget from a path-loss law, distance and environment.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_model(
         tx_power_w: f64,
         model: &impl PathLoss,
@@ -138,7 +139,10 @@ mod tests {
             nf_db: 10.0,
         };
         assert!(weak.meets_underlay_constraint());
-        let strong = LinkBudget { tx_power_w: 1.0, ..weak };
+        let strong = LinkBudget {
+            tx_power_w: 1.0,
+            ..weak
+        };
         assert!(!strong.meets_underlay_constraint());
         // margin difference equals the 120 dB power difference
         assert!((weak.underlay_margin_db() - strong.underlay_margin_db() - 120.0).abs() < 1e-9);

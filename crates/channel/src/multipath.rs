@@ -58,7 +58,10 @@ impl TappedDelayLine {
         assert!(los_amp >= 0.0 && scatter_power >= 0.0);
         assert!(decay > 0.0 && decay < 1.0, "decay must be in (0,1)");
         assert!(tap_spacing >= 1);
-        let mut taps = vec![Tap { delay: 0, gain: Complex::real(los_amp) }];
+        let mut taps = vec![Tap {
+            delay: 0,
+            gain: Complex::real(los_amp),
+        }];
         if n_scatter > 0 && scatter_power > 0.0 {
             // normalise the profile so the scattered power sums to target
             let norm: f64 = (0..n_scatter).map(|i| decay.powi(i as i32)).sum();
@@ -104,7 +107,10 @@ impl TappedDelayLine {
     /// several transmitters at one receiver). `out` must be at least
     /// `input.len() + memory()` long.
     pub fn apply_into(&self, input: &[Complex], out: &mut [Complex]) {
-        assert!(out.len() >= input.len() + self.memory(), "output buffer too short");
+        assert!(
+            out.len() >= input.len() + self.memory(),
+            "output buffer too short"
+        );
         for tap in &self.taps {
             for (i, &x) in input.iter().enumerate() {
                 out[i + tap.delay] += x * tap.gain;
@@ -144,8 +150,14 @@ mod tests {
     #[test]
     fn two_tap_echo() {
         let ch = TappedDelayLine::new(vec![
-            Tap { delay: 0, gain: c(1.0, 0.0) },
-            Tap { delay: 2, gain: c(0.5, 0.0) },
+            Tap {
+                delay: 0,
+                gain: c(1.0, 0.0),
+            },
+            Tap {
+                delay: 2,
+                gain: c(0.5, 0.0),
+            },
         ]);
         let x = vec![c(1.0, 0.0)];
         let y = ch.apply(&x);
@@ -195,8 +207,14 @@ mod tests {
     fn frequency_response_notch_of_two_taps() {
         // taps 1 and 1 at delays 0,1 null out at f = 0.5
         let ch = TappedDelayLine::new(vec![
-            Tap { delay: 0, gain: c(1.0, 0.0) },
-            Tap { delay: 1, gain: c(1.0, 0.0) },
+            Tap {
+                delay: 0,
+                gain: c(1.0, 0.0),
+            },
+            Tap {
+                delay: 1,
+                gain: c(1.0, 0.0),
+            },
         ]);
         assert!(ch.frequency_response(0.5).abs() < 1e-12);
         assert!((ch.frequency_response(0.0).abs() - 2.0).abs() < 1e-12);
@@ -205,8 +223,14 @@ mod tests {
     #[test]
     fn memory_matches_longest_delay() {
         let ch = TappedDelayLine::new(vec![
-            Tap { delay: 0, gain: c(1.0, 0.0) },
-            Tap { delay: 7, gain: c(0.1, 0.0) },
+            Tap {
+                delay: 0,
+                gain: c(1.0, 0.0),
+            },
+            Tap {
+                delay: 7,
+                gain: c(0.1, 0.0),
+            },
         ]);
         assert_eq!(ch.memory(), 7);
         assert_eq!(ch.apply(&[c(1.0, 0.0); 3]).len(), 10);

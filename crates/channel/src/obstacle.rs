@@ -25,7 +25,10 @@ impl Obstacle {
     /// Builds an obstacle from endpoints and loss.
     pub fn new(a: Point, b: Point, loss_db: f64) -> Self {
         assert!(loss_db >= 0.0, "penetration loss cannot be negative");
-        Self { segment: Segment::new(a, b), loss_db }
+        Self {
+            segment: Segment::new(a, b),
+            loss_db,
+        }
     }
 }
 
@@ -143,18 +146,34 @@ mod tests {
     #[test]
     fn open_environment_is_lossless() {
         let env = Environment::open();
-        assert_eq!(env.excess_loss_db(Point::origin(), Point::new(100.0, 0.0)), 0.0);
-        assert_eq!(env.excess_loss_factor(Point::origin(), Point::new(5.0, 5.0)), 1.0);
+        assert_eq!(
+            env.excess_loss_db(Point::origin(), Point::new(100.0, 0.0)),
+            0.0
+        );
+        assert_eq!(
+            env.excess_loss_factor(Point::origin(), Point::new(5.0, 5.0)),
+            1.0
+        );
     }
 
     #[test]
     fn wall_blocks_crossing_ray_only() {
         let mut env = Environment::open();
-        env.add(Obstacle::new(Point::new(5.0, -1.0), Point::new(5.0, 1.0), 10.0));
+        env.add(Obstacle::new(
+            Point::new(5.0, -1.0),
+            Point::new(5.0, 1.0),
+            10.0,
+        ));
         // crossing ray
-        assert_eq!(env.excess_loss_db(Point::new(0.0, 0.0), Point::new(10.0, 0.0)), 10.0);
+        assert_eq!(
+            env.excess_loss_db(Point::new(0.0, 0.0), Point::new(10.0, 0.0)),
+            10.0
+        );
         // ray passing above the wall
-        assert_eq!(env.excess_loss_db(Point::new(0.0, 2.0), Point::new(10.0, 2.0)), 0.0);
+        assert_eq!(
+            env.excess_loss_db(Point::new(0.0, 2.0), Point::new(10.0, 2.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -167,8 +186,13 @@ mod tests {
                 7.0,
             ));
         }
-        assert_eq!(env.crossings(Point::new(0.0, 0.0), Point::new(10.0, 0.0)), 3);
-        assert!((env.excess_loss_db(Point::new(0.0, 0.0), Point::new(10.0, 0.0)) - 21.0).abs() < 1e-12);
+        assert_eq!(
+            env.crossings(Point::new(0.0, 0.0), Point::new(10.0, 0.0)),
+            3
+        );
+        assert!(
+            (env.excess_loss_db(Point::new(0.0, 0.0), Point::new(10.0, 0.0)) - 21.0).abs() < 1e-12
+        );
     }
 
     #[test]

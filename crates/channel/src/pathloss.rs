@@ -63,7 +63,11 @@ impl KappaLaw {
     /// Builds a custom κ-law.
     pub fn new(g1: f64, kappa: f64, link_margin: f64) -> Self {
         assert!(g1 > 0.0 && kappa > 0.0 && link_margin >= 1.0);
-        Self { g1, kappa, link_margin }
+        Self {
+            g1,
+            kappa,
+            link_margin,
+        }
     }
 }
 
@@ -105,7 +109,12 @@ impl SquareLawLongHaul {
     /// Builds a custom long-haul law.
     pub fn new(gt_gr: f64, lambda_m: f64, link_margin: f64, noise_figure: f64) -> Self {
         assert!(gt_gr > 0.0 && lambda_m > 0.0 && link_margin >= 1.0 && noise_figure >= 1.0);
-        Self { gt_gr, lambda_m, link_margin, noise_figure }
+        Self {
+            gt_gr,
+            lambda_m,
+            link_margin,
+            noise_figure,
+        }
     }
 
     /// Inverts the law: the distance at which the loss factor equals `l`.
@@ -203,7 +212,11 @@ mod tests {
     fn friis_anchor_2_45ghz() {
         // loss at 1 m, 2.45 GHz is ~40.2 dB
         let pl = FriisFreeSpace::at_frequency(2.45e9);
-        assert!((pl.loss_db(1.0) - 40.23).abs() < 0.1, "got {}", pl.loss_db(1.0));
+        assert!(
+            (pl.loss_db(1.0) - 40.23).abs() < 0.1,
+            "got {}",
+            pl.loss_db(1.0)
+        );
     }
 
     #[test]

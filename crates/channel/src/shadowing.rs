@@ -26,12 +26,18 @@ pub struct ShadowingConfig {
 impl ShadowingConfig {
     /// Typical indoor values: σ = 4 dB, d_corr = 5 m.
     pub fn indoor() -> Self {
-        Self { sigma_db: 4.0, d_corr_m: 5.0 }
+        Self {
+            sigma_db: 4.0,
+            d_corr_m: 5.0,
+        }
     }
 
     /// Typical outdoor values: σ = 8 dB, d_corr = 50 m.
     pub fn outdoor() -> Self {
-        Self { sigma_db: 8.0, d_corr_m: 50.0 }
+        Self {
+            sigma_db: 8.0,
+            d_corr_m: 50.0,
+        }
     }
 }
 
@@ -72,7 +78,11 @@ impl ShadowField {
             let cond_sigma = cfg.sigma_db * (1.0 - rho * rho).sqrt();
             values_db.push(rho * values_db[j] + normal(rng, 0.0, cond_sigma));
         }
-        Self { sites: sites.to_vec(), values_db, cfg }
+        Self {
+            sites: sites.to_vec(),
+            values_db,
+            cfg,
+        }
     }
 
     /// The shadow value (dB) at site index `i`.
@@ -110,13 +120,18 @@ mod tests {
     use comimo_math::stats::RunningStats;
 
     fn grid(n: usize, spacing: f64) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect()
     }
 
     #[test]
     fn marginal_variance_preserved() {
         let mut rng = seeded(71);
-        let cfg = ShadowingConfig { sigma_db: 6.0, d_corr_m: 10.0 };
+        let cfg = ShadowingConfig {
+            sigma_db: 6.0,
+            d_corr_m: 10.0,
+        };
         let mut st = RunningStats::new();
         for _ in 0..800 {
             let f = ShadowField::sample(&mut rng, &grid(20, 7.0), cfg);
@@ -131,11 +146,14 @@ mod tests {
     #[test]
     fn nearby_sites_are_correlated_far_sites_are_not() {
         let mut rng = seeded(72);
-        let cfg = ShadowingConfig { sigma_db: 5.0, d_corr_m: 10.0 };
+        let cfg = ShadowingConfig {
+            sigma_db: 5.0,
+            d_corr_m: 10.0,
+        };
         let sites = vec![
             Point::new(0.0, 0.0),
-            Point::new(1.0, 0.0),    // 1 m away: ρ ≈ 0.9
-            Point::new(500.0, 0.0),  // 500 m away: ρ ≈ 0
+            Point::new(1.0, 0.0),   // 1 m away: ρ ≈ 0.9
+            Point::new(500.0, 0.0), // 500 m away: ρ ≈ 0
         ];
         let mut near = RunningStats::new();
         let mut far = RunningStats::new();
@@ -145,14 +163,25 @@ mod tests {
             far.push(f.at(0) * f.at(2));
         }
         let var = cfg.sigma_db * cfg.sigma_db;
-        assert!(near.mean() / var > 0.7, "near correlation {}", near.mean() / var);
-        assert!(far.mean().abs() / var < 0.15, "far correlation {}", far.mean() / var);
+        assert!(
+            near.mean() / var > 0.7,
+            "near correlation {}",
+            near.mean() / var
+        );
+        assert!(
+            far.mean().abs() / var < 0.15,
+            "far correlation {}",
+            far.mean() / var
+        );
     }
 
     #[test]
     fn zero_sigma_is_deterministic_zero() {
         let mut rng = seeded(73);
-        let cfg = ShadowingConfig { sigma_db: 0.0, d_corr_m: 5.0 };
+        let cfg = ShadowingConfig {
+            sigma_db: 0.0,
+            d_corr_m: 5.0,
+        };
         let f = ShadowField::sample(&mut rng, &grid(10, 3.0), cfg);
         for i in 0..f.len() {
             assert_eq!(f.at(i), 0.0);

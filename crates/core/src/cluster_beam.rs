@@ -53,7 +53,10 @@ impl ClusterBeamformer {
     /// # Panics
     /// If fewer than two nodes are given.
     pub fn pair_up(nodes: &[Point], wavelength: f64) -> Self {
-        assert!(nodes.len() >= 2, "a beamforming cluster needs at least two nodes");
+        assert!(
+            nodes.len() >= 2,
+            "a beamforming cluster needs at least two nodes"
+        );
         assert!(wavelength > 0.0);
         let mut remaining: Vec<Point> = nodes.to_vec();
         let mut pairs = Vec::with_capacity(nodes.len() / 2);
@@ -73,7 +76,11 @@ impl ClusterBeamformer {
             pairs.push(TransmitPair::new(a, b, wavelength));
         }
         let idle_node = remaining.pop();
-        Self { pairs, idle_node, wavelength }
+        Self {
+            pairs,
+            idle_node,
+            wavelength,
+        }
     }
 
     /// Number of pairs — the virtual antenna count `⌊mt/2⌋`.
@@ -103,9 +110,18 @@ impl ClusterBeamformer {
     /// (each pair contributing its exact two-ray field; per-pair symbol
     /// weights `weights` model the STBC symbols carried by each virtual
     /// antenna — pass all-ones for a carrier test).
-    pub fn field_at(&self, p: Point, assignments: &[PairAssignment], weights: &[Complex]) -> Complex {
+    pub fn field_at(
+        &self,
+        p: Point,
+        assignments: &[PairAssignment],
+        weights: &[Complex],
+    ) -> Complex {
         assert_eq!(assignments.len(), self.pairs.len());
-        assert_eq!(weights.len(), self.pairs.len(), "one symbol weight per pair");
+        assert_eq!(
+            weights.len(),
+            self.pairs.len(),
+            "one symbol weight per pair"
+        );
         let k = std::f64::consts::TAU / self.wavelength;
         self.pairs
             .iter()
@@ -303,14 +319,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn single_node_cannot_self_cancel() {
-        let _ = analyze_interweave_link(
-            &EnergyModel::paper(),
-            1,
-            1,
-            1e-3,
-            40_000.0,
-            1e4,
-            100.0,
-        );
+        let _ = analyze_interweave_link(&EnergyModel::paper(), 1, 1, 1e-3, 40_000.0, 1e4, 100.0);
     }
 }

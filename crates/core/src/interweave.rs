@@ -63,7 +63,11 @@ impl TransmitPair {
     pub fn new(st1: Point, st2: Point, wavelength: f64) -> Self {
         assert!(wavelength > 0.0);
         assert!(st1.distance(st2) > 0.0, "coincident transmitters");
-        Self { st1, st2, wavelength }
+        Self {
+            st1,
+            st2,
+            wavelength,
+        }
     }
 
     /// The paper's Table-1 geometry: `St1`/`St2` on the vertical axis with
@@ -252,12 +256,11 @@ pub fn run_trial(rng: &mut impl rand::Rng, cfg: &InterweaveConfig) -> Interweave
 /// Runs the full Table-1 experiment: `n_trials` trials with derived RNG
 /// streams; returns the rows.
 pub fn run_table1(seed: u64, cfg: &InterweaveConfig) -> Vec<InterweaveTrial> {
-    (0..cfg.n_trials)
-        .map(|t| {
-            let mut rng = comimo_math::rng::derive(seed, t as u64);
-            run_trial(&mut rng, cfg)
-        })
-        .collect()
+    let trials: Vec<u64> = (0..cfg.n_trials as u64).collect();
+    crate::par_map(&trials, |&t| {
+        let mut rng = comimo_math::rng::derive(seed, t);
+        run_trial(&mut rng, cfg)
+    })
 }
 
 #[cfg(test)]
@@ -351,8 +354,9 @@ mod tests {
             assert!(r.null_residual < 1e-9, "null residual {}", r.null_residual);
             // picked Prs hug the pair axis (perpendicular to Sr), like the
             // paper's Table-1 locations
-            let angle_from_vertical =
-                (r.picked_pr.x.abs()).atan2(r.picked_pr.y.abs()).to_degrees();
+            let angle_from_vertical = (r.picked_pr.x.abs())
+                .atan2(r.picked_pr.y.abs())
+                .to_degrees();
             assert!(
                 angle_from_vertical < 45.0,
                 "picked Pr {:?} too far off-axis",

@@ -123,7 +123,10 @@ impl<'m> Overlay<'m> {
     /// Builds the evaluator.
     pub fn new(model: &'m EnergyModel, cfg: OverlayConfig) -> Self {
         assert!(cfg.m >= 1, "need at least one relay");
-        assert!(cfg.ber_relay < cfg.ber_direct, "relayed BER must be stricter");
+        assert!(
+            cfg.ber_relay < cfg.ber_direct,
+            "relayed BER must be stricter"
+        );
         Self { model, cfg }
     }
 
@@ -133,7 +136,12 @@ impl<'m> Overlay<'m> {
     /// 1 to 16").
     pub fn direct_energy(&self, d1: f64) -> (f64, u32) {
         let c = minimize_over_b(1, 16, |b| {
-            let p = LinkParams::new(self.cfg.ber_direct, b, self.cfg.bandwidth_hz, self.cfg.block_bits);
+            let p = LinkParams::new(
+                self.cfg.ber_direct,
+                b,
+                self.cfg.bandwidth_hz,
+                self.cfg.block_bits,
+            );
             self.model.e_mimot(&p, 1, 1, d1)
         });
         (c.energy, c.b)
@@ -153,15 +161,15 @@ impl<'m> Overlay<'m> {
             self.model.e_mimot(&p, 1, simo_mr, d2)
         });
         let miso = minimize_over_b(1, 16, |b| {
-            let p = LinkParams::new(self.cfg.ber_relay, b, self.cfg.bandwidth_hz, self.cfg.block_bits);
+            let p = LinkParams::new(
+                self.cfg.ber_relay,
+                b,
+                self.cfg.bandwidth_hz,
+                self.cfg.block_bits,
+            );
             self.model.e_mimot(&p, m, 1, d3)
         });
-        let p_simo = LinkParams::new(
-            simo_ber,
-            simo.b,
-            self.cfg.bandwidth_hz,
-            self.cfg.block_bits,
-        );
+        let p_simo = LinkParams::new(simo_ber, simo.b, self.cfg.bandwidth_hz, self.cfg.block_bits);
         let p_miso = LinkParams::new(
             self.cfg.ber_relay,
             miso.b,
@@ -205,7 +213,12 @@ impl<'m> Overlay<'m> {
         // D3: budget must also cover the SU's Step-1 reception cost
         let mut best_d3 = (0.0f64, 1u32);
         for b in 1..=16u32 {
-            let p = LinkParams::new(self.cfg.ber_relay, b, self.cfg.bandwidth_hz, self.cfg.block_bits);
+            let p = LinkParams::new(
+                self.cfg.ber_relay,
+                b,
+                self.cfg.bandwidth_hz,
+                self.cfg.block_bits,
+            );
             let tx_budget = e1 - self.model.e_mimor(&p);
             if tx_budget <= 0.0 {
                 continue;
@@ -278,10 +291,18 @@ mod tests {
         // (default Step-1 model: independent decode at the direct BER)
         let p_simo = LinkParams::new(cfg.ber_direct, a.b_simo, cfg.bandwidth_hz, cfg.block_bits);
         let e_pt = model.e_mimot(&p_simo, 1, 1, a.d2);
-        assert!((e_pt - a.e1).abs() / a.e1 < 1e-6, "E_Pt {e_pt:e} vs E1 {:e}", a.e1);
+        assert!(
+            (e_pt - a.e1).abs() / a.e1 < 1e-6,
+            "E_Pt {e_pt:e} vs E1 {:e}",
+            a.e1
+        );
         let p_miso = LinkParams::new(cfg.ber_relay, a.b_miso, cfg.bandwidth_hz, cfg.block_bits);
         let e_s = model.e_mimot(&p_miso, 3, 1, a.d3) + model.e_mimor(&p_miso);
-        assert!((e_s - a.e1).abs() / a.e1 < 1e-6, "E_S {e_s:e} vs E1 {:e}", a.e1);
+        assert!(
+            (e_s - a.e1).abs() / a.e1 < 1e-6,
+            "E_S {e_s:e} vs E1 {:e}",
+            a.e1
+        );
     }
 
     #[test]
@@ -362,7 +383,12 @@ mod tests {
         let a20 = Overlay::new(&model, OverlayConfig::paper(3, 20_000.0)).analyze(250.0);
         let a40 = Overlay::new(&model, OverlayConfig::paper(3, 40_000.0)).analyze(250.0);
         assert!(a40.d3 > a20.d3, "40k D3 {} vs 20k D3 {}", a40.d3, a20.d3);
-        assert!(a40.d2 >= a20.d2 * 0.99, "40k D2 {} vs 20k D2 {}", a40.d2, a20.d2);
+        assert!(
+            a40.d2 >= a20.d2 * 0.99,
+            "40k D2 {} vs 20k D2 {}",
+            a40.d2,
+            a20.d2
+        );
     }
 
     #[test]
@@ -385,12 +411,7 @@ mod tests {
         let ov = Overlay::new(&model, cfg);
         let a = ov.analyze(250.0);
         // D3 beyond the direct link (paper: 406 m ≈ 1.62x)
-        assert!(
-            a.d3 > 1.1 * a.d1,
-            "D3 {} should exceed D1 {}",
-            a.d3,
-            a.d1
-        );
+        assert!(a.d3 > 1.1 * a.d1, "D3 {} should exceed D1 {}", a.d3, a.d1);
         // D2 tracks D1 (paper: 235 m ≈ 0.94x)
         assert!(
             a.d2 > 0.7 * a.d1 && a.d2 < 1.2 * a.d1,
@@ -421,7 +442,10 @@ mod tests {
     #[should_panic]
     fn relay_ber_must_be_stricter() {
         let model = EnergyModel::paper();
-        let cfg = OverlayConfig { ber_relay: 0.01, ..OverlayConfig::paper(2, 1e4) };
+        let cfg = OverlayConfig {
+            ber_relay: 0.01,
+            ..OverlayConfig::paper(2, 1e4)
+        };
         let _ = Overlay::new(&model, cfg);
     }
 }

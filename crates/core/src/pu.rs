@@ -47,7 +47,10 @@ impl PuActivity {
     /// Builds an activity model.
     pub fn new(mean_on_s: f64, mean_off_s: f64) -> Self {
         assert!(mean_on_s > 0.0 && mean_off_s > 0.0);
-        Self { mean_on_s, mean_off_s }
+        Self {
+            mean_on_s,
+            mean_off_s,
+        }
     }
 
     /// Long-run fraction of time the PU is on.
@@ -67,7 +70,11 @@ impl PuActivity {
         let mut active = rng.gen_bool(self.duty_cycle());
         let mut out = Vec::new();
         while t < horizon_s {
-            let mean = if active { self.mean_on_s } else { self.mean_off_s };
+            let mean = if active {
+                self.mean_on_s
+            } else {
+                self.mean_off_s
+            };
             let dur = mean * comimo_math::rng::exponential_unit(rng);
             let end = (t + dur).min(horizon_s);
             if end > t {
@@ -139,6 +146,9 @@ mod tests {
         assert!(PuActivity::is_active_at(&sched, 0.5));
         assert!(!PuActivity::is_active_at(&sched, 2.0));
         assert!(PuActivity::is_active_at(&sched, 3.5));
-        assert!(!PuActivity::is_active_at(&sched, 10.0), "past horizon = off");
+        assert!(
+            !PuActivity::is_active_at(&sched, 10.0),
+            "past horizon = off"
+        );
     }
 }

@@ -46,7 +46,12 @@ impl SensingConfig {
     /// A decent detector: 95 % detection, 5 % false alarm, 50 samples
     /// over 10 s.
     pub fn typical() -> Self {
-        Self { p_detect: 0.95, p_false_alarm: 0.05, n_samples: 50, horizon_s: 10.0 }
+        Self {
+            p_detect: 0.95,
+            p_false_alarm: 0.05,
+            n_samples: 50,
+            horizon_s: 10.0,
+        }
     }
 }
 
@@ -155,8 +160,7 @@ impl SpectrumMap {
             .iter()
             .max_by(|a, b| {
                 let score = |c: &SensedChannel| {
-                    collinearity_deviation(c.pu.rx, st, sr)
-                        + 0.1 * st.distance(c.pu.rx) / max_dist
+                    collinearity_deviation(c.pu.rx, st, sr) + 0.1 * st.distance(c.pu.rx) / max_dist
                 };
                 score(a).partial_cmp(&score(b)).expect("NaN score")
             })
@@ -186,7 +190,11 @@ mod tests {
     fn occupancy_estimates_track_duty_cycles() {
         let mut rng = seeded(31);
         // long horizon + many samples for a tight estimate
-        let cfg = SensingConfig { n_samples: 2_000, horizon_s: 2_000.0, ..SensingConfig::typical() };
+        let cfg = SensingConfig {
+            n_samples: 2_000,
+            horizon_s: 2_000.0,
+            ..SensingConfig::typical()
+        };
         let pus = vec![
             (
                 PrimaryPair::new(Point::origin(), Point::new(10.0, 0.0), 0),
@@ -227,9 +235,9 @@ mod tests {
         let map = env(
             &mut rng,
             &[
-                (0.5, Point::new(150.0, 5.0)),  // nearly collinear with Sr
-                (0.5, Point::new(5.0, 140.0)),  // perpendicular — best
-                (0.5, Point::new(30.0, 30.0)),  // diagonal
+                (0.5, Point::new(150.0, 5.0)), // nearly collinear with Sr
+                (0.5, Point::new(5.0, 140.0)), // perpendicular — best
+                (0.5, Point::new(30.0, 30.0)), // diagonal
             ],
         );
         assert_eq!(map.pick_for_nulling(st, sr), 1);
@@ -242,7 +250,11 @@ mod tests {
             PrimaryPair::new(Point::origin(), Point::new(10.0, 0.0), 0),
             PuActivity::new(0.001, 100.0), // essentially always idle
         )];
-        let noisy = SensingConfig { p_false_alarm: 0.3, n_samples: 1000, ..SensingConfig::typical() };
+        let noisy = SensingConfig {
+            p_false_alarm: 0.3,
+            n_samples: 1000,
+            ..SensingConfig::typical()
+        };
         let map = SpectrumMap::sense(&mut rng, &pus, &noisy);
         let est = map.estimate_occupancy(&mut rng, &noisy);
         assert!(

@@ -43,7 +43,14 @@ pub struct UnderlayConfig {
 impl UnderlayConfig {
     /// Figure-7 settings: `d = 1 m`, `p = 0.001`.
     pub fn paper(mt: usize, mr: usize, bandwidth_hz: f64) -> Self {
-        Self { mt, mr, d_m: 1.0, ber: 0.001, bandwidth_hz, block_bits: 1e4 }
+        Self {
+            mt,
+            mr,
+            d_m: 1.0,
+            ber: 0.001,
+            bandwidth_hz,
+            block_bits: 1e4,
+        }
     }
 }
 
@@ -100,7 +107,11 @@ impl<'m> Underlay<'m> {
     fn pa_parts(&self, b: u32, d_long: f64) -> (f64, f64, f64, f64) {
         let cfg = &self.cfg;
         let p = LinkParams::new(cfg.ber, b, cfg.bandwidth_hz, cfg.block_bits);
-        let bcast = if cfg.mt > 1 { self.model.e_lt_pa(&p, cfg.d_m) } else { 0.0 };
+        let bcast = if cfg.mt > 1 {
+            self.model.e_lt_pa(&p, cfg.d_m)
+        } else {
+            0.0
+        };
         let lh = cfg.mt as f64 * self.model.e_mimot_pa(&p, cfg.mt, cfg.mr, d_long);
         // Step 3: each of the forwarding nodes transmits locally in turn;
         // `mr - 1` forwards reach the head (the head does not forward to
@@ -178,7 +189,10 @@ mod tests {
     use comimo_channel::pathloss::SquareLawLongHaul;
 
     fn eval(mt: usize, mr: usize) -> (EnergyModel, UnderlayConfig) {
-        (EnergyModel::paper(), UnderlayConfig::paper(mt, mr, 10_000.0))
+        (
+            EnergyModel::paper(),
+            UnderlayConfig::paper(mt, mr, 10_000.0),
+        )
     }
 
     #[test]
@@ -257,13 +271,19 @@ mod tests {
         let model = EnergyModel::paper();
         let d1 = Underlay::new(
             &model,
-            UnderlayConfig { d_m: 1.0, ..UnderlayConfig::paper(2, 3, 10_000.0) },
+            UnderlayConfig {
+                d_m: 1.0,
+                ..UnderlayConfig::paper(2, 3, 10_000.0)
+            },
         )
         .analyze(200.0)
         .total_pa();
         let d16 = Underlay::new(
             &model,
-            UnderlayConfig { d_m: 16.0, ..UnderlayConfig::paper(2, 3, 10_000.0) },
+            UnderlayConfig {
+                d_m: 16.0,
+                ..UnderlayConfig::paper(2, 3, 10_000.0)
+            },
         )
         .analyze(200.0)
         .total_pa();

@@ -19,7 +19,11 @@ pub fn egc_combine(branches: &[Vec<Complex>], gains: &[Complex]) -> Vec<Complex>
     let n = branches[0].len();
     let mut out = vec![Complex::zero(); n];
     for (branch, &g) in branches.iter().zip(gains) {
-        let phase = if g.abs() > 0.0 { g / g.abs() } else { Complex::one() };
+        let phase = if g.abs() > 0.0 {
+            g / g.abs()
+        } else {
+            Complex::one()
+        };
         let un_rotate = phase.conj();
         for (o, &s) in out.iter_mut().zip(branch) {
             *o += s * un_rotate;
@@ -54,7 +58,11 @@ pub fn selection_combine(branches: &[Vec<Complex>], gains: &[Complex]) -> Vec<Co
         .map(|(i, _)| i)
         .expect("at least one branch");
     let g = gains[best];
-    let un_rotate = if g.abs() > 0.0 { (g / g.abs()).conj() } else { Complex::one() };
+    let un_rotate = if g.abs() > 0.0 {
+        (g / g.abs()).conj()
+    } else {
+        Complex::one()
+    };
     branches[best].iter().map(|&s| s * un_rotate).collect()
 }
 
@@ -93,8 +101,11 @@ mod tests {
     #[test]
     fn egc_cophases_branches() {
         // two branches with opposite phases must add constructively
-        let sym = vec![Complex::real(1.0); 4];
-        let gains = [Complex::from_polar(1.0, 1.0), Complex::from_polar(1.0, -2.0)];
+        let sym = [Complex::real(1.0); 4];
+        let gains = [
+            Complex::from_polar(1.0, 1.0),
+            Complex::from_polar(1.0, -2.0),
+        ];
         let branches: Vec<Vec<Complex>> = gains
             .iter()
             .map(|&g| sym.iter().map(|&s| s * g).collect())
@@ -107,7 +118,7 @@ mod tests {
 
     #[test]
     fn mrc_weights_by_gain_magnitude() {
-        let sym = vec![Complex::real(1.0)];
+        let sym = [Complex::real(1.0)];
         let gains = [Complex::real(2.0), Complex::real(0.5)];
         let branches: Vec<Vec<Complex>> = gains
             .iter()
@@ -120,7 +131,7 @@ mod tests {
 
     #[test]
     fn selection_picks_strongest() {
-        let sym = vec![Complex::real(1.0)];
+        let sym = [Complex::real(1.0)];
         let gains = [Complex::real(0.3), Complex::from_polar(1.5, 0.7)];
         let branches: Vec<Vec<Complex>> = gains
             .iter()
@@ -143,7 +154,10 @@ mod tests {
         let mut errs = [0usize; 4]; // single, sc, egc, mrc
         let block = 100;
         for blk in 0..n / block {
-            let gains = [complex_gaussian(&mut rng, 1.0), complex_gaussian(&mut rng, 1.0)];
+            let gains = [
+                complex_gaussian(&mut rng, 1.0),
+                complex_gaussian(&mut rng, 1.0),
+            ];
             let seg = &sym[blk * block..(blk + 1) * block];
             let branches = make_branches(&mut rng, seg, &gains, 0.5);
             let single: Vec<Complex> = branches[0]
@@ -185,7 +199,10 @@ mod tests {
     #[should_panic]
     fn mismatched_lengths_panic() {
         let _ = egc_combine(
-            &[vec![Complex::zero()], vec![Complex::zero(), Complex::zero()]],
+            &[
+                vec![Complex::zero()],
+                vec![Complex::zero(), Complex::zero()],
+            ],
             &[Complex::one(), Complex::one()],
         );
     }

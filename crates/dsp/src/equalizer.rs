@@ -61,7 +61,10 @@ fn solve_complex(m: &mut [Complex], b: &mut [Complex], n: usize) {
                 piv = r;
             }
         }
-        assert!(m[piv * n + col].norm_sqr() > 1e-300, "singular equaliser system");
+        assert!(
+            m[piv * n + col].norm_sqr() > 1e-300,
+            "singular equaliser system"
+        );
         if piv != col {
             for c in 0..n {
                 m.swap(col * n + c, piv * n + c);
@@ -144,7 +147,9 @@ impl LmsEqualizer {
             if want_idx < delay {
                 continue;
             }
-            let Some(&d) = desired.get(want_idx - delay) else { continue };
+            let Some(&d) = desired.get(want_idx - delay) else {
+                continue;
+            };
             let e = d - y;
             // LMS update: w += mu·e·x*
             for (j, t) in self.taps.iter_mut().enumerate() {
@@ -248,7 +253,10 @@ mod tests {
         let eq = equalize(&rx, &w);
         let fixed = Bpsk.demodulate(&eq[15..15 + sym.len()]);
         let eq_errs = crate::bits::count_bit_errors(&bits, &fixed[..bits.len()]);
-        assert!(eq_errs * 4 < raw_errs, "equalised errors {eq_errs} vs raw {raw_errs}");
+        assert!(
+            eq_errs * 4 < raw_errs,
+            "equalised errors {eq_errs} vs raw {raw_errs}"
+        );
     }
 
     #[test]

@@ -112,8 +112,7 @@ fn viterbi(metric: &impl Metric, n_info: usize) -> Vec<bool> {
             if pm[state] == inf {
                 continue;
             }
-            for input in 0..2 {
-                let (c0, c1, ns) = trans[state][input];
+            for (input, &(c0, c1, ns)) in trans[state].iter().enumerate() {
                 let m = pm[state] + metric.cost(t, c0, c1);
                 if m < next[ns] {
                     next[ns] = m;

@@ -25,7 +25,10 @@ pub fn ifft_in_place(x: &mut [Complex]) {
 
 fn transform(x: &mut [Complex], inverse: bool) {
     let n = x.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -87,11 +90,7 @@ pub fn periodogram_psd(x: &[Complex], fs: f64, nfft: usize) -> (Vec<f64>, Vec<f6
     let mut acc = vec![0.0f64; nfft];
     let mut segments = 0usize;
     for seg in x.chunks_exact(nfft) {
-        let mut buf: Vec<Complex> = seg
-            .iter()
-            .zip(&window)
-            .map(|(&s, &w)| s * w)
-            .collect();
+        let mut buf: Vec<Complex> = seg.iter().zip(&window).map(|(&s, &w)| s * w).collect();
         fft_in_place(&mut buf);
         for (a, v) in acc.iter_mut().zip(&buf) {
             *a += v.norm_sqr();
@@ -180,7 +179,10 @@ mod tests {
         let (freqs, psd) = periodogram_psd(&x, fs, 512);
         let df = freqs[1] - freqs[0];
         let total: f64 = psd.iter().sum::<f64>() * df;
-        assert!((total - p).abs() / p < 0.05, "integrated PSD {total} vs power {p}");
+        assert!(
+            (total - p).abs() / p < 0.05,
+            "integrated PSD {total} vs power {p}"
+        );
     }
 
     #[test]

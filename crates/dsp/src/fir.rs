@@ -95,8 +95,7 @@ impl Fir {
                 } else {
                     (2.0 * std::f64::consts::PI * fc * x).sin() / (std::f64::consts::PI * x)
                 };
-                let w = 0.54
-                    - 0.46 * (std::f64::consts::TAU * i as f64 / (n - 1) as f64).cos();
+                let w = 0.54 - 0.46 * (std::f64::consts::TAU * i as f64 / (n - 1) as f64).cos();
                 sinc * w
             })
             .collect();
@@ -140,7 +139,10 @@ mod tests {
         let s: f64 = t.iter().sum();
         assert!((s - 1.0).abs() < 1e-12);
         for i in 0..t.len() / 2 {
-            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-12, "asymmetric at {i}");
+            assert!(
+                (t[i] - t[t.len() - 1 - i]).abs() < 1e-12,
+                "asymmetric at {i}"
+            );
         }
         // peak at the centre
         let mid = t.len() / 2;
@@ -168,7 +170,11 @@ mod tests {
         let lp = Fir::lowpass(0.1, 63);
         assert!((lp.magnitude_at(0.0) - 1.0).abs() < 1e-9);
         assert!(lp.magnitude_at(0.05) > 0.9);
-        assert!(lp.magnitude_at(0.3) < 0.01, "stopband {}", lp.magnitude_at(0.3));
+        assert!(
+            lp.magnitude_at(0.3) < 0.01,
+            "stopband {}",
+            lp.magnitude_at(0.3)
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub struct FrameCodec {
 impl FrameCodec {
     /// Codec with the standard preamble (PN seed 0xB5A7).
     pub fn new() -> Self {
-        Self { preamble: pn_sequence(0xB5A7, PREAMBLE_BITS) }
+        Self {
+            preamble: pn_sequence(0xB5A7, PREAMBLE_BITS),
+        }
     }
 
     /// The preamble bit pattern.
@@ -74,7 +76,9 @@ impl FrameCodec {
         }
         let body = bits_to_bytes(&body_bits[..total_bits]);
         let payload_with_len = check_and_strip_crc(&body)?;
-        Some(Frame { payload: payload_with_len[2..].to_vec() })
+        Some(Frame {
+            payload: payload_with_len[2..].to_vec(),
+        })
     }
 
     /// Locates the preamble in an unaligned bit stream by exhaustive
@@ -163,7 +167,9 @@ mod tests {
         let mut noisy = stream.clone();
         noisy[40] = !noisy[40];
         noisy[50] = !noisy[50];
-        let off2 = codec.find_preamble(&noisy, PREAMBLE_BITS - 4).expect("found noisy");
+        let off2 = codec
+            .find_preamble(&noisy, PREAMBLE_BITS - 4)
+            .expect("found noisy");
         assert_eq!(off2, 37);
     }
 

@@ -30,7 +30,10 @@ impl GmskModem {
     /// choice).
     pub fn new(bt: f64, sps: usize) -> Self {
         assert!(sps >= 2, "GMSK needs at least 2 samples/symbol");
-        Self { sps, pulse: Fir::gaussian(bt, sps, 4) }
+        Self {
+            sps,
+            pulse: Fir::gaussian(bt, sps, 4),
+        }
     }
 
     /// GNU Radio defaults: BT = 0.35, 4 samples/symbol.
@@ -165,7 +168,7 @@ mod tests {
         let mut s = m.modulate(&bits);
         // Es/N0 per sample ~ 13 dB → per bit (sps=4 integration) plenty
         for v in &mut s {
-            *v = *v + complex_gaussian(&mut rng, 0.05);
+            *v += complex_gaussian(&mut rng, 0.05);
         }
         let back = m.demodulate(&s, bits.len());
         let errs = count_bit_errors(&bits, &back);
@@ -179,7 +182,7 @@ mod tests {
         let bits = pn_sequence(53, 4000);
         let mut s = m.modulate(&bits);
         for v in &mut s {
-            *v = *v + complex_gaussian(&mut rng, 2.0);
+            *v += complex_gaussian(&mut rng, 2.0);
         }
         let back = m.demodulate(&s, bits.len());
         let ber = count_bit_errors(&bits, &back) as f64 / bits.len() as f64;

@@ -70,10 +70,7 @@ impl Modem for Qpsk {
 
     fn map(&self, bits: &[bool]) -> Complex {
         let a = 1.0 / 2f64.sqrt();
-        Complex::new(
-            if bits[0] { a } else { -a },
-            if bits[1] { a } else { -a },
-        )
+        Complex::new(if bits[0] { a } else { -a }, if bits[1] { a } else { -a })
     }
 
     fn demap(&self, symbol: Complex, out: &mut Vec<bool>) {
@@ -95,7 +92,10 @@ impl Modem for Psk8 {
 
     fn map(&self, bits: &[bool]) -> Complex {
         let code = (u8::from(bits[0]) << 2) | (u8::from(bits[1]) << 1) | u8::from(bits[2]);
-        let pos = PSK8_GRAY.iter().position(|&g| g == code).expect("gray code") as f64;
+        let pos = PSK8_GRAY
+            .iter()
+            .position(|&g| g == code)
+            .expect("gray code") as f64;
         Complex::cis(std::f64::consts::TAU * pos / 8.0)
     }
 
@@ -198,8 +198,7 @@ mod tests {
             ("psk8", Psk8.modulate(&random_bits(3999, 7))),
             ("qam16", Qam16.modulate(&random_bits(4000, 8))),
         ] {
-            let e: f64 =
-                syms.iter().map(|s| s.norm_sqr()).sum::<f64>() / syms.len() as f64;
+            let e: f64 = syms.iter().map(|s| s.norm_sqr()).sum::<f64>() / syms.len() as f64;
             assert!((e - 1.0).abs() < 0.05, "{name}: E = {e}");
         }
     }

@@ -63,7 +63,10 @@ pub struct PulseShaper {
 impl PulseShaper {
     /// Builds a shaper (typ. `beta = 0.35`, `sps = 4`, `span = 8`).
     pub fn new(beta: f64, sps: usize, span: usize) -> Self {
-        Self { taps: rrc_taps(beta, sps, span), sps }
+        Self {
+            taps: rrc_taps(beta, sps, span),
+            sps,
+        }
     }
 
     /// Samples per symbol.

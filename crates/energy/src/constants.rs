@@ -161,8 +161,9 @@ mod tests {
     fn coefficient_consistency() {
         let c = SystemConstants::paper();
         let d = 123.0;
-        assert!((c.long_haul_coefficient() * d * d - c.long_haul_loss(d)).abs()
-            / c.long_haul_loss(d)
-            < 1e-12);
+        assert!(
+            (c.long_haul_coefficient() * d * d - c.long_haul_loss(d)).abs() / c.long_haul_loss(d)
+                < 1e-12
+        );
     }
 }

@@ -140,14 +140,9 @@ impl EbarSolver {
         // seed the search at the AWGN (no-fading) requirement, which is
         // always below the fading requirement
         let seed = awgn_seed(p, b, self.n0, mt);
-        let root = bisect_monotone_decreasing(
-            |e| self.forward(e, b, mt, mr),
-            p,
-            seed,
-            self.root_tol,
-            80,
-        )
-        .expect("ebar bracket not found: forward map not monotone?");
+        let root =
+            bisect_monotone_decreasing(|e| self.forward(e, b, mt, mr), p, seed, self.root_tol, 80)
+                .expect("ebar bracket not found: forward map not monotone?");
         root.x
     }
 }
@@ -186,7 +181,10 @@ mod tests {
         for i in 0..10 {
             let e = 1e-21 * 10f64.powi(i);
             let p = s.forward(e, 2, 2, 2);
-            assert!(p < prev || (p - prev).abs() < 1e-15, "not decreasing at {e}");
+            assert!(
+                p < prev || (p - prev).abs() < 1e-15,
+                "not decreasing at {e}"
+            );
             prev = p;
         }
     }
@@ -276,7 +274,10 @@ mod tests {
         let mc = EbarSolver::monte_carlo(200_000, 99);
         let e = q.solve(1e-2, 2, 2, 2);
         let p_mc = mc.forward(e, 2, 2, 2);
-        assert!((p_mc - 1e-2).abs() / 1e-2 < 0.05, "MC {p_mc} vs target 1e-2");
+        assert!(
+            (p_mc - 1e-2).abs() / 1e-2 < 0.05,
+            "MC {p_mc} vs target 1e-2"
+        );
     }
 
     #[test]

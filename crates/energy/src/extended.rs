@@ -250,7 +250,10 @@ mod tests {
         let p = params();
         let half_rate = ExtendedEnergyModel::new(
             base,
-            ProcessingBlocks { stbc_rate: 0.5, ..ProcessingBlocks::none() },
+            ProcessingBlocks {
+                stbc_rate: 0.5,
+                ..ProcessingBlocks::none()
+            },
         );
         let full = ExtendedEnergyModel::paper_base();
         let ratio = half_rate.e_mimor(&p) / full.e_mimor(&p);
@@ -279,7 +282,10 @@ mod tests {
     fn invalid_rate_rejected() {
         let _ = ExtendedEnergyModel::new(
             EnergyModel::paper(),
-            ProcessingBlocks { channel_code_rate: 1.5, ..ProcessingBlocks::none() },
+            ProcessingBlocks {
+                channel_code_rate: 1.5,
+                ..ProcessingBlocks::none()
+            },
         );
     }
 }

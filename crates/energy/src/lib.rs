@@ -38,8 +38,8 @@ pub mod optimize;
 pub mod table;
 
 pub use constants::SystemConstants;
-pub use extended::{ExtendedEnergyModel, ProcessingBlocks};
 pub use ebar::EbarSolver;
+pub use extended::{ExtendedEnergyModel, ProcessingBlocks};
 pub use model::EnergyModel;
 pub use optimize::{optimal_constellation, OptimalChoice};
 pub use table::EbTable;

@@ -39,9 +39,17 @@ impl LinkParams {
     /// Builds link parameters, validating ranges.
     pub fn new(ber: f64, b: u32, bandwidth_hz: f64, block_bits: f64) -> Self {
         assert!(ber > 0.0 && ber < 0.5, "target BER out of range: {ber}");
-        assert!((1..=16).contains(&b), "b out of the paper's 1..=16 range: {b}");
+        assert!(
+            (1..=16).contains(&b),
+            "b out of the paper's 1..=16 range: {b}"
+        );
         assert!(bandwidth_hz > 0.0 && block_bits >= 1.0);
-        Self { ber, b, bandwidth_hz, block_bits }
+        Self {
+            ber,
+            b,
+            bandwidth_hz,
+            block_bits,
+        }
     }
 
     /// Bit rate `b·B` in bit/s.
@@ -55,11 +63,14 @@ impl LinkParams {
 /// `ē_b` inversions are memoised internally (the network layer calls the
 /// same `(p, b, mt, mr)` cells thousands of times during routing and
 /// lifetime simulation); clones share the cache.
+/// Cache key: `(p.to_bits(), b, mt, mr)` ↦ solved `ē_b`.
+type EbarCache = Arc<RwLock<HashMap<(u64, u32, usize, usize), f64>>>;
+
 #[derive(Debug, Clone)]
 pub struct EnergyModel {
     consts: SystemConstants,
     solver: EbarSolver,
-    ebar_cache: Arc<RwLock<HashMap<(u64, u32, usize, usize), f64>>>,
+    ebar_cache: EbarCache,
 }
 
 impl EnergyModel {
@@ -107,7 +118,10 @@ impl EnergyModel {
         let alpha = SystemConstants::alpha(p.b);
         let m_term = (2f64.powi(p.b as i32) - 1.0) / b;
         let log_arg = 4.0 * (1.0 - 2f64.powf(-b / 2.0)) / (b * p.ber);
-        assert!(log_arg > 1.0, "local-link BER target unreachable: ln arg {log_arg} <= 1");
+        assert!(
+            log_arg > 1.0,
+            "local-link BER target unreachable: ln arg {log_arg} <= 1"
+        );
         4.0 / 3.0 * (1.0 + alpha) * m_term * log_arg.ln() * c.g_d(d_m) * c.noise_figure * c.sigma2
     }
 
@@ -139,14 +153,7 @@ impl EnergyModel {
 
     /// Equation (3) PA part with a caller-supplied `ē_b` (e.g. from a
     /// precomputed [`crate::table::EbTable`]).
-    pub fn e_mimot_pa_with_ebar(
-        &self,
-        b: u32,
-        mt: usize,
-        ebar: f64,
-        d_m: f64,
-        alpha: f64,
-    ) -> f64 {
+    pub fn e_mimot_pa_with_ebar(&self, b: u32, mt: usize, ebar: f64, d_m: f64, alpha: f64) -> f64 {
         let _ = b;
         assert!(mt >= 1);
         (1.0 / mt as f64) * (1.0 + alpha) * ebar * self.consts.long_haul_loss(d_m)
@@ -175,13 +182,7 @@ impl EnergyModel {
     ///
     /// This is the workhorse of the overlay paradigm's `D2`/`D3` analysis
     /// (paper Section 3).
-    pub fn max_distance(
-        &self,
-        p: &LinkParams,
-        mt: usize,
-        mr: usize,
-        e_budget: f64,
-    ) -> Option<f64> {
+    pub fn max_distance(&self, p: &LinkParams, mt: usize, mr: usize, e_budget: f64) -> Option<f64> {
         let pa_budget = e_budget - self.e_mimot_c(p);
         if pa_budget <= 0.0 {
             return None;
@@ -223,10 +224,7 @@ mod tests {
         let p = params(1e-3, 2);
         let pa = m.e_lt_pa(&p, 1.0);
         // (4/3)(1+2.857)(1.5)·ln(1000)·100·10·3.981e-21 ≈ 2.12e-16
-        assert!(
-            (pa - 2.12e-16).abs() / 2.12e-16 < 0.02,
-            "e_PA^Lt = {pa:e}"
-        );
+        assert!((pa - 2.12e-16).abs() / 2.12e-16 < 0.02, "e_PA^Lt = {pa:e}");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub fn minimize_over_b(lo: u32, hi: u32, mut objective: impl FnMut(u32) -> f64) 
         if !e.is_finite() {
             continue;
         }
-        if best.map_or(true, |c| e < c.energy) {
+        if best.is_none_or(|c| e < c.energy) {
             best = Some(OptimalChoice { b, energy: e });
         }
     }

@@ -40,9 +40,8 @@ impl EbTable {
             .enumerate()
             .flat_map(|(pi, _)| {
                 (1..=MAX_BITS).flat_map(move |b| {
-                    (1..=MAX_ANTENNAS).flat_map(move |mt| {
-                        (1..=MAX_ANTENNAS).map(move |mr| (pi, b, mt, mr))
-                    })
+                    (1..=MAX_ANTENNAS)
+                        .flat_map(move |mt| (1..=MAX_ANTENNAS).map(move |mr| (pi, b, mt, mr)))
                 })
             })
             .collect();
@@ -50,7 +49,10 @@ impl EbTable {
             .par_iter()
             .map(|&(pi, b, mt, mr)| solver.solve(bers[pi], b, mt, mr))
             .collect();
-        Self { bers: bers.to_vec(), values }
+        Self {
+            bers: bers.to_vec(),
+            values,
+        }
     }
 
     /// The paper's default grid: the BER targets exercised in Section 6
@@ -118,10 +120,10 @@ impl EbTable {
         let mut above: Option<(f64, usize)> = None;
         for (i, &g) in self.bers.iter().enumerate() {
             let lg = g.ln();
-            if lg <= lp && below.map_or(true, |(bl, _)| lg > bl) {
+            if lg <= lp && below.is_none_or(|(bl, _)| lg > bl) {
                 below = Some((lg, i));
             }
-            if lg >= lp && above.map_or(true, |(ab, _)| lg < ab) {
+            if lg >= lp && above.is_none_or(|(ab, _)| lg < ab) {
                 above = Some((lg, i));
             }
         }
@@ -177,10 +179,17 @@ mod tests {
     fn lookup_matches_direct_solve() {
         let solver = EbarSolver::paper();
         let t = small_table();
-        for &(p, b, mt, mr) in &[(0.01, 2u32, 1usize, 1usize), (0.001, 4, 2, 3), (0.01, 16, 4, 4)] {
+        for &(p, b, mt, mr) in &[
+            (0.01, 2u32, 1usize, 1usize),
+            (0.001, 4, 2, 3),
+            (0.01, 16, 4, 4),
+        ] {
             let direct = solver.solve(p, b, mt, mr);
             let tab = t.lookup(p, b, mt, mr);
-            assert!((tab - direct).abs() / direct < 1e-9, "{tab:e} vs {direct:e}");
+            assert!(
+                (tab - direct).abs() / direct < 1e-9,
+                "{tab:e} vs {direct:e}"
+            );
         }
     }
 
@@ -257,10 +266,7 @@ mod tests {
             t.lookup_interpolated(1e-5, 2, 1, 1),
             t.lookup(0.001, 2, 1, 1)
         );
-        assert_eq!(
-            t.lookup_interpolated(0.2, 2, 1, 1),
-            t.lookup(0.01, 2, 1, 1)
-        );
+        assert_eq!(t.lookup_interpolated(0.2, 2, 1, 1), t.lookup(0.01, 2, 1, 1));
     }
 
     #[test]

@@ -61,6 +61,43 @@ impl CMatrix {
         Self { rows, cols, data }
     }
 
+    /// Refills every element in place by evaluating `f(row, col)`, without
+    /// touching the allocation — the in-place counterpart of [`from_fn`]
+    /// for hot loops that reuse one matrix across iterations.
+    ///
+    /// [`from_fn`]: CMatrix::from_fn
+    pub fn fill_from_fn(&mut self, mut f: impl FnMut(usize, usize) -> Complex) {
+        let cols = self.cols;
+        for (i, slot) in self.data.iter_mut().enumerate() {
+            *slot = f(i / cols, i % cols);
+        }
+    }
+
+    /// Writes `A·Bᵀ` into `out` without allocating (and without forming
+    /// `Bᵀ`): `out[r][c] = Σ_k A[r][k]·B[c][k]`. `out` is resized
+    /// (`self.rows × b.rows`) only on first use with a new shape.
+    ///
+    /// # Panics
+    /// If `self.cols() != b.cols()`.
+    pub fn mul_bt_into(&self, b: &CMatrix, out: &mut CMatrix) {
+        assert_eq!(
+            self.cols, b.cols,
+            "inner dimensions must agree for A*B^T: {}x{} * ({}x{})^T",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        out.rows = self.rows;
+        out.cols = b.rows;
+        out.data.resize(self.rows * b.rows, Complex::zero());
+        for r in 0..self.rows {
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            for c in 0..b.rows {
+                let brow = &b.data[c * b.cols..(c + 1) * b.cols];
+                out.data[r * b.rows + c] =
+                    arow.iter().zip(brow).map(|(&x, &y)| x * y).sum::<Complex>();
+            }
+        }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -259,8 +296,16 @@ mod tests {
 
     #[test]
     fn matmul_known_product() {
-        let a = CMatrix::from_vec(2, 2, vec![c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0), c(4.0, 0.0)]);
-        let b = CMatrix::from_vec(2, 2, vec![c(0.0, 1.0), c(1.0, 0.0), c(1.0, 0.0), c(0.0, -1.0)]);
+        let a = CMatrix::from_vec(
+            2,
+            2,
+            vec![c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0), c(4.0, 0.0)],
+        );
+        let b = CMatrix::from_vec(
+            2,
+            2,
+            vec![c(0.0, 1.0), c(1.0, 0.0), c(1.0, 0.0), c(0.0, -1.0)],
+        );
         let p = &a * &b;
         assert!(p[(0, 0)].approx_eq(c(2.0, 1.0), 1e-12));
         assert!(p[(0, 1)].approx_eq(c(1.0, -2.0), 1e-12));
@@ -282,15 +327,30 @@ mod tests {
 
     #[test]
     fn trace_of_identity() {
-        assert!(CMatrix::identity(4)
-            .trace()
-            .approx_eq(c(4.0, 0.0), 1e-12));
+        assert!(CMatrix::identity(4).trace().approx_eq(c(4.0, 0.0), 1e-12));
     }
 
     #[test]
     fn frobenius_invariant_under_hermitian() {
         let a = CMatrix::from_fn(3, 4, |r, cc| c(r as f64 - 1.0, cc as f64 + 0.5));
         assert!((a.frobenius_norm_sqr() - a.hermitian().frobenius_norm_sqr()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_from_fn_matches_from_fn() {
+        let mut m = CMatrix::zeros(3, 4);
+        m.fill_from_fn(|r, cc| c(r as f64 * 2.0, cc as f64 - 1.0));
+        let expect = CMatrix::from_fn(3, 4, |r, cc| c(r as f64 * 2.0, cc as f64 - 1.0));
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn mul_bt_into_matches_mul_transpose() {
+        let a = CMatrix::from_fn(3, 2, |r, cc| c((r + cc) as f64, r as f64 - 0.5));
+        let b = CMatrix::from_fn(4, 2, |r, cc| c(r as f64 * 0.25, (cc + 1) as f64));
+        let mut out = CMatrix::zeros(1, 1);
+        a.mul_bt_into(&b, &mut out);
+        assert_eq!(out, &a * &b.transpose());
     }
 
     #[test]

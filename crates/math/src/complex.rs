@@ -175,6 +175,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w^-1
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -332,7 +333,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![Complex::new(1.0, 1.0); 10];
+        let v = [Complex::new(1.0, 1.0); 10];
         let s: Complex = v.iter().sum();
         assert!(s.approx_eq(Complex::new(10.0, 10.0), TOL));
     }

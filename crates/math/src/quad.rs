@@ -134,7 +134,10 @@ mod tests {
         // normalization: ∫ e^{-((x-5)/0.01)²} dx = 0.01·√π
         let got = adaptive_simpson(|x: f64| (-(x - 5.0).powi(2) / 1e-4).exp(), 0.0, 10.0, 1e-14);
         let expect = 0.01 * std::f64::consts::PI.sqrt();
-        assert!((got - expect).abs() / expect < 1e-6, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() / expect < 1e-6,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]

@@ -162,7 +162,11 @@ mod tests {
             for _ in 0..100_000 {
                 st.push(gamma(&mut rng, k));
             }
-            assert!((st.mean() - k).abs() < 0.06 * k.max(1.0), "mean {} for k={k}", st.mean());
+            assert!(
+                (st.mean() - k).abs() < 0.06 * k.max(1.0),
+                "mean {} for k={k}",
+                st.mean()
+            );
             assert!(
                 (st.variance() - k).abs() < 0.12 * k.max(1.0),
                 "var {} for k={k}",

@@ -44,10 +44,18 @@ pub fn bisect(
     let fb = f(b);
     let mut evals = 2;
     if fa == 0.0 {
-        return Ok(Root { x: a, residual: 0.0, evals });
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            evals,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, residual: 0.0, evals });
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            evals,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(NoBracket);
@@ -57,7 +65,11 @@ pub fn bisect(
         let fm = f(m);
         evals += 1;
         if fm == 0.0 {
-            return Ok(Root { x: m, residual: 0.0, evals });
+            return Ok(Root {
+                x: m,
+                residual: 0.0,
+                evals,
+            });
         }
         if fm.signum() == fa.signum() {
             a = m;
@@ -68,7 +80,11 @@ pub fn bisect(
     }
     let x = 0.5 * (a + b);
     let residual = f(x);
-    Ok(Root { x, residual, evals: evals + 1 })
+    Ok(Root {
+        x,
+        residual,
+        evals: evals + 1,
+    })
 }
 
 /// Bisection specialised to a *strictly decreasing* `f` with target level
@@ -131,7 +147,11 @@ pub fn bisect_monotone_decreasing(
     }
     let x = (0.5 * (llo + lhi)).exp();
     let residual = g(x);
-    Some(Root { x, residual, evals: evals + 1 })
+    Some(Root {
+        x,
+        residual,
+        evals: evals + 1,
+    })
 }
 
 /// Brent's method on `[a, b]` requiring a sign change. Faster than bisection
@@ -150,10 +170,18 @@ pub fn brent(
     let mut fb = f(b);
     let mut evals = 2;
     if fa == 0.0 {
-        return Ok(Root { x: a, residual: 0.0, evals });
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            evals,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, residual: 0.0, evals });
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            evals,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(NoBracket);
@@ -180,6 +208,7 @@ pub fn brent(
             b - fb * (b - a) / (fb - fa)
         };
         let lo = (3.0 * a + b) / 4.0;
+        #[allow(clippy::nonminimal_bool)] // textbook form of Brent's conditions
         let cond = !((lo.min(b) < s && s < lo.max(b))
             && !(mflag && (s - b).abs() >= (b - c).abs() / 2.0)
             && !(!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
@@ -208,11 +237,20 @@ pub fn brent(
             std::mem::swap(&mut fa, &mut fb);
         }
     }
-    Ok(Root { x: b, residual: fb, evals })
+    Ok(Root {
+        x: b,
+        residual: fb,
+        evals,
+    })
 }
 
 /// Golden-section minimisation of a unimodal `f` on `[a, b]`.
-pub fn golden_section_min(mut f: impl FnMut(f64) -> f64, mut a: f64, mut b: f64, xtol: f64) -> (f64, f64) {
+pub fn golden_section_min(
+    mut f: impl FnMut(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    xtol: f64,
+) -> (f64, f64) {
     assert!(b > a && xtol > 0.0);
     let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
     let mut c = b - inv_phi * (b - a);
@@ -260,7 +298,12 @@ mod tests {
         let rn = brent(f, 0.0, 10.0, 1e-13, 200).unwrap();
         assert!((rb.x - 5f64.ln()).abs() < 1e-10);
         assert!((rn.x - 5f64.ln()).abs() < 1e-10);
-        assert!(rn.evals <= rb.evals, "brent used {} evals, bisect {}", rn.evals, rb.evals);
+        assert!(
+            rn.evals <= rb.evals,
+            "brent used {} evals, bisect {}",
+            rn.evals,
+            rb.evals
+        );
     }
 
     #[test]

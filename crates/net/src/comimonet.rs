@@ -135,7 +135,7 @@ impl CoMimoNet {
                             continue;
                         }
                         let w = head_dist(a, b);
-                        if best.map_or(true, |(bw, _, _)| w < bw) {
+                        if best.is_none_or(|(bw, _, _)| w < bw) {
                             best = Some((w, a, b));
                         }
                     }
@@ -228,6 +228,7 @@ impl CoMimoNet {
     /// `b`, with the constellation chosen to minimise the hop total
     /// (Algorithm 2's per-link optimisation), under the given receive-side
     /// forwarding policy.
+    #[allow(clippy::too_many_arguments)]
     pub fn hop_energy(
         &self,
         model: &EnergyModel,
@@ -340,7 +341,11 @@ mod tests {
             nodes.push(SuNode::new(i, Point::new(i as f64 * 2.0, 0.0), 10.0));
         }
         for i in 0..3 {
-            nodes.push(SuNode::new(3 + i, Point::new(150.0 + i as f64 * 2.0, 0.0), 10.0));
+            nodes.push(SuNode::new(
+                3 + i,
+                Point::new(150.0 + i as f64 * 2.0, 0.0),
+                10.0,
+            ));
         }
         let g = SuGraph::build(nodes, 10.0);
         CoMimoNet::build(g, 5.0, 4, SeedOrder::DegreeGreedy, 200.0)
@@ -380,7 +385,10 @@ mod tests {
         let net = CoMimoNet::build(g, 20.0, 4, SeedOrder::DegreeGreedy, 400.0);
         let k = net.clusters().len();
         // forest: edges = vertices - components; and acyclic (BFS tree check)
-        let edges: usize = (0..k).map(|c| net.backbone_neighbours(c).len()).sum::<usize>() / 2;
+        let edges: usize = (0..k)
+            .map(|c| net.backbone_neighbours(c).len())
+            .sum::<usize>()
+            / 2;
         // count components of the cluster graph
         let mut seen = vec![false; k];
         let mut comps = 0;
@@ -442,7 +450,15 @@ mod tests {
         let net = two_cluster_net();
         let model = EnergyModel::paper();
         let all = net.hop_energy(&model, 1e-3, 40_000.0, 1e4, 0, 1, ForwardPolicy::AllMembers);
-        let excl = net.hop_energy(&model, 1e-3, 40_000.0, 1e4, 0, 1, ForwardPolicy::ExcludeHead);
+        let excl = net.hop_energy(
+            &model,
+            1e-3,
+            40_000.0,
+            1e4,
+            0,
+            1,
+            ForwardPolicy::ExcludeHead,
+        );
         assert!(excl.total() < all.total());
     }
 

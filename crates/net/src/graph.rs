@@ -34,7 +34,11 @@ impl SuGraph {
                 }
             }
         }
-        Self { nodes, range, adjacency }
+        Self {
+            nodes,
+            range,
+            adjacency,
+        }
     }
 
     /// The nodes (including dead ones; dead nodes have no edges).

@@ -71,7 +71,15 @@ fn drain_hop(
     b: usize,
     bits: f64,
 ) -> f64 {
-    let hop = net.hop_energy(model, cfg.ber, cfg.bandwidth_hz, cfg.block_bits, a, b, cfg.policy);
+    let hop = net.hop_energy(
+        model,
+        cfg.ber,
+        cfg.bandwidth_hz,
+        cfg.block_bits,
+        a,
+        b,
+        cfg.policy,
+    );
     let tx_members = net.clusters()[a].members.clone();
     let rx_members = net.clusters()[b].members.clone();
     let tx_share = (hop.local_broadcast_j + hop.long_haul_tx_j) / tx_members.len() as f64;
@@ -167,7 +175,10 @@ mod tests {
     fn flow_runs_until_energy_runs_out() {
         let net = deployment(5, 0.2, 4);
         let model = EnergyModel::paper();
-        let cfg = LifetimeConfig { max_rounds: 5_000, ..LifetimeConfig::default_rounds() };
+        let cfg = LifetimeConfig {
+            max_rounds: 5_000,
+            ..LifetimeConfig::default_rounds()
+        };
         let res = run_lifetime(net, &model, &cfg, 0, 49);
         assert!(res.rounds > 0, "no rounds completed");
         assert!(res.rounds < cfg.max_rounds, "flow should eventually die");
@@ -179,7 +190,10 @@ mod tests {
     #[test]
     fn bigger_batteries_live_longer() {
         let model = EnergyModel::paper();
-        let cfg = LifetimeConfig { max_rounds: 20_000, ..LifetimeConfig::default_rounds() };
+        let cfg = LifetimeConfig {
+            max_rounds: 20_000,
+            ..LifetimeConfig::default_rounds()
+        };
         let small = run_lifetime(deployment(7, 0.05, 4), &model, &cfg, 0, 49);
         let large = run_lifetime(deployment(7, 0.5, 4), &model, &cfg, 0, 49);
         assert!(
@@ -196,7 +210,10 @@ mod tests {
         // (max_cluster = 1, i.e. SISO hops) dies much sooner than with
         // cooperative 4-node clusters
         let model = EnergyModel::paper();
-        let cfg = LifetimeConfig { max_rounds: 50_000, ..LifetimeConfig::default_rounds() };
+        let cfg = LifetimeConfig {
+            max_rounds: 50_000,
+            ..LifetimeConfig::default_rounds()
+        };
         let coop = run_lifetime(deployment(11, 0.3, 4), &model, &cfg, 0, 49);
         let siso = run_lifetime(deployment(11, 0.3, 1), &model, &cfg, 0, 49);
         assert!(

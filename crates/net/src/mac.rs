@@ -61,7 +61,10 @@ impl MacConfig {
 
     /// The same timing with the RTS/CTS handshake enabled.
     pub fn with_rts_cts() -> Self {
-        Self { rts_cts: true, ..Self::default_250kbps() }
+        Self {
+            rts_cts: true,
+            ..Self::default_250kbps()
+        }
     }
 }
 
@@ -182,7 +185,8 @@ impl CsmaSim {
     pub fn offer(&mut self, frame: MacFrame, at: SimTime) {
         assert!(frame.src < self.nodes.len() && frame.dst < self.nodes.len());
         assert!(frame.src != frame.dst, "frame to self");
-        self.events.schedule_at(at.max(self.events.now()), Ev::Arrive { frame });
+        self.events
+            .schedule_at(at.max(self.events.now()), Ev::Arrive { frame });
     }
 
     fn schedule_backoff_at(&mut self, node: usize, at: SimTime) {
@@ -191,8 +195,7 @@ impl CsmaSim {
         }
         let cw = self.nodes[node].cw;
         let slots = self.rng.gen_range(0..cw) as u64;
-        let delay = self.cfg.difs
-            + SimTime::from_nanos(self.cfg.slot.as_nanos() * slots);
+        let delay = self.cfg.difs + SimTime::from_nanos(self.cfg.slot.as_nanos() * slots);
         let fire = at.max(self.events.now()) + delay;
         self.nodes[node].backoff_pending = true;
         self.events.schedule_at(fire, Ev::Sense { node });
@@ -207,7 +210,9 @@ impl CsmaSim {
     pub fn run(mut self, max_events: usize) -> MacStats {
         let mut fired = 0usize;
         while fired < max_events {
-            let Some((now, ev)) = self.events.pop() else { break };
+            let Some((now, ev)) = self.events.pop() else {
+                break;
+            };
             fired += 1;
             match ev {
                 Ev::Arrive { frame } => {
@@ -230,8 +235,7 @@ impl CsmaSim {
                     }
                     if self.medium.carrier_busy(node, now) {
                         // busy: widen the window and retry later
-                        self.nodes[node].cw =
-                            (self.nodes[node].cw * 2).min(self.cfg.cw_max);
+                        self.nodes[node].cw = (self.nodes[node].cw * 2).min(self.cfg.cw_max);
                         self.schedule_backoff(node);
                         continue;
                     }
@@ -250,8 +254,7 @@ impl CsmaSim {
                 }
                 Ev::RtsEnd { node, tx } => {
                     let outcome = self.medium.finish(tx);
-                    let (frame, _) =
-                        *self.nodes[node].queue.front().expect("RTS without frame");
+                    let (frame, _) = *self.nodes[node].queue.front().expect("RTS without frame");
                     if outcome.delivered_to.contains(&frame.dst) {
                         // the destination answers with a (virtual) CTS: every
                         // node that hears the destination sets its NAV for the
@@ -266,7 +269,8 @@ impl CsmaSim {
                         }
                         let data_tx = self.medium.begin(node, now, data_end);
                         self.stats.attempts += 1;
-                        self.events.schedule_at(data_end, Ev::TxEnd { node, tx: data_tx });
+                        self.events
+                            .schedule_at(data_end, Ev::TxEnd { node, tx: data_tx });
                     } else {
                         // RTS lost — a cheap collision
                         self.stats.rts_collisions += 1;
@@ -278,8 +282,7 @@ impl CsmaSim {
                             self.nodes[node].cw = self.cfg.cw_min;
                             self.stats.dropped += 1;
                         } else {
-                            self.nodes[node].cw =
-                                (self.nodes[node].cw * 2).min(self.cfg.cw_max);
+                            self.nodes[node].cw = (self.nodes[node].cw * 2).min(self.cfg.cw_max);
                         }
                         if !self.nodes[node].queue.is_empty() {
                             self.schedule_backoff(node);
@@ -314,8 +317,7 @@ impl CsmaSim {
                             self.nodes[node].cw = self.cfg.cw_min;
                             self.stats.dropped += 1;
                         } else {
-                            self.nodes[node].cw =
-                                (self.nodes[node].cw * 2).min(self.cfg.cw_max);
+                            self.nodes[node].cw = (self.nodes[node].cw * 2).min(self.cfg.cw_max);
                         }
                     }
                     if !self.nodes[node].queue.is_empty() {
@@ -340,10 +342,7 @@ mod tests {
     fn single_pair_delivers_everything() {
         let mut sim = CsmaSim::new(vec![vec![1], vec![0]], cfg(), 1);
         for i in 0..20 {
-            sim.offer(
-                MacFrame { src: 0, dst: 1 },
-                SimTime::from_millis(i * 10),
-            );
+            sim.offer(MacFrame { src: 0, dst: 1 }, SimTime::from_millis(i * 10));
         }
         let stats = sim.run(100_000);
         assert_eq!(stats.delivered, 20);
@@ -383,7 +382,11 @@ mod tests {
             sim.offer(MacFrame { src: 2, dst: 1 }, SimTime::from_millis(i));
         }
         let stats = sim.run(2_000_000);
-        assert!(stats.collisions > 50, "expected heavy collisions, got {}", stats.collisions);
+        assert!(
+            stats.collisions > 50,
+            "expected heavy collisions, got {}",
+            stats.collisions
+        );
         assert!(
             stats.delivery_ratio() < 0.5,
             "saturated hidden terminals should mostly fail, ratio {}",
@@ -399,7 +402,10 @@ mod tests {
         let mut sim = CsmaSim::new(adj, cfg(), 7);
         for i in 0..10 {
             sim.offer(MacFrame { src: 0, dst: 1 }, SimTime::from_millis(i * 400));
-            sim.offer(MacFrame { src: 2, dst: 1 }, SimTime::from_millis(i * 400 + 150));
+            sim.offer(
+                MacFrame { src: 2, dst: 1 },
+                SimTime::from_millis(i * 400 + 150),
+            );
         }
         let stats = sim.run(2_000_000);
         assert!(

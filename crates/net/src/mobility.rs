@@ -33,7 +33,13 @@ pub struct WaypointConfig {
 impl WaypointConfig {
     /// Pedestrian-speed defaults on a 400 m field.
     pub fn pedestrian(width: f64, height: f64) -> Self {
-        Self { width, height, speed_min: 0.5, speed_max: 2.0, pause_s: 5.0 }
+        Self {
+            width,
+            height,
+            speed_min: 0.5,
+            speed_max: 2.0,
+            pause_s: 5.0,
+        }
     }
 }
 
@@ -58,13 +64,19 @@ impl RandomWaypoint {
         assert!(cfg.width > 0.0 && cfg.height > 0.0);
         assert!(cfg.speed_max >= cfg.speed_min && cfg.speed_min > 0.0);
         assert!(cfg.pause_s >= 0.0);
-        let legs = positions.iter().map(|_| Self::fresh_leg(rng, &cfg)).collect();
+        let legs = positions
+            .iter()
+            .map(|_| Self::fresh_leg(rng, &cfg))
+            .collect();
         Self { cfg, legs }
     }
 
     fn fresh_leg(rng: &mut impl Rng, cfg: &WaypointConfig) -> Leg {
         Leg {
-            target: Point::new(rng.gen_range(0.0..cfg.width), rng.gen_range(0.0..cfg.height)),
+            target: Point::new(
+                rng.gen_range(0.0..cfg.width),
+                rng.gen_range(0.0..cfg.height),
+            ),
             speed: rng.gen_range(cfg.speed_min..=cfg.speed_max),
             pause_left: 0.0,
         }
@@ -138,7 +150,14 @@ impl MobileNetwork {
     ) -> Self {
         let positions: Vec<Point> = net.graph().nodes().iter().map(|n| n.pos).collect();
         let mobility = RandomWaypoint::new(rng, waypoints, &positions);
-        Self { net, mobility, d, max_cluster, order, long_range }
+        Self {
+            net,
+            mobility,
+            d,
+            max_cluster,
+            order,
+            long_range,
+        }
     }
 
     /// The current network.
@@ -212,14 +231,18 @@ mod tests {
     #[test]
     fn waypoint_stays_in_field() {
         let mut rng = seeded(51);
-        let mut positions: Vec<Point> =
-            (0..30).map(|i| Point::new(i as f64 * 10.0, 200.0)).collect();
+        let mut positions: Vec<Point> = (0..30)
+            .map(|i| Point::new(i as f64 * 10.0, 200.0))
+            .collect();
         let mut rw = RandomWaypoint::new(&mut rng, field(), &positions);
         for _ in 0..200 {
             rw.step(&mut rng, &mut positions, 1.0);
         }
         for p in &positions {
-            assert!(p.x >= 0.0 && p.x <= 400.0 && p.y >= 0.0 && p.y <= 400.0, "{p:?}");
+            assert!(
+                p.x >= 0.0 && p.x <= 400.0 && p.y >= 0.0 && p.y <= 400.0,
+                "{p:?}"
+            );
         }
     }
 
@@ -255,7 +278,12 @@ mod tests {
     #[test]
     fn pauses_hold_position() {
         let mut rng = seeded(54);
-        let cfg = WaypointConfig { pause_s: 1e6, speed_min: 100.0, speed_max: 101.0, ..field() };
+        let cfg = WaypointConfig {
+            pause_s: 1e6,
+            speed_min: 100.0,
+            speed_max: 101.0,
+            ..field()
+        };
         let mut positions = vec![Point::new(200.0, 200.0); 5];
         let mut rw = RandomWaypoint::new(&mut rng, cfg, &positions);
         // first leg travels to the waypoint quickly, then the huge pause
@@ -300,7 +328,11 @@ mod tests {
         let nodes = random_deployment(&mut rng, 40, 400.0, 400.0, 10.0);
         let graph = SuGraph::build(nodes, 80.0);
         let net = CoMimoNet::build(graph, 40.0, 4, SeedOrder::DegreeGreedy, 600.0);
-        let cfg = WaypointConfig { speed_min: 0.01, speed_max: 0.02, ..field() };
+        let cfg = WaypointConfig {
+            speed_min: 0.01,
+            speed_max: 0.02,
+            ..field()
+        };
         let mut mob =
             MobileNetwork::new(&mut rng, net, cfg, 40.0, 4, SeedOrder::DegreeGreedy, 600.0);
         let delta = mob.advance_and_reconfigure(&mut rng, 1.0);

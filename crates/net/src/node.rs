@@ -23,7 +23,12 @@ impl SuNode {
     /// A fresh node with the given id, position and initial battery.
     pub fn new(id: usize, pos: Point, battery_j: f64) -> Self {
         assert!(battery_j >= 0.0);
-        Self { id, pos, battery_j, alive: true }
+        Self {
+            id,
+            pos,
+            battery_j,
+            alive: true,
+        }
     }
 
     /// Drains energy; the node dies when the battery empties.

@@ -21,6 +21,7 @@ pub struct EnergyRoute {
 
 /// Dijkstra over the cluster graph with hop energies as weights.
 /// Returns `None` when the clusters are disconnected.
+#[allow(clippy::too_many_arguments)]
 pub fn min_energy_route(
     net: &CoMimoNet,
     model: &EnergyModel,
@@ -34,7 +35,10 @@ pub fn min_energy_route(
     let k = net.clusters().len();
     assert!(from < k && to < k, "cluster index out of range");
     if from == to {
-        return Some(EnergyRoute { path: vec![from], energy_per_bit: 0.0 });
+        return Some(EnergyRoute {
+            path: vec![from],
+            energy_per_bit: 0.0,
+        });
     }
     // Dijkstra with a simple binary heap over (cost, node)
     use std::cmp::Reverse;
@@ -50,7 +54,10 @@ pub fn min_energy_route(
     }
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).expect("NaN cost").then(self.1.cmp(&other.1))
+            self.0
+                .partial_cmp(&other.0)
+                .expect("NaN cost")
+                .then(self.1.cmp(&other.1))
         }
     }
 
@@ -88,12 +95,16 @@ pub fn min_energy_route(
         path.push(cur);
     }
     path.reverse();
-    Some(EnergyRoute { path, energy_per_bit: dist[to] })
+    Some(EnergyRoute {
+        path,
+        energy_per_bit: dist[to],
+    })
 }
 
 /// Compares the backbone route against the energy-optimal route for the
 /// same endpoints; returns `(backbone_energy, optimal_energy)` per bit,
 /// or `None` if disconnected.
+#[allow(clippy::too_many_arguments)]
 pub fn backbone_vs_optimal(
     net: &CoMimoNet,
     model: &EnergyModel,
@@ -130,8 +141,8 @@ mod tests {
     fn trivial_route_is_free() {
         let n = net(1);
         let model = EnergyModel::paper();
-        let r = min_energy_route(&n, &model, 1e-3, 40e3, 1e4, 0, 0, ForwardPolicy::AllMembers)
-            .unwrap();
+        let r =
+            min_energy_route(&n, &model, 1e-3, 40e3, 1e4, 0, 0, ForwardPolicy::AllMembers).unwrap();
         assert_eq!(r.path, vec![0]);
         assert_eq!(r.energy_per_bit, 0.0);
     }
@@ -171,9 +182,16 @@ mod tests {
         let model = EnergyModel::paper();
         let k = n.clusters().len();
         for to in 1..k.min(8) {
-            if let Some(r) =
-                min_energy_route(&n, &model, 1e-3, 40e3, 1e4, 0, to, ForwardPolicy::AllMembers)
-            {
+            if let Some(r) = min_energy_route(
+                &n,
+                &model,
+                1e-3,
+                40e3,
+                1e4,
+                0,
+                to,
+                ForwardPolicy::AllMembers,
+            ) {
                 // path endpoints
                 assert_eq!(*r.path.first().unwrap(), 0);
                 assert_eq!(*r.path.last().unwrap(), to);
@@ -182,7 +200,15 @@ mod tests {
                 for w in r.path.windows(2) {
                     assert!(n.cluster_neighbours(w[0]).contains(&w[1]));
                     sum += n
-                        .hop_energy(&model, 1e-3, 40e3, 1e4, w[0], w[1], ForwardPolicy::AllMembers)
+                        .hop_energy(
+                            &model,
+                            1e-3,
+                            40e3,
+                            1e4,
+                            w[0],
+                            w[1],
+                            ForwardPolicy::AllMembers,
+                        )
                         .total();
                 }
                 assert!((sum - r.energy_per_bit).abs() / sum.max(1e-300) < 1e-9);

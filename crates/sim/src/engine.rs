@@ -67,7 +67,11 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// If `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { at, seq, payload }));

@@ -58,7 +58,11 @@ impl Medium {
                 );
             }
         }
-        Self { adjacency, active: HashMap::new(), next_id: 0 }
+        Self {
+            adjacency,
+            active: HashMap::new(),
+            next_id: 0,
+        }
     }
 
     /// Fully connected medium over `n` nodes (single collision domain).
@@ -88,9 +92,9 @@ impl Medium {
 
     /// Whether `node` senses the channel busy at `now`.
     pub fn carrier_busy(&self, node: usize, now: SimTime) -> bool {
-        self.active.values().any(|tx| {
-            tx.end > now && (tx.src == node || self.adjacency[tx.src].contains(&node))
-        })
+        self.active
+            .values()
+            .any(|tx| tx.end > now && (tx.src == node || self.adjacency[tx.src].contains(&node)))
     }
 
     /// Starts a transmission from `src` lasting until `end`. Any active
@@ -147,7 +151,10 @@ impl Medium {
                 delivered_to.push(rx);
             }
         }
-        TxOutcome { delivered_to, collided_at }
+        TxOutcome {
+            delivered_to,
+            collided_at,
+        }
     }
 }
 

@@ -14,7 +14,7 @@ use comimo_math::complex::Complex;
 
 /// A real dense matrix in row-major order (internal helper sized by the
 /// decoder: at most `2·t·mr × 2k`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RealMatrix {
     /// Number of rows.
     pub rows: usize,
@@ -26,7 +26,11 @@ pub struct RealMatrix {
 
 impl RealMatrix {
     fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     #[inline]
@@ -39,9 +43,22 @@ impl RealMatrix {
         &mut self.data[r * self.cols + c]
     }
 
+    fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `AᵀA` (cols × cols).
     pub fn gram(&self) -> RealMatrix {
         let mut g = RealMatrix::zeros(self.cols, self.cols);
+        self.gram_into(&mut g);
+        g
+    }
+
+    /// In-place [`gram`](RealMatrix::gram): writes `AᵀA` into `g`.
+    pub fn gram_into(&self, g: &mut RealMatrix) {
+        g.resize(self.cols, self.cols);
         for i in 0..self.cols {
             for j in 0..self.cols {
                 let mut s = 0.0;
@@ -51,15 +68,23 @@ impl RealMatrix {
                 *g.at_mut(i, j) = s;
             }
         }
-        g
     }
 
     /// `Aᵀy`.
     pub fn t_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.t_mul_vec_into(y, &mut out);
+        out
+    }
+
+    /// In-place [`t_mul_vec`](RealMatrix::t_mul_vec): writes `Aᵀy` into
+    /// `out`.
+    pub fn t_mul_vec_into(&self, y: &[f64], out: &mut Vec<f64>) {
         assert_eq!(y.len(), self.rows);
-        (0..self.cols)
-            .map(|c| (0..self.rows).map(|r| self.at(r, c) * y[r]).sum())
-            .collect()
+        out.clear();
+        out.extend(
+            (0..self.cols).map(|c| (0..self.rows).map(|r| self.at(r, c) * y[r]).sum::<f64>()),
+        );
     }
 }
 
@@ -67,11 +92,22 @@ impl RealMatrix {
 /// partial pivoting. Panics on a (numerically) singular system, which for
 /// an OSTBC equivalent matrix only happens when `H = 0`.
 pub fn solve_real(a: &RealMatrix, b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.rows, a.cols, "solve_real needs a square system");
-    assert_eq!(b.len(), a.rows);
-    let n = a.rows;
-    let mut m = a.data.clone();
+    let mut m = Vec::new();
     let mut x = b.to_vec();
+    solve_real_with(a, &mut x, &mut m);
+    x
+}
+
+/// In-place [`solve_real`]: solves `A·x = b` where `x` holds `b` on entry
+/// and the solution on exit. `scratch` is the elimination workspace (a copy
+/// of `A`'s elements), reused across calls without reallocating.
+pub fn solve_real_with(a: &RealMatrix, x: &mut [f64], scratch: &mut Vec<f64>) {
+    assert_eq!(a.rows, a.cols, "solve_real needs a square system");
+    assert_eq!(x.len(), a.rows);
+    let n = a.rows;
+    scratch.clear();
+    scratch.extend_from_slice(&a.data);
+    let m = scratch;
     for col in 0..n {
         // pivot
         let mut piv = col;
@@ -110,7 +146,6 @@ pub fn solve_real(a: &RealMatrix, b: &[f64]) -> Vec<f64> {
         }
         x[col] = s / m[col * n + col];
     }
-    x
 }
 
 /// Builds the equivalent real matrix `M` (size `2·t·mr × 2k`) such that
@@ -119,12 +154,20 @@ pub fn solve_real(a: &RealMatrix, b: &[f64]) -> Vec<f64> {
 /// `h` is the `mr × mt` channel matrix (entry `(j, i)` couples transmit
 /// antenna `i` to receive antenna `j`).
 pub fn equivalent_real_matrix(code: &Ostbc, h: &CMatrix) -> RealMatrix {
+    let mut m = RealMatrix::zeros(1, 1);
+    equivalent_real_matrix_into(code, h, &mut m);
+    m
+}
+
+/// In-place [`equivalent_real_matrix`]: resizes and fills `m` without
+/// allocating once `m` has reached its steady-state size.
+pub fn equivalent_real_matrix_into(code: &Ostbc, h: &CMatrix, m: &mut RealMatrix) {
     let mt = code.n_tx();
     let mr = h.rows();
     assert_eq!(h.cols(), mt, "channel matrix must be mr x mt");
     let t = code.n_slots();
     let k = code.n_symbols();
-    let mut m = RealMatrix::zeros(2 * t * mr, 2 * k);
+    m.resize(2 * t * mr, 2 * k);
     for slot in 0..t {
         for j in 0..mr {
             let row_re = 2 * (slot * mr + j);
@@ -146,7 +189,60 @@ pub fn equivalent_real_matrix(code: &Ostbc, h: &CMatrix) -> RealMatrix {
             }
         }
     }
-    m
+}
+
+/// Reusable buffers for [`decode_block_into`]: after the first block every
+/// decode is allocation-free (the per-antenna-config sizes are fixed, so
+/// all `resize`/`extend` calls hit capacity already reserved).
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    m: RealMatrix,
+    gram: RealMatrix,
+    yv: Vec<f64>,
+    rhs: Vec<f64>,
+    solve: Vec<f64>,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch; buffers grow to their steady-state sizes
+    /// on the first decode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// In-place [`decode_block`]: writes the soft symbol estimates into `out`
+/// using `scratch`'s buffers instead of allocating.
+pub fn decode_block_into(
+    code: &Ostbc,
+    h: &CMatrix,
+    y: &CMatrix,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<Complex>,
+) {
+    assert_eq!(
+        y.rows(),
+        code.n_slots(),
+        "received block has wrong slot count"
+    );
+    assert_eq!(y.cols(), h.rows(), "received block has wrong antenna count");
+    equivalent_real_matrix_into(code, h, &mut scratch.m);
+    // stack y into the matching real vector
+    let mr = h.rows();
+    scratch.yv.clear();
+    scratch.yv.reserve(2 * code.n_slots() * mr);
+    for slot in 0..code.n_slots() {
+        for j in 0..mr {
+            scratch.yv.push(y[(slot, j)].re);
+            scratch.yv.push(y[(slot, j)].im);
+        }
+    }
+    scratch.m.gram_into(&mut scratch.gram);
+    scratch.m.t_mul_vec_into(&scratch.yv, &mut scratch.rhs);
+    solve_real_with(&scratch.gram, &mut scratch.rhs, &mut scratch.solve);
+    let s = &scratch.rhs;
+    out.clear();
+    out.extend((0..code.n_symbols()).map(|kk| Complex::new(s[2 * kk], s[2 * kk + 1])));
 }
 
 /// Decodes one received block.
@@ -158,25 +254,10 @@ pub fn equivalent_real_matrix(code: &Ostbc, h: &CMatrix) -> RealMatrix {
 /// Returns the least-squares (= ML for orthogonal designs) soft symbol
 /// estimates; constellation slicing is the caller's job.
 pub fn decode_block(code: &Ostbc, h: &CMatrix, y: &CMatrix) -> Vec<Complex> {
-    assert_eq!(y.rows(), code.n_slots(), "received block has wrong slot count");
-    assert_eq!(y.cols(), h.rows(), "received block has wrong antenna count");
-    let m = equivalent_real_matrix(code, h);
-    // stack y into the matching real vector
-    let mr = h.rows();
-    let mut yv = vec![0.0; 2 * code.n_slots() * mr];
-    for slot in 0..code.n_slots() {
-        for j in 0..mr {
-            let r = 2 * (slot * mr + j);
-            yv[r] = y[(slot, j)].re;
-            yv[r + 1] = y[(slot, j)].im;
-        }
-    }
-    let gram = m.gram();
-    let rhs = m.t_mul_vec(&yv);
-    let s = solve_real(&gram, &rhs);
-    (0..code.n_symbols())
-        .map(|kk| Complex::new(s[2 * kk], s[2 * kk + 1]))
-        .collect()
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::with_capacity(code.n_symbols());
+    decode_block_into(code, h, y, &mut scratch, &mut out);
+    out
 }
 
 /// Post-combining SNR per symbol of an OSTBC over channel `h`, for symbol
@@ -226,10 +307,7 @@ mod tests {
                     let y = transmit(&code, &h, &syms);
                     let est = decode_block(&code, &h, &y);
                     for (e, s) in est.iter().zip(&syms) {
-                        assert!(
-                            e.approx_eq(*s, 1e-8),
-                            "{kind:?} mr={mr}: {e} != {s}"
-                        );
+                        assert!(e.approx_eq(*s, 1e-8), "{kind:?} mr={mr}: {e} != {s}");
                     }
                 }
             }
@@ -239,7 +317,13 @@ mod tests {
     #[test]
     fn gram_is_scaled_identity_for_orthogonal_designs() {
         let mut rng = seeded(62);
-        for kind in [StbcKind::Alamouti, StbcKind::G3, StbcKind::G4, StbcKind::H3, StbcKind::H4] {
+        for kind in [
+            StbcKind::Alamouti,
+            StbcKind::G3,
+            StbcKind::G4,
+            StbcKind::H3,
+            StbcKind::H4,
+        ] {
             let code = Ostbc::new(kind);
             let h = random_h(&mut rng, 2, code.n_tx());
             let m = equivalent_real_matrix(&code, &h);
@@ -269,7 +353,11 @@ mod tests {
     #[test]
     fn solve_real_known_system() {
         // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
-        let a = RealMatrix { rows: 2, cols: 2, data: vec![2.0, 1.0, 1.0, 3.0] };
+        let a = RealMatrix {
+            rows: 2,
+            cols: 2,
+            data: vec![2.0, 1.0, 1.0, 3.0],
+        };
         let x = solve_real(&a, &[5.0, 10.0]);
         assert!((x[0] - 1.0).abs() < 1e-12);
         assert!((x[1] - 3.0).abs() < 1e-12);
@@ -278,7 +366,11 @@ mod tests {
     #[test]
     fn solve_real_needs_pivoting() {
         // leading zero forces a row swap
-        let a = RealMatrix { rows: 2, cols: 2, data: vec![0.0, 1.0, 1.0, 0.0] };
+        let a = RealMatrix {
+            rows: 2,
+            cols: 2,
+            data: vec![0.0, 1.0, 1.0, 0.0],
+        };
         let x = solve_real(&a, &[2.0, 3.0]);
         assert!((x[0] - 3.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
@@ -286,11 +378,7 @@ mod tests {
 
     #[test]
     fn post_combining_snr_formula() {
-        let h = CMatrix::from_vec(
-            1,
-            2,
-            vec![Complex::new(1.0, 0.0), Complex::new(0.0, 2.0)],
-        );
+        let h = CMatrix::from_vec(1, 2, vec![Complex::new(1.0, 0.0), Complex::new(0.0, 2.0)]);
         // ||H||² = 5, mt = 2: γ = 5·es/(2·n0)
         let g = post_combining_snr(&h, 4.0, 0.5);
         assert!((g - 5.0 * 4.0 / (2.0 * 0.5)).abs() < 1e-12);
@@ -337,7 +425,12 @@ mod tests {
                 }
             }
         }
-        assert!(errs[1] * 4 < errs[0].max(1), "high-noise {} vs low-noise {}", errs[0], errs[1]);
+        assert!(
+            errs[1] * 4 < errs[0].max(1),
+            "high-noise {} vs low-noise {}",
+            errs[0],
+            errs[1]
+        );
     }
 
     use rand::Rng;

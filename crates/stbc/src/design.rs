@@ -127,6 +127,31 @@ impl Ostbc {
         })
     }
 
+    /// In-place counterpart of [`encode`] with a built-in real amplitude
+    /// scale: writes `amp·X(s)` into `out` without allocating. The
+    /// Monte-Carlo hot path uses this to fuse the `encode` + `scale` pair
+    /// of [`crate::sim::simulate_ber`] into one pass.
+    ///
+    /// [`encode`]: Ostbc::encode
+    ///
+    /// # Panics
+    /// If `symbols.len() != self.n_symbols()`.
+    pub fn encode_scaled_into(&self, symbols: &[Complex], amp: f64, out: &mut CMatrix) {
+        assert_eq!(symbols.len(), self.n_symbols, "symbol count mismatch");
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (self.n_slots, self.n_tx),
+            "output block must be t x mt"
+        );
+        out.fill_from_fn(|slot, ant| {
+            let mut x = Complex::zero();
+            for (k, &s) in symbols.iter().enumerate() {
+                x += self.a_coef(slot, ant, k) * s + self.b_coef(slot, ant, k) * s.conj();
+            }
+            x.scale(amp)
+        });
+    }
+
     /// Average transmit energy per slot per antenna, for unit-energy
     /// symbols (used to normalise power across designs).
     pub fn energy_per_antenna_slot(&self) -> f64 {
@@ -139,8 +164,8 @@ impl Ostbc {
         for slot in 0..self.n_slots {
             for ant in 0..self.n_tx {
                 for k in 0..self.n_symbols {
-                    total += self.a_coef(slot, ant, k).norm_sqr()
-                        + self.b_coef(slot, ant, k).norm_sqr();
+                    total +=
+                        self.a_coef(slot, ant, k).norm_sqr() + self.b_coef(slot, ant, k).norm_sqr();
                 }
             }
         }
@@ -365,7 +390,7 @@ mod tests {
                     .collect();
                 let x = c.encode(&syms);
                 let g = &x.hermitian() * &x; // mt x mt gram matrix
-                // diagonal entries equal, off-diagonal zero
+                                             // diagonal entries equal, off-diagonal zero
                 let d0 = g[(0, 0)];
                 for i in 0..c.n_tx() {
                     for j in 0..c.n_tx() {

@@ -79,7 +79,10 @@ fn solve(a: &CMatrix, b: &[Complex]) -> Vec<Complex> {
 /// If `mr < mt` (underdetermined) or shapes mismatch.
 pub fn detect(h: &CMatrix, y: &[Complex], detector: Detector) -> Vec<Complex> {
     let (mr, mt) = (h.rows(), h.cols());
-    assert!(mr >= mt, "need at least as many receive as transmit antennas");
+    assert!(
+        mr >= mt,
+        "need at least as many receive as transmit antennas"
+    );
     assert_eq!(y.len(), mr);
     // G = HᴴH (+ σ²I), rhs = Hᴴy
     let hh = h.hermitian();
@@ -175,13 +178,12 @@ mod tests {
         let n0 = 0.1;
         for _ in 0..2_000 {
             // two nearly parallel columns
-            let c0 = [complex_gaussian(&mut rng, 1.0), complex_gaussian(&mut rng, 1.0)];
+            let c0 = [
+                complex_gaussian(&mut rng, 1.0),
+                complex_gaussian(&mut rng, 1.0),
+            ];
             let eps = complex_gaussian(&mut rng, 0.01);
-            let h = CMatrix::from_vec(
-                2,
-                2,
-                vec![c0[0], c0[0] + eps, c0[1], c0[1] - eps],
-            );
+            let h = CMatrix::from_vec(2, 2, vec![c0[0], c0[0] + eps, c0[1], c0[1] - eps]);
             let x = [
                 Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 }),
                 Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 }),
@@ -192,8 +194,16 @@ mod tests {
             }
             let zf = detect(&h, &y, Detector::ZeroForcing);
             let mm = detect(&h, &y, Detector::Mmse { noise_var: n0 });
-            sq_err.0 += zf.iter().zip(&x).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>();
-            sq_err.1 += mm.iter().zip(&x).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>();
+            sq_err.0 += zf
+                .iter()
+                .zip(&x)
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum::<f64>();
+            sq_err.1 += mm
+                .iter()
+                .zip(&x)
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum::<f64>();
         }
         assert!(
             sq_err.1 < sq_err.0 * 0.8,

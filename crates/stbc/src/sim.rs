@@ -5,7 +5,7 @@
 //! model: `comimo-energy`'s `ē_b` solver is cross-checked against the BER
 //! this simulator measures at the SNR the solver predicts.
 
-use crate::decode::decode_block;
+use crate::decode::{decode_block_into, DecodeScratch};
 use crate::design::Ostbc;
 use comimo_math::cmatrix::CMatrix;
 use comimo_math::complex::Complex;
@@ -20,6 +20,13 @@ use rand::Rng;
 pub struct SimConstellation {
     bits_per_symbol: u32,
     points: Vec<Complex>,
+    /// Points per axis (`2^(b/2)`); 0 for BPSK, which is sliced on the
+    /// real axis alone.
+    side: u32,
+    /// Reciprocal of the axis scale (level `i` sits at coordinate
+    /// `(2i − (side−1))·scale`), stored inverted so the hot slicer
+    /// multiplies instead of divides. Unused (0) for BPSK.
+    inv_axis_scale: f64,
 }
 
 impl SimConstellation {
@@ -27,12 +34,18 @@ impl SimConstellation {
     /// supported — the even sizes the paper's equation (5) models exactly).
     pub fn new(b: u32) -> Self {
         assert!(
-            b == 1 || (b % 2 == 0 && b <= 8),
+            b == 1 || (b.is_multiple_of(2) && b <= 8),
             "simulator supports b = 1 and even b up to 8, got {b}"
         );
-        let points = if b == 1 {
-            vec![Complex::real(-1.0), Complex::real(1.0)]
-        } else {
+        if b == 1 {
+            return Self {
+                bits_per_symbol: 1,
+                points: vec![Complex::real(-1.0), Complex::real(1.0)],
+                side: 0,
+                inv_axis_scale: 0.0,
+            };
+        }
+        let (points, side, axis_scale) = {
             // square M-QAM with Gray mapping per axis, unit average energy
             let side = 1u32 << (b / 2);
             let levels: Vec<f64> = (0..side)
@@ -50,9 +63,14 @@ impl SimConstellation {
                     levels[lo as usize] * scale,
                 ));
             }
-            pts
+            (pts, side, scale)
         };
-        Self { bits_per_symbol: b, points }
+        Self {
+            bits_per_symbol: b,
+            points,
+            side,
+            inv_axis_scale: 1.0 / axis_scale,
+        }
     }
 
     /// Bits per symbol.
@@ -70,7 +88,14 @@ impl SimConstellation {
         self.points[index as usize]
     }
 
-    /// Nearest-neighbour slicing: returns the index of the closest point.
+    /// Nearest-neighbour slicing by exhaustive scan over all `2^b` points.
+    ///
+    /// Kept as the reference implementation: [`slice_fast`] is the O(1)
+    /// slicer the Monte-Carlo hot path uses, and the test suite
+    /// cross-checks the two on every constellation point and on random
+    /// noisy samples.
+    ///
+    /// [`slice_fast`]: SimConstellation::slice_fast
     pub fn slice(&self, x: Complex) -> u32 {
         let mut best = 0u32;
         let mut best_d = f64::INFINITY;
@@ -82,6 +107,29 @@ impl SimConstellation {
             }
         }
         best
+    }
+
+    /// O(1) nearest-neighbour slicing.
+    ///
+    /// BPSK is a sign test on the real axis. Gray square-QAM decomposes
+    /// per axis: quantise each coordinate to its level index
+    /// `k = round((x/scale + (side−1))/2)` (clamped to the grid), then
+    /// Gray-encode `k ^ (k >> 1)` to recover the bit pattern — the exact
+    /// inverse of the `gray_decode` used to lay the grid out. Agrees with
+    /// [`slice`](SimConstellation::slice) everywhere except on the
+    /// measure-zero decision boundaries.
+    pub fn slice_fast(&self, x: Complex) -> u32 {
+        if self.bits_per_symbol == 1 {
+            return u32::from(x.re > 0.0);
+        }
+        let max = f64::from(self.side - 1);
+        let inv = self.inv_axis_scale;
+        // `v*0.5 + 0.5` then truncation ≡ round-half-up of `v*0.5` for the
+        // in-grid range; `as u32` saturates negatives to level 0 and `min`
+        // clamps the high side, so off-grid samples snap to the edge
+        let kr = ((x.re * inv + max) * 0.5 + 0.5).min(max) as u32;
+        let ki = ((x.im * inv + max) * 0.5 + 0.5).min(max) as u32;
+        ((kr ^ (kr >> 1)) << (self.bits_per_symbol / 2)) | (ki ^ (ki >> 1))
     }
 
     /// Average symbol energy (≈ 1 by construction).
@@ -119,6 +167,36 @@ impl BerResult {
     }
 }
 
+/// Preallocated per-thread state for the Monte-Carlo hot path: channel,
+/// transmit and receive blocks, symbol buffers and the decoder's scratch.
+/// After the first block of a run, simulation is allocation-free.
+#[derive(Debug, Clone)]
+pub struct SimWorkspace {
+    h: CMatrix,
+    x: CMatrix,
+    y: CMatrix,
+    idx: Vec<u32>,
+    syms: Vec<Complex>,
+    est: Vec<Complex>,
+    scratch: DecodeScratch,
+}
+
+impl SimWorkspace {
+    /// Allocates buffers sized for `code` with `mr` receive antennas.
+    pub fn new(code: &Ostbc, mr: usize) -> Self {
+        assert!(mr >= 1);
+        Self {
+            h: CMatrix::zeros(mr, code.n_tx()),
+            x: CMatrix::zeros(code.n_slots(), code.n_tx()),
+            y: CMatrix::zeros(code.n_slots(), mr),
+            idx: Vec::with_capacity(code.n_symbols()),
+            syms: Vec::with_capacity(code.n_symbols()),
+            est: Vec::with_capacity(code.n_symbols()),
+            scratch: DecodeScratch::new(),
+        }
+    }
+}
+
 /// Simulates `n_blocks` OSTBC blocks over i.i.d. block-Rayleigh fading with
 /// `mr` receive antennas at per-symbol transmit energy `es` (split evenly
 /// over the `mt` antennas, as in the paper's `γ_b = ‖H‖²ē_b/(N0·mt)`) and
@@ -132,33 +210,111 @@ pub fn simulate_ber<R: Rng + ?Sized>(
     n0: f64,
     n_blocks: usize,
 ) -> BerResult {
-    assert!(mr >= 1 && es > 0.0 && n0 > 0.0);
+    let mut ws = SimWorkspace::new(code, mr);
+    simulate_ber_with(rng, &mut ws, code, constellation, es, n0, n_blocks)
+}
+
+/// [`simulate_ber`] with caller-provided buffers: the per-block pipeline
+/// (channel draw → encode → channel apply + noise → decode → slice) runs
+/// entirely in `ws`, so steady state does not allocate. Draws from `rng`
+/// in exactly the same order as [`simulate_ber`], which delegates here.
+pub fn simulate_ber_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    ws: &mut SimWorkspace,
+    code: &Ostbc,
+    constellation: &SimConstellation,
+    es: f64,
+    n0: f64,
+    n_blocks: usize,
+) -> BerResult {
+    assert!(es > 0.0 && n0 > 0.0);
     let mt = code.n_tx();
+    assert_eq!(ws.h.cols(), mt, "workspace was built for a different code");
     let b = constellation.bits_per_symbol();
+    let m = constellation.size() as u32;
     let amp = (es / mt as f64).sqrt();
+    let inv_amp = 1.0 / amp;
     let mut bits = 0u64;
     let mut errors = 0u64;
     for _ in 0..n_blocks {
-        let h = CMatrix::from_fn(mr, mt, |_, _| complex_gaussian(rng, 1.0));
-        let idx: Vec<u32> = (0..code.n_symbols())
-            .map(|_| rng.gen_range(0..constellation.size() as u32))
-            .collect();
-        let syms: Vec<Complex> = idx.iter().map(|&i| constellation.map(i)).collect();
-        let x = code.encode(&syms).scale(amp);
-        let mut y = &x * &h.transpose();
-        for slot in 0..y.rows() {
-            for j in 0..y.cols() {
-                y[(slot, j)] += complex_gaussian(rng, n0);
+        ws.h.fill_from_fn(|_, _| complex_gaussian(rng, 1.0));
+        ws.idx.clear();
+        for _ in 0..code.n_symbols() {
+            ws.idx.push(rng.gen_range(0..m));
+        }
+        ws.syms.clear();
+        ws.syms.extend(ws.idx.iter().map(|&i| constellation.map(i)));
+        code.encode_scaled_into(&ws.syms, amp, &mut ws.x);
+        ws.x.mul_bt_into(&ws.h, &mut ws.y);
+        for slot in 0..ws.y.rows() {
+            for j in 0..ws.y.cols() {
+                ws.y[(slot, j)] += complex_gaussian(rng, n0);
             }
         }
-        let est = decode_block(code, &h, &y);
-        for (e, &i) in est.iter().zip(&idx) {
-            let hat = constellation.slice(e.scale(1.0 / amp));
+        decode_block_into(code, &ws.h, &ws.y, &mut ws.scratch, &mut ws.est);
+        for (e, &i) in ws.est.iter().zip(&ws.idx) {
+            let hat = constellation.slice_fast(e.scale(inv_amp));
             errors += u64::from((hat ^ i).count_ones());
             bits += u64::from(b);
         }
     }
     BerResult { bits, errors }
+}
+
+/// Shard size of the deterministic parallel engine: [`simulate_ber_par`]
+/// always splits work into shards of this many blocks, **independent of
+/// the thread count**, so its result is a pure function of the seed.
+pub const DEFAULT_SHARD_BLOCKS: usize = 1024;
+
+/// The shard decomposition [`simulate_ber_par`] uses for `n_blocks`:
+/// `(shard_label, blocks_in_shard)` pairs, every shard
+/// [`DEFAULT_SHARD_BLOCKS`] blocks except a shorter final remainder.
+/// Public so tests and tools can replay the exact decomposition serially.
+pub fn shard_plan(n_blocks: usize) -> impl Iterator<Item = (u64, usize)> {
+    (0..n_blocks.div_ceil(DEFAULT_SHARD_BLOCKS)).map(move |i| {
+        let start = i * DEFAULT_SHARD_BLOCKS;
+        (i as u64, DEFAULT_SHARD_BLOCKS.min(n_blocks - start))
+    })
+}
+
+/// Deterministic parallel [`simulate_ber`]: splits `n_blocks` into the
+/// fixed-size shards of [`shard_plan`], runs every shard on its own RNG
+/// stream `comimo_math::rng::derive(seed, shard_label)` with its own
+/// [`SimWorkspace`], and merges the counts.
+///
+/// Because the shard decomposition and the per-shard streams depend only
+/// on `(seed, n_blocks)` — never on the scheduler — the result is
+/// **bit-identical for any thread count**, including
+/// `RAYON_NUM_THREADS=1` and builds without the `parallel` feature
+/// (which run the same shards sequentially).
+pub fn simulate_ber_par(
+    seed: u64,
+    code: &Ostbc,
+    constellation: &SimConstellation,
+    mr: usize,
+    es: f64,
+    n0: f64,
+    n_blocks: usize,
+) -> BerResult {
+    let shards: Vec<(u64, usize)> = shard_plan(n_blocks).collect();
+    let run = |&(label, blocks): &(u64, usize)| {
+        let mut rng = comimo_math::rng::derive(seed, label);
+        let mut ws = SimWorkspace::new(code, mr);
+        simulate_ber_with(&mut rng, &mut ws, code, constellation, es, n0, blocks)
+    };
+    #[cfg(feature = "parallel")]
+    let parts: Vec<BerResult> = {
+        use rayon::prelude::*;
+        shards.par_iter().map(run).collect()
+    };
+    #[cfg(not(feature = "parallel"))]
+    let parts: Vec<BerResult> = shards.iter().map(run).collect();
+    parts
+        .into_iter()
+        .fold(BerResult { bits: 0, errors: 0 }, |acc, p| BerResult {
+            bits: acc.bits + p.bits,
+            errors: acc.errors + p.errors,
+        })
 }
 
 /// Closed-form BER of BPSK with `L`-branch maximum-ratio combining over
@@ -204,7 +360,11 @@ mod tests {
         for b in [1u32, 2, 4, 6] {
             let c = SimConstellation::new(b);
             assert_eq!(c.size(), 1 << b);
-            assert!((c.avg_energy() - 1.0).abs() < 1e-12, "b={b}: E={}", c.avg_energy());
+            assert!(
+                (c.avg_energy() - 1.0).abs() < 1e-12,
+                "b={b}: E={}",
+                c.avg_energy()
+            );
         }
     }
 
@@ -270,11 +430,45 @@ mod tests {
         let mut rng = seeded(73);
         let cons = SimConstellation::new(1);
         let gamma = 8.0;
-        let siso = simulate_ber(&mut rng, &Ostbc::new(StbcKind::Siso), &cons, 1, gamma, 1.0, 30_000);
-        let a21 = simulate_ber(&mut rng, &Ostbc::new(StbcKind::Alamouti), &cons, 1, gamma, 1.0, 30_000);
-        let a22 = simulate_ber(&mut rng, &Ostbc::new(StbcKind::Alamouti), &cons, 2, gamma, 1.0, 30_000);
-        assert!(siso.ber() > a21.ber(), "SISO {} vs 2x1 {}", siso.ber(), a21.ber());
-        assert!(a21.ber() > a22.ber(), "2x1 {} vs 2x2 {}", a21.ber(), a22.ber());
+        let siso = simulate_ber(
+            &mut rng,
+            &Ostbc::new(StbcKind::Siso),
+            &cons,
+            1,
+            gamma,
+            1.0,
+            30_000,
+        );
+        let a21 = simulate_ber(
+            &mut rng,
+            &Ostbc::new(StbcKind::Alamouti),
+            &cons,
+            1,
+            gamma,
+            1.0,
+            30_000,
+        );
+        let a22 = simulate_ber(
+            &mut rng,
+            &Ostbc::new(StbcKind::Alamouti),
+            &cons,
+            2,
+            gamma,
+            1.0,
+            30_000,
+        );
+        assert!(
+            siso.ber() > a21.ber(),
+            "SISO {} vs 2x1 {}",
+            siso.ber(),
+            a21.ber()
+        );
+        assert!(
+            a21.ber() > a22.ber(),
+            "2x1 {} vs 2x2 {}",
+            a21.ber(),
+            a22.ber()
+        );
     }
 
     #[test]
@@ -289,6 +483,89 @@ mod tests {
         // high-SNR slope: L-fold diversity ~ gamma^-L
         let r = bpsk_mrc_rayleigh_ber(2, 100.0) / bpsk_mrc_rayleigh_ber(2, 1000.0);
         assert!(r > 50.0 && r < 200.0, "diversity-2 slope ratio {r}");
+    }
+
+    #[test]
+    fn slice_fast_agrees_with_scan_on_every_point() {
+        for b in [1u32, 2, 4, 6, 8] {
+            let c = SimConstellation::new(b);
+            for i in 0..c.size() as u32 {
+                let p = c.map(i);
+                assert_eq!(c.slice_fast(p), i, "b={b} exact point {i}");
+                assert_eq!(c.slice_fast(p), c.slice(p), "b={b} point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_fast_agrees_with_scan_on_noisy_samples() {
+        let mut rng = seeded(300);
+        for b in [1u32, 2, 4, 6, 8] {
+            let c = SimConstellation::new(b);
+            for trial in 0..10_000 {
+                let i = rng.gen_range(0..c.size() as u32);
+                // noise large enough to cross decision boundaries often
+                let x = c.map(i) + complex_gaussian(&mut rng, 0.5);
+                assert_eq!(c.slice_fast(x), c.slice(x), "b={b} trial={trial} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_workspaces() {
+        // one workspace across calls == a fresh workspace per call,
+        // bit-for-bit (same rng stream either way)
+        let code = Ostbc::new(StbcKind::H4);
+        let cons = SimConstellation::new(2);
+        let mut rng_a = seeded(301);
+        let mut rng_b = seeded(301);
+        let mut ws = SimWorkspace::new(&code, 2);
+        for _ in 0..3 {
+            let a = simulate_ber_with(&mut rng_a, &mut ws, &code, &cons, 6.0, 1.0, 200);
+            let b = simulate_ber(&mut rng_b, &code, &cons, 2, 6.0, 1.0, 200);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sharded_serial() {
+        let code = Ostbc::new(StbcKind::Alamouti);
+        let cons = SimConstellation::new(2);
+        let seed = 2013;
+        // 2.5 shards: exercises the remainder shard
+        let n_blocks = 2 * DEFAULT_SHARD_BLOCKS + DEFAULT_SHARD_BLOCKS / 2;
+        let par = simulate_ber_par(seed, &code, &cons, 2, 1.0, 1.0, n_blocks);
+        // serial reference: replay the published shard plan one by one
+        let mut reference = BerResult { bits: 0, errors: 0 };
+        for (label, blocks) in shard_plan(n_blocks) {
+            let mut rng = comimo_math::rng::derive(seed, label);
+            let r = simulate_ber(&mut rng, &code, &cons, 2, 1.0, 1.0, blocks);
+            reference.bits += r.bits;
+            reference.errors += r.errors;
+        }
+        assert_eq!(par, reference);
+        // and the engine is a pure function of the seed
+        assert_eq!(
+            par,
+            simulate_ber_par(seed, &code, &cons, 2, 1.0, 1.0, n_blocks)
+        );
+        assert_ne!(
+            par,
+            simulate_ber_par(seed + 1, &code, &cons, 2, 1.0, 1.0, n_blocks),
+            "different seeds should give different realisations"
+        );
+    }
+
+    #[test]
+    fn shard_plan_covers_exactly() {
+        for n in [0usize, 1, 1023, 1024, 1025, 5000] {
+            let shards: Vec<_> = shard_plan(n).collect();
+            assert_eq!(shards.iter().map(|&(_, b)| b).sum::<usize>(), n);
+            for (i, &(label, blocks)) in shards.iter().enumerate() {
+                assert_eq!(label, i as u64);
+                assert!(blocks > 0 && blocks <= DEFAULT_SHARD_BLOCKS);
+            }
+        }
     }
 
     #[test]

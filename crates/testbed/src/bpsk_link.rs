@@ -33,12 +33,7 @@ pub struct Branch {
 
 /// Transmits BPSK symbols over one block-fading link at mean SNR
 /// `snr_mean` (linear, per symbol); returns the received branch.
-pub fn transmit_bpsk<R: Rng>(
-    rng: &mut R,
-    bits: &[bool],
-    snr_mean: f64,
-    k_factor: f64,
-) -> Branch {
+pub fn transmit_bpsk<R: Rng>(rng: &mut R, bits: &[bool], snr_mean: f64, k_factor: f64) -> Branch {
     assert!(snr_mean > 0.0);
     let symbols = Bpsk.modulate(bits);
     let ch = Rician::new(k_factor, snr_mean, 0.0);
@@ -48,7 +43,10 @@ pub fn transmit_bpsk<R: Rng>(
         .iter()
         .map(|&s| s * gain + comimo_math::rng::complex_gaussian(rng, 1.0))
         .collect();
-    Branch { symbols: received, gain }
+    Branch {
+        symbols: received,
+        gain,
+    }
 }
 
 /// Slices one branch alone (co-phased) into bits.

@@ -29,7 +29,10 @@ impl TestbedCalibration {
     /// Builds a calibration.
     pub fn new(snr_ref_db: f64, ref_distance_m: f64) -> Self {
         assert!(ref_distance_m > 0.0);
-        Self { snr_ref_db, ref_distance_m }
+        Self {
+            snr_ref_db,
+            ref_distance_m,
+        }
     }
 
     /// Mean link SNR in dB at distance `d` with excess obstacle loss
@@ -42,13 +45,7 @@ impl TestbedCalibration {
     }
 
     /// Mean link SNR (linear) between two points in an environment.
-    pub fn mean_snr(
-        &self,
-        tx: Point,
-        rx: Point,
-        env: &Environment,
-        power_scale: f64,
-    ) -> f64 {
+    pub fn mean_snr(&self, tx: Point, rx: Point, env: &Environment, power_scale: f64) -> f64 {
         let db = self.mean_snr_db(tx.distance(rx), env.excess_loss_db(tx, rx), power_scale);
         comimo_math::db::db_to_lin(db)
     }
@@ -79,7 +76,11 @@ mod tests {
     fn environment_integration() {
         let c = TestbedCalibration::new(20.0, 2.0);
         let mut env = Environment::open();
-        env.add(Obstacle::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0), 9.0));
+        env.add(Obstacle::new(
+            Point::new(1.0, -1.0),
+            Point::new(1.0, 1.0),
+            9.0,
+        ));
         let tx = Point::new(0.0, 0.0);
         let rx = Point::new(2.0, 0.0);
         let with_wall = c.mean_snr(tx, rx, &env, 1.0);

@@ -16,8 +16,8 @@
 //! * the **SISO reference** (one transmitter at the same total power
 //!   normalisation).
 
-use comimo_core::interweave::TransmitPair;
 use comimo_channel::geometry::{semicircle_scan, Point};
+use comimo_core::interweave::TransmitPair;
 use comimo_math::complex::Complex;
 use comimo_math::rng::complex_gaussian;
 use rand::Rng;
@@ -80,25 +80,31 @@ pub fn run(cfg: &BeamScanConfig, seed: u64) -> Vec<BeamScanPoint> {
     let pr = mid + Point::new(500.0 * th.cos(), 500.0 * th.sin());
     let delta = pair.null_delay_toward(pr);
     let scan = semicircle_scan(mid, cfg.radius_m, cfg.n_points);
-    let mut rng = comimo_math::rng::derive(seed, 8);
     // normalisation: the ideal peak over the scan
     let peak = scan
         .iter()
         .map(|&(_, p)| pair.amplitude_at(p, delta))
         .fold(1e-12, f64::max);
-    scan.iter()
-        .map(|&(angle_deg, p)| {
-            let ideal = pair.amplitude_at(p, delta);
-            let measured = measure(&mut rng, cfg, &pair, p, delta, true);
-            let siso = measure(&mut rng, cfg, &pair, p, delta, false);
-            BeamScanPoint {
-                angle_deg,
-                simulated: ideal / peak,
-                measured_beamformer: measured / peak,
-                measured_siso: siso / peak,
-            }
-        })
-        .collect()
+    // every scan point draws its beamformer and SISO snapshots from its
+    // own derived stream, so the points fan out onto the rayon pool
+    // without changing the recorded amplitudes
+    let indexed: Vec<(u64, (f64, Point))> = scan
+        .iter()
+        .enumerate()
+        .map(|(i, &sp)| (i as u64, sp))
+        .collect();
+    crate::par_map(&indexed, |&(i, (angle_deg, p))| {
+        let mut rng = comimo_math::rng::derive(seed, i);
+        let ideal = pair.amplitude_at(p, delta);
+        let measured = measure(&mut rng, cfg, &pair, p, delta, true);
+        let siso = measure(&mut rng, cfg, &pair, p, delta, false);
+        BeamScanPoint {
+            angle_deg,
+            simulated: ideal / peak,
+            measured_beamformer: measured / peak,
+            measured_siso: siso / peak,
+        }
+    })
 }
 
 /// Averages `n_snapshots` amplitude measurements at a receiver position,
@@ -233,6 +239,9 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        assert_eq!(run(&BeamScanConfig::paper(), 4), run(&BeamScanConfig::paper(), 4));
+        assert_eq!(
+            run(&BeamScanConfig::paper(), 4),
+            run(&BeamScanConfig::paper(), 4)
+        );
     }
 }

@@ -87,7 +87,7 @@ pub fn probe_link_per<R: rand::Rng>(
 pub fn run(cfg: &FullStackConfig, seed: u64) -> FullStackResult {
     assert!(cfg.n_clients >= 1);
     let n = cfg.n_clients + 1; // node 0 is the sink
-    // geometry: ring of clients; everyone hears everyone (one cell)
+                               // geometry: ring of clients; everyone hears everyone (one cell)
     let sink = Point::origin();
     let positions: Vec<Point> = std::iter::once(sink)
         .chain((0..cfg.n_clients).map(|i| {
@@ -126,7 +126,10 @@ pub fn run(cfg: &FullStackConfig, seed: u64) -> FullStackResult {
             );
         }
     }
-    FullStackResult { link_per, mac: sim.run(5_000_000) }
+    FullStackResult {
+        link_per,
+        mac: sim.run(5_000_000),
+    }
 }
 
 #[cfg(test)]
@@ -149,11 +152,17 @@ mod tests {
     #[test]
     fn phy_per_rises_with_radius() {
         let near = run(
-            &FullStackConfig { radius_m: 3.0, ..FullStackConfig::small_cell() },
+            &FullStackConfig {
+                radius_m: 3.0,
+                ..FullStackConfig::small_cell()
+            },
             7,
         );
         let far = run(
-            &FullStackConfig { radius_m: 14.0, ..FullStackConfig::small_cell() },
+            &FullStackConfig {
+                radius_m: 14.0,
+                ..FullStackConfig::small_cell()
+            },
             7,
         );
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -170,7 +179,10 @@ mod tests {
         // push the ring far out: the MAC must spend extra attempts per
         // delivered frame
         let res = run(
-            &FullStackConfig { radius_m: 30.0, ..FullStackConfig::small_cell() },
+            &FullStackConfig {
+                radius_m: 30.0,
+                ..FullStackConfig::small_cell()
+            },
             11,
         );
         assert!(

@@ -63,7 +63,7 @@ pub struct OverlayProtocolResult {
 
 /// Runs Algorithm 1 with two relays and a distributed Alamouti MISO hop.
 pub fn run<R: Rng>(rng: &mut R, cfg: &OverlayProtocolConfig) -> OverlayProtocolResult {
-    assert!(cfg.n_bits >= 2 && cfg.block_bits >= 2 && cfg.block_bits % 2 == 0);
+    assert!(cfg.n_bits >= 2 && cfg.block_bits >= 2 && cfg.block_bits.is_multiple_of(2));
     let code = Ostbc::new(StbcKind::Alamouti);
     let mut relay_errs = [0u64; 2];
     let mut e2e_errs = 0u64;
@@ -98,8 +98,7 @@ pub fn run<R: Rng>(rng: &mut R, cfg: &OverlayProtocolConfig) -> OverlayProtocolR
                 let b = relay_bits[r][2 * pair + k];
                 Complex::real(if b { 1.0 } else { -1.0 })
             };
-            if relay_bits[0][2 * pair..2 * pair + 2] != relay_bits[1][2 * pair..2 * pair + 2]
-            {
+            if relay_bits[0][2 * pair..2 * pair + 2] != relay_bits[1][2 * pair..2 * pair + 2] {
                 disagreements += 1;
             }
             // each relay encodes ITS OWN symbols and transmits its antenna's
@@ -109,8 +108,7 @@ pub fn run<R: Rng>(rng: &mut R, cfg: &OverlayProtocolConfig) -> OverlayProtocolR
             let x1 = code.encode(&[sym(1, 0), sym(1, 1)]); // relay 1's view
             let mut y = CMatrix::zeros(2, 1);
             for slot in 0..2 {
-                y[(slot, 0)] = (x0[(slot, 0)] * h[(0, 0)] + x1[(slot, 1)] * h[(0, 1)])
-                    .scale(amp)
+                y[(slot, 0)] = (x0[(slot, 0)] * h[(0, 0)] + x1[(slot, 1)] * h[(0, 1)]).scale(amp)
                     + complex_gaussian(rng, 1.0);
             }
             let est = decode_block(&code, &h, &y);
@@ -185,19 +183,33 @@ mod tests {
         let mut rng = seeded(63);
         let good = run(
             &mut rng,
-            &OverlayProtocolConfig { snr_step1: 200.0, ..OverlayProtocolConfig::paper_point() },
+            &OverlayProtocolConfig {
+                snr_step1: 200.0,
+                ..OverlayProtocolConfig::paper_point()
+            },
         );
         let bad = run(
             &mut rng,
-            &OverlayProtocolConfig { snr_step1: 10.0, ..OverlayProtocolConfig::paper_point() },
+            &OverlayProtocolConfig {
+                snr_step1: 10.0,
+                ..OverlayProtocolConfig::paper_point()
+            },
         );
-        assert!(bad.e2e_ber > 2.0 * good.e2e_ber, "bad {} vs good {}", bad.e2e_ber, good.e2e_ber);
+        assert!(
+            bad.e2e_ber > 2.0 * good.e2e_ber,
+            "bad {} vs good {}",
+            bad.e2e_ber,
+            good.e2e_ber
+        );
         assert!(bad.disagreement_rate > good.disagreement_rate);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = OverlayProtocolConfig { n_bits: 4_000, ..OverlayProtocolConfig::paper_point() };
+        let cfg = OverlayProtocolConfig {
+            n_bits: 4_000,
+            ..OverlayProtocolConfig::paper_point()
+        };
         let a = run(&mut seeded(9), &cfg);
         let b = run(&mut seeded(9), &cfg);
         assert_eq!(a, b);

@@ -90,30 +90,35 @@ pub fn run(cfg: &SingleRelayConfig, seed: u64) -> SingleRelayResult {
     let snr_direct = cfg.calib.mean_snr(tx, rx, &env, 1.0);
     let snr_tx_relay = cfg.calib.mean_snr(tx, relay, &env, 1.0);
     let snr_relay_rx = cfg.calib.mean_snr(relay, rx, &env, 1.0);
-    let k_direct = if env.crossings(tx, rx) > 0 { cfg.k_nlos } else { cfg.k_los };
-    let rows = (0..cfg.n_experiments)
-        .map(|e| {
-            let mut rng = comimo_math::rng::derive(seed, e as u64);
-            let bits = pn_sequence(0x5EED ^ e as u16, cfg.n_bits);
-            let mut errs_coop = 0u64;
-            let mut errs_direct = 0u64;
-            for chunk in bits.chunks(cfg.packet_bits) {
-                // direct branch through the board
-                let direct = transmit_bpsk(&mut rng, chunk, snr_direct, k_direct);
-                // relay leg: Tx -> relay (clear), DF, relay -> Rx (clear)
-                let at_relay = transmit_bpsk(&mut rng, chunk, snr_tx_relay, cfg.k_los);
-                let relayed = decode_and_forward(&mut rng, &at_relay, snr_relay_rx, cfg.k_los);
-                let dec_direct = decode_single(&direct);
-                let dec_coop = decode_egc(&[direct, relayed]);
-                errs_direct += count_bit_errors(chunk, &dec_direct[..chunk.len()]);
-                errs_coop += count_bit_errors(chunk, &dec_coop[..chunk.len()]);
-            }
-            SingleRelayRow {
-                ber_coop: errs_coop as f64 / bits.len() as f64,
-                ber_direct: errs_direct as f64 / bits.len() as f64,
-            }
-        })
-        .collect();
+    let k_direct = if env.crossings(tx, rx) > 0 {
+        cfg.k_nlos
+    } else {
+        cfg.k_los
+    };
+    // one derived stream per experiment, so the experiments can run on the
+    // rayon pool without changing the reported rows
+    let experiments: Vec<usize> = (0..cfg.n_experiments).collect();
+    let rows = crate::par_map(&experiments, |&e| {
+        let mut rng = comimo_math::rng::derive(seed, e as u64);
+        let bits = pn_sequence(0x5EED ^ e as u16, cfg.n_bits);
+        let mut errs_coop = 0u64;
+        let mut errs_direct = 0u64;
+        for chunk in bits.chunks(cfg.packet_bits) {
+            // direct branch through the board
+            let direct = transmit_bpsk(&mut rng, chunk, snr_direct, k_direct);
+            // relay leg: Tx -> relay (clear), DF, relay -> Rx (clear)
+            let at_relay = transmit_bpsk(&mut rng, chunk, snr_tx_relay, cfg.k_los);
+            let relayed = decode_and_forward(&mut rng, &at_relay, snr_relay_rx, cfg.k_los);
+            let dec_direct = decode_single(&direct);
+            let dec_coop = decode_egc(&[direct, relayed]);
+            errs_direct += count_bit_errors(chunk, &dec_direct[..chunk.len()]);
+            errs_coop += count_bit_errors(chunk, &dec_coop[..chunk.len()]);
+        }
+        SingleRelayRow {
+            ber_coop: errs_coop as f64 / bits.len() as f64,
+            ber_direct: errs_direct as f64 / bits.len() as f64,
+        }
+    });
     SingleRelayResult { rows }
 }
 
@@ -122,7 +127,10 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> SingleRelayConfig {
-        SingleRelayConfig { n_bits: 30_000, ..SingleRelayConfig::paper() }
+        SingleRelayConfig {
+            n_bits: 30_000,
+            ..SingleRelayConfig::paper()
+        }
     }
 
     #[test]

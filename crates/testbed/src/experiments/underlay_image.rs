@@ -68,7 +68,11 @@ impl UnderlayImageConfig {
 
     /// A scaled-down configuration for fast tests.
     pub fn quick() -> Self {
-        Self { n_packets: 50, packet_bytes: 250, ..Self::paper() }
+        Self {
+            n_packets: 50,
+            packet_bytes: 250,
+            ..Self::paper()
+        }
     }
 }
 
@@ -179,20 +183,22 @@ pub fn run(cfg: &UnderlayImageConfig, amplitudes: &[u32], seed: u64) -> Underlay
         .iter()
         .enumerate()
         .map(|(ai, &amplitude)| {
-            let mut failures = (0usize, 0usize);
-            for p in 0..cfg.n_packets {
+            // every packet has its own derived stream covering both its
+            // cooperative and solo transmission, so the packets fan out
+            // onto the rayon pool without changing either PER column
+            let packets: Vec<usize> = (0..cfg.n_packets).collect();
+            let outcomes = crate::par_map(&packets, |&p| {
                 let start = (p * cfg.packet_bytes) % image.pixels.len();
                 let end = (start + cfg.packet_bytes).min(image.pixels.len());
                 let payload = &image.pixels[start..end];
-                let mut rng =
-                    comimo_math::rng::derive(seed, (ai as u64) << 32 | p as u64);
-                if !send_packet(&mut rng, cfg, &modem, &codec, payload, amplitude, 2) {
-                    failures.0 += 1;
-                }
-                if !send_packet(&mut rng, cfg, &modem, &codec, payload, amplitude, 1) {
-                    failures.1 += 1;
-                }
-            }
+                let mut rng = comimo_math::rng::derive(seed, (ai as u64) << 32 | p as u64);
+                let coop_ok = send_packet(&mut rng, cfg, &modem, &codec, payload, amplitude, 2);
+                let solo_ok = send_packet(&mut rng, cfg, &modem, &codec, payload, amplitude, 1);
+                (coop_ok, solo_ok)
+            });
+            let failures = outcomes.iter().fold((0usize, 0usize), |acc, &(c, s)| {
+                (acc.0 + usize::from(!c), acc.1 + usize::from(!s))
+            });
             UnderlayRow {
                 amplitude,
                 per_coop: failures.0 as f64 / cfg.n_packets as f64,
@@ -243,7 +249,10 @@ mod tests {
         // paper at amplitude 800: coop 0 %, solo 24.85 %. The PER depends
         // on the packet length (one bad bit kills a CRC), so this check
         // runs at the paper's full 1500-byte packets.
-        let cfg = UnderlayImageConfig { n_packets: 40, ..UnderlayImageConfig::paper() };
+        let cfg = UnderlayImageConfig {
+            n_packets: 40,
+            ..UnderlayImageConfig::paper()
+        };
         let res = run(&cfg, &[800], 2013);
         let r = &res.rows[0];
         assert!(r.per_coop < 0.08, "coop PER {}", r.per_coop);
@@ -256,7 +265,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = UnderlayImageConfig { n_packets: 10, ..UnderlayImageConfig::quick() };
+        let cfg = UnderlayImageConfig {
+            n_packets: 10,
+            ..UnderlayImageConfig::quick()
+        };
         assert_eq!(run(&cfg, &[600], 5), run(&cfg, &[600], 5));
     }
 
@@ -267,12 +279,19 @@ mod tests {
         // coded packets survive (note 400 coded ≈ 566 uncoded in energy
         // per info bit, yet performs far better than even plain 600)
         let plain = run(
-            &UnderlayImageConfig { n_packets: 40, ..UnderlayImageConfig::quick() },
+            &UnderlayImageConfig {
+                n_packets: 40,
+                ..UnderlayImageConfig::quick()
+            },
             &[500],
             2013,
         );
         let coded = run(
-            &UnderlayImageConfig { n_packets: 40, use_fec: true, ..UnderlayImageConfig::quick() },
+            &UnderlayImageConfig {
+                n_packets: 40,
+                use_fec: true,
+                ..UnderlayImageConfig::quick()
+            },
             &[500],
             2013,
         );

@@ -34,6 +34,7 @@ impl Flowgraph {
     }
 
     /// Appends a block to the chain.
+    #[allow(clippy::should_implement_trait)] // builder push, not ops::Add
     pub fn add(mut self, block: impl Block + 'static) -> Self {
         self.blocks.push(Box::new(block));
         self
@@ -131,7 +132,10 @@ impl NoiseSource {
     /// Builds a noise source.
     pub fn new(n0: f64, seed: u64) -> Self {
         assert!(n0 >= 0.0);
-        Self { n0, rng: comimo_math::rng::seeded(seed) }
+        Self {
+            n0,
+            rng: comimo_math::rng::seeded(seed),
+        }
     }
 }
 
@@ -194,7 +198,10 @@ mod tests {
 
     #[test]
     fn frequency_offset_rotates_continuously() {
-        let mut fo = FrequencyOffset { phase_per_sample: 0.1, initial_phase: 0.0 };
+        let mut fo = FrequencyOffset {
+            phase_per_sample: 0.1,
+            initial_phase: 0.0,
+        };
         let a = fo.process(&ones(10));
         let b = fo.process(&ones(10));
         // the second chunk continues the rotation where the first stopped

@@ -44,7 +44,11 @@ impl TestImage {
                 pixels.push((grad as i16 + ripple).clamp(0, 255) as u8);
             }
         }
-        Self { width, height, pixels }
+        Self {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Splits into transmit packets of [`PACKET_BYTES`] each.
@@ -64,10 +68,14 @@ impl TestImage {
                     assert_eq!(data.len(), self.packets()[i].len(), "packet {i} length");
                     pixels.extend_from_slice(data);
                 }
-                None => pixels.extend(std::iter::repeat(0u8).take(self.packets()[i].len())),
+                None => pixels.extend(std::iter::repeat_n(0u8, self.packets()[i].len())),
             }
         }
-        TestImage { width: self.width, height: self.height, pixels }
+        TestImage {
+            width: self.width,
+            height: self.height,
+            pixels,
+        }
     }
 
     /// Mean absolute per-pixel error against another image of the same
@@ -110,7 +118,11 @@ mod tests {
     fn content_has_structure_not_constant() {
         let img = TestImage::standard();
         let distinct: std::collections::HashSet<u8> = img.pixels.iter().copied().collect();
-        assert!(distinct.len() > 100, "only {} distinct levels", distinct.len());
+        assert!(
+            distinct.len() > 100,
+            "only {} distinct levels",
+            distinct.len()
+        );
     }
 
     #[test]

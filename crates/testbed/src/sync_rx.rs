@@ -38,7 +38,9 @@ impl Default for BurstTx {
 impl BurstTx {
     /// Builds a transmitter with the standard frame codec.
     pub fn new() -> Self {
-        Self { codec: FrameCodec::new() }
+        Self {
+            codec: FrameCodec::new(),
+        }
     }
 
     /// Produces the burst's complex baseband (1 sample/symbol).
@@ -58,14 +60,17 @@ impl BurstRx {
     pub fn new() -> Self {
         let codec = FrameCodec::new();
         let preamble_symbols = Bpsk.modulate(codec.preamble());
-        Self { codec, preamble_symbols, min_peak: 0.55 }
+        Self {
+            codec,
+            preamble_symbols,
+            min_peak: 0.55,
+        }
     }
 
     /// Attempts to acquire and decode one frame from an arbitrary-offset
     /// sample stream. Returns the payload on success.
     pub fn receive(&self, samples: &[Complex]) -> Option<Vec<u8>> {
-        let (start, _cfo, corrected) =
-            acquire(samples, &self.preamble_symbols, self.min_peak, 4)?;
+        let (start, _cfo, corrected) = acquire(samples, &self.preamble_symbols, self.min_peak, 4)?;
         let _ = start;
         // estimate the residual channel phase from the preamble
         let n_pre = self.preamble_symbols.len();

@@ -31,8 +31,14 @@ pub struct UsrpFrontEnd {
 impl UsrpFrontEnd {
     /// Builds a front end at the RFX2400 carrier with the given amplitude.
     pub fn new(amplitude: u32) -> Self {
-        assert!(amplitude as f64 <= DAC_FULL_SCALE, "amplitude beyond DAC range");
-        Self { amplitude, carrier_hz: RFX2400_CARRIER_HZ }
+        assert!(
+            amplitude as f64 <= DAC_FULL_SCALE,
+            "amplitude beyond DAC range"
+        );
+        Self {
+            amplitude,
+            carrier_hz: RFX2400_CARRIER_HZ,
+        }
     }
 
     /// Baseband amplitude scale in `[0, 1]`.

@@ -31,7 +31,10 @@ fn main() {
     let pair = TransmitPair::paper_table1(0.1199);
     let pr = Point::new(40.0, 90.0); // the primary receiver to protect
     let delta = pair.null_delay_toward(pr);
-    println!("pair separation r = w/2; null steered toward Pr at {:?}", (pr.x, pr.y));
+    println!(
+        "pair separation r = w/2; null steered toward Pr at {:?}",
+        (pr.x, pr.y)
+    );
     println!("imposed phase delay on St1: {delta:.4} rad\n");
     println!("far-field pattern (0 deg = +x axis; * = amplitude, max 2):");
     for deg in (0..360).step_by(15) {
@@ -61,7 +64,10 @@ fn main() {
 
     // ---------------- the Figure-8 testbed scan ----------------
     println!("testbed beam scan (null at 120 deg, semicircle r = 1 m):");
-    println!("{:>6} {:>10} {:>12} {:>8}", "angle", "simulated", "beamformer", "SISO");
+    println!(
+        "{:>6} {:>10} {:>12} {:>8}",
+        "angle", "simulated", "beamformer", "SISO"
+    );
     for p in beam_scan::run(&BeamScanConfig::paper(), 2013) {
         println!(
             "{:>6.0} {:>10.3} {:>12.3} {:>8.3}",

@@ -28,24 +28,39 @@ fn deployment(battery_j: f64, max_cluster: usize) -> CoMimoNet {
 
 fn main() {
     let model = EnergyModel::paper();
-    let cfg = LifetimeConfig { max_rounds: 200_000, ..LifetimeConfig::default_rounds() };
+    let cfg = LifetimeConfig {
+        max_rounds: 200_000,
+        ..LifetimeConfig::default_rounds()
+    };
 
     println!("60 SUs over 450 m x 450 m, 0.5 J batteries, 10-kbit rounds, node 0 -> node 59\n");
 
     // ---------------- routing-policy comparison first ----------------
     let net = deployment(0.5, 4);
     let (from, to) = (net.cluster_of(0).unwrap(), net.cluster_of(59).unwrap());
-    if let Some((bb, opt)) =
-        backbone_vs_optimal(&net, &model, 1e-3, 40e3, 1e4, from, to, comimo::net::comimonet::ForwardPolicy::AllMembers)
-    {
+    if let Some((bb, opt)) = backbone_vs_optimal(
+        &net,
+        &model,
+        1e-3,
+        40e3,
+        1e4,
+        from,
+        to,
+        comimo::net::comimonet::ForwardPolicy::AllMembers,
+    ) {
         println!("route energy node0->node59:");
         println!("  spanning-tree backbone : {bb:.3e} J/bit");
-        println!("  min-energy (Dijkstra)  : {opt:.3e} J/bit  ({:.1}% cheaper)\n",
-            (1.0 - opt / bb) * 100.0);
+        println!(
+            "  min-energy (Dijkstra)  : {opt:.3e} J/bit  ({:.1}% cheaper)\n",
+            (1.0 - opt / bb) * 100.0
+        );
     }
 
     // ---------------- lifetime: cooperative vs SISO ----------------
-    for (label, max_cluster) in [("cooperative (<=4-node clusters)", 4), ("SISO (singleton clusters)", 1)] {
+    for (label, max_cluster) in [
+        ("cooperative (<=4-node clusters)", 4),
+        ("SISO (singleton clusters)", 1),
+    ] {
         let net = deployment(0.5, max_cluster);
         let n_clusters = net.clusters().len();
         let res = run_lifetime(net, &model, &cfg, 0, 59);

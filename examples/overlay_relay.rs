@@ -19,7 +19,10 @@ fn main() {
     let model = EnergyModel::paper();
     println!("How far can m cooperative SUs sit while relaying at a 10x better BER");
     println!("with the same per-node energy as the direct primary link?\n");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "D1(m)", "m=2 D2", "m=2 D3", "m=3 D2", "m=3 D3");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "D1(m)", "m=2 D2", "m=2 D3", "m=3 D2", "m=3 D3"
+    );
     for d1 in [150.0, 200.0, 250.0, 300.0, 350.0] {
         let a2 = Overlay::new(&model, OverlayConfig::paper(2, 40_000.0)).analyze(d1);
         let a3 = Overlay::new(&model, OverlayConfig::paper(3, 40_000.0)).analyze(d1);

@@ -33,7 +33,9 @@ fn main() {
     // the "Preprocessing" step of Algorithms 1-2: build and query the table
     let table = EbTable::build(&solver, &[0.005, 0.001, 0.0005]);
     let (best_b, best_e) = table.best_b(0.001, 2, 3);
-    println!("table: optimal constellation at p=1e-3 for a 2x3 link: b = {best_b} ({best_e:.2e} J)\n");
+    println!(
+        "table: optimal constellation at p=1e-3 for a 2x3 link: b = {best_b} ({best_e:.2e} J)\n"
+    );
 
     // ------------------------------------------------------------------
     // 2. Overlay: relay the primary transmission (Algorithm 1 / Figure 6)
@@ -42,10 +44,16 @@ fn main() {
     let overlay = Overlay::new(&model, OverlayConfig::paper(3, 40_000.0));
     let a = overlay.analyze(250.0);
     println!("== overlay (m = 3 relays, B = 40 kHz) ==");
-    println!("direct link D1 = {:.0} m at BER 0.005 costs E1 = {:.2e} J/bit", a.d1, a.e1);
+    println!(
+        "direct link D1 = {:.0} m at BER 0.005 costs E1 = {:.2e} J/bit",
+        a.d1, a.e1
+    );
     println!("with the same energy, at BER 0.0005 (10x better), the relays can sit");
     println!("  D2 = {:.0} m from the primary transmitter,", a.d2);
-    println!("  D3 = {:.0} m from the primary receiver  (paper: 235 m / 406 m)\n", a.d3);
+    println!(
+        "  D3 = {:.0} m from the primary receiver  (paper: 235 m / 406 m)\n",
+        a.d3
+    );
 
     // ------------------------------------------------------------------
     // 3. Underlay: share the spectrum below the noise floor (Algorithm 2)
@@ -57,7 +65,10 @@ fn main() {
     println!("== underlay (D = 200 m, d = 1 m, p = 1e-3) ==");
     println!("SISO total PA energy/bit        = {:.2e} J", s.total_pa());
     println!("2x3 cooperative PA energy/bit   = {:.2e} J", m.total_pa());
-    println!("radiated-energy reduction       = {:.0}x  (paper: '2 to 4 orders')\n", s.total_pa() / m.total_pa());
+    println!(
+        "radiated-energy reduction       = {:.0}x  (paper: '2 to 4 orders')\n",
+        s.total_pa() / m.total_pa()
+    );
 
     // ------------------------------------------------------------------
     // 4. Interweave: null-steer away from the primary (Algorithm 3)
@@ -68,7 +79,12 @@ fn main() {
     let delta = pair.null_delay_toward(pr);
     println!("== interweave ==");
     println!("phase delay on St1: delta = {delta:.4} rad");
-    println!("amplitude toward the primary Pr : {:.4}  (null)", pair.amplitude_at(pr, delta));
-    println!("amplitude toward the secondary Sr: {:.4}  (~2 = full diversity; paper: 1.87 measured)",
-        pair.amplitude_at(sr, delta));
+    println!(
+        "amplitude toward the primary Pr : {:.4}  (null)",
+        pair.amplitude_at(pr, delta)
+    );
+    println!(
+        "amplitude toward the secondary Sr: {:.4}  (~2 = full diversity; paper: 1.87 measured)",
+        pair.amplitude_at(sr, delta)
+    );
 }

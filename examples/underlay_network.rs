@@ -26,9 +26,15 @@ fn main() {
     // ---------------- network formation ----------------
     let nodes = random_deployment(&mut rng, 60, 400.0, 400.0, 50.0);
     let graph = SuGraph::build(nodes, 60.0);
-    println!("deployed 60 SUs over 400 m x 400 m, range 60 m: {} edges", graph.n_edges());
+    println!(
+        "deployed 60 SUs over 400 m x 400 m, range 60 m: {} edges",
+        graph.n_edges()
+    );
     let net = CoMimoNet::build(graph, 30.0, 4, SeedOrder::DegreeGreedy, 500.0);
-    println!("d-clustering (d = 30 m, max 4 nodes): {} clusters", net.clusters().len());
+    println!(
+        "d-clustering (d = 30 m, max 4 nodes): {} clusters",
+        net.clusters().len()
+    );
     let sizes: Vec<usize> = net.clusters().iter().map(|c| c.size()).collect();
     println!("cluster sizes: {sizes:?}\n");
 
@@ -75,8 +81,11 @@ fn main() {
     let u = Underlay::new(&model, UnderlayConfig::paper(2, 3, 10_000.0));
     let a = u.analyze(200.0);
     let pl = SquareLawLongHaul::paper_defaults();
-    println!("\nunderlay 2x3 hop over 200 m: total PA {:.3e} J/bit, peak {:.3e} J/bit",
-        a.total_pa(), a.peak_pa());
+    println!(
+        "\nunderlay 2x3 hop over 200 m: total PA {:.3e} J/bit, peak {:.3e} J/bit",
+        a.total_pa(),
+        a.peak_pa()
+    );
     for d in [200.0, 400.0, 800.0] {
         println!(
             "  noise-floor margin at a PU {d:>4.0} m away: {:+.1} dB",

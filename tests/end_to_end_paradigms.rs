@@ -55,8 +55,24 @@ fn qpsk_matches_bpsk_symbol_energy_in_simulation() {
     let code = Ostbc::new(StbcKind::Alamouti);
     let mut rng = seeded(77);
     // per-symbol energies: 1·ē for BPSK, 2·ē for QPSK (ē_b is per bit)
-    let b1 = simulate_ber(&mut rng, &code, &SimConstellation::new(1), 1, e1 / solver.n0, 1.0, 150_000);
-    let b2 = simulate_ber(&mut rng, &code, &SimConstellation::new(2), 1, 2.0 * e2 / solver.n0, 1.0, 150_000);
+    let b1 = simulate_ber(
+        &mut rng,
+        &code,
+        &SimConstellation::new(1),
+        1,
+        e1 / solver.n0,
+        1.0,
+        150_000,
+    );
+    let b2 = simulate_ber(
+        &mut rng,
+        &code,
+        &SimConstellation::new(2),
+        1,
+        2.0 * e2 / solver.n0,
+        1.0,
+        150_000,
+    );
     assert!(
         (b1.ber() - b2.ber()).abs() < 0.25 * b1.ber().max(b2.ber()),
         "BPSK {} vs QPSK {}",
@@ -97,7 +113,11 @@ fn underlay_figure7_ordering_holds_across_sweep() {
         .iter()
         .map(|&(mt, mr)| {
             let u = Underlay::new(&model, UnderlayConfig::paper(mt, mr, 10_000.0));
-            let pts = u.sweep(100.0, 300.0, 50.0).iter().map(|a| a.total_pa()).collect();
+            let pts = u
+                .sweep(100.0, 300.0, 50.0)
+                .iter()
+                .map(|a| a.total_pa())
+                .collect();
             (mt, mr, pts)
         })
         .collect();
@@ -179,8 +199,14 @@ fn framed_gmsk_over_multipath_roundtrip() {
     let tx = modem.modulate(&bits);
     // a mild indoor channel: strong LOS plus one weak echo
     let ch = TappedDelayLine::new(vec![
-        comimo::channel::multipath::Tap { delay: 0, gain: Complex::from_polar(1.0, 0.4) },
-        comimo::channel::multipath::Tap { delay: 2, gain: Complex::from_polar(0.08, 2.0) },
+        comimo::channel::multipath::Tap {
+            delay: 0,
+            gain: Complex::from_polar(1.0, 0.4),
+        },
+        comimo::channel::multipath::Tap {
+            delay: 2,
+            gain: Complex::from_polar(0.08, 2.0),
+        },
     ]);
     let mut rx = ch.apply(&tx);
     let mut rng = seeded(55);

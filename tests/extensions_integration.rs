@@ -42,9 +42,17 @@ fn sense_pick_steer_pipeline() {
     let pr = map.channels()[picked].pu.rx;
     let asg = bf.steer(pr);
     // the picked PU's receiver is protected...
-    assert!(bf.amplitude_at(pr, &asg) < 0.05, "null {}", bf.amplitude_at(pr, &asg));
+    assert!(
+        bf.amplitude_at(pr, &asg) < 0.05,
+        "null {}",
+        bf.amplitude_at(pr, &asg)
+    );
     // ...while the secondary receiver keeps array gain over SISO
-    assert!(bf.amplitude_at(sr, &asg) > 1.3, "gain {}", bf.amplitude_at(sr, &asg));
+    assert!(
+        bf.amplitude_at(sr, &asg) > 1.3,
+        "gain {}",
+        bf.amplitude_at(sr, &asg)
+    );
 }
 
 /// The extended energy model plugged into a full route cost: a coded
@@ -66,9 +74,7 @@ fn extended_model_reduces_long_route_cost() {
     // the 4 dB coding gain outweighs the rate-1/2 air-time expansion
     // (a 2x2 cooperative hop at short range is already so PA-cheap that
     // coding would not pay — covered by the unit tests)
-    let route = |m: &ExtendedEnergyModel| {
-        3.0 * (m.e_mimot(&p, 1, 1, 400.0) + m.e_mimor(&p))
-    };
+    let route = |m: &ExtendedEnergyModel| 3.0 * (m.e_mimot(&p, 1, 1, 400.0) + m.e_mimor(&p));
     assert!(
         route(&coded) < route(&raw),
         "coded {:.3e} vs raw {:.3e}",
@@ -184,8 +190,7 @@ fn acquiring_receiver_over_composed_channel() {
         .map(|_| comimo::math::rng::complex_gaussian(&mut rng, 1e-3))
         .collect();
     air.extend(burst.iter().enumerate().map(|(n, &s)| {
-        s * doppler.gain_at(n as u64) * 3.0
-            + comimo::math::rng::complex_gaussian(&mut rng, 1e-3)
+        s * doppler.gain_at(n as u64) * 3.0 + comimo::math::rng::complex_gaussian(&mut rng, 1e-3)
     }));
     assert_eq!(rx.receive(&air), Some(payload));
 }

@@ -44,15 +44,25 @@ fn route_energy_scales_with_hop_count() {
     for a in 0..k {
         for b in 0..k {
             if let Some(p) = net.backbone_path(a, b) {
-                if best.as_ref().map_or(true, |q| p.len() > q.len()) {
+                if best.as_ref().is_none_or(|q| p.len() > q.len()) {
                     best = Some(p);
                 }
             }
         }
     }
     let path = best.expect("some path exists");
-    assert!(path.len() >= 3, "deployment too sparse for a multi-hop test");
-    let full = net.route_energy_per_bit(&model, 1e-3, 40_000.0, 1e4, &path, ForwardPolicy::AllMembers);
+    assert!(
+        path.len() >= 3,
+        "deployment too sparse for a multi-hop test"
+    );
+    let full = net.route_energy_per_bit(
+        &model,
+        1e-3,
+        40_000.0,
+        1e4,
+        &path,
+        ForwardPolicy::AllMembers,
+    );
     let half = net.route_energy_per_bit(
         &model,
         1e-3,
@@ -61,7 +71,10 @@ fn route_energy_scales_with_hop_count() {
         &path[..path.len() / 2 + 1],
         ForwardPolicy::AllMembers,
     );
-    assert!(full > half, "longer routes must cost more: {full:e} vs {half:e}");
+    assert!(
+        full > half,
+        "longer routes must cost more: {full:e} vs {half:e}"
+    );
 }
 
 #[test]
@@ -85,7 +98,11 @@ fn mac_runs_over_the_formed_topology() {
     }
     let stats = sim.run(1_000_000);
     assert_eq!(stats.delivered + stats.dropped, 20);
-    assert!(stats.delivery_ratio() > 0.9, "ratio {}", stats.delivery_ratio());
+    assert!(
+        stats.delivery_ratio() > 0.9,
+        "ratio {}",
+        stats.delivery_ratio()
+    );
 }
 
 #[test]
@@ -117,7 +134,15 @@ fn battery_drain_relects_route_usage() {
     let model = EnergyModel::paper();
     // drain a head by the per-bit cost of 1 Mbit through its hop
     if let Some(&next) = net.backbone_neighbours(0).first() {
-        let hop = net.hop_energy(&model, 1e-3, 40_000.0, 1e4, 0, next, ForwardPolicy::AllMembers);
+        let hop = net.hop_energy(
+            &model,
+            1e-3,
+            40_000.0,
+            1e4,
+            0,
+            next,
+            ForwardPolicy::AllMembers,
+        );
         let head = net.clusters()[0].head;
         let mut graph = net.graph().clone();
         let before = graph.nodes()[head].battery_j;

@@ -37,7 +37,7 @@ proptest! {
     fn prop_gmsk_roundtrip_under_gain(
         bits in arb_bits(192),
         gain_db in -30.0f64..10.0,
-        phase in 0.0f64..6.28,
+        phase in 0.0f64..6.25,
     ) {
         let modem = GmskModem::gnuradio_default();
         let wave = modem.modulate(&bits);

@@ -10,12 +10,29 @@ fn fig6_shape() {
     for s in &series {
         // distances grow with D1 in every series
         for w in s.points.windows(2) {
-            assert!(w[1].d2 >= w[0].d2, "m={} B={}: D2 shrank", s.m, s.bandwidth_hz);
-            assert!(w[1].d3 > w[0].d3, "m={} B={}: D3 shrank", s.m, s.bandwidth_hz);
+            assert!(
+                w[1].d2 >= w[0].d2,
+                "m={} B={}: D2 shrank",
+                s.m,
+                s.bandwidth_hz
+            );
+            assert!(
+                w[1].d3 > w[0].d3,
+                "m={} B={}: D3 shrank",
+                s.m,
+                s.bandwidth_hz
+            );
         }
         // D3 exceeds D2 (Figure 6(b) vs 6(a)) at every point
         for p in &s.points {
-            assert!(p.d3 > p.d2, "m={} B={}: D3 {} <= D2 {}", s.m, s.bandwidth_hz, p.d3, p.d2);
+            assert!(
+                p.d3 > p.d2,
+                "m={} B={}: D3 {} <= D2 {}",
+                s.m,
+                s.bandwidth_hz,
+                p.d3,
+                p.d2
+            );
         }
     }
     // Fig 6(a): same-bandwidth curves nearly overlap across m
@@ -29,8 +46,14 @@ fn fig6_shape() {
     };
     assert!((d2(2, 40_000.0) - d2(3, 40_000.0)).abs() / d2(2, 40_000.0) < 0.02);
     // Fig 6(b): more relays reach farther at long range
-    let s2 = series.iter().find(|s| s.m == 2 && s.bandwidth_hz == 40_000.0).unwrap();
-    let s3 = series.iter().find(|s| s.m == 3 && s.bandwidth_hz == 40_000.0).unwrap();
+    let s2 = series
+        .iter()
+        .find(|s| s.m == 2 && s.bandwidth_hz == 40_000.0)
+        .unwrap();
+    let s3 = series
+        .iter()
+        .find(|s| s.m == 3 && s.bandwidth_hz == 40_000.0)
+        .unwrap();
     assert!(s3.points.last().unwrap().d3 > s2.points.last().unwrap().d3);
 }
 
@@ -130,8 +153,13 @@ fn fig8_shape() {
     assert!(null.measured_beamformer > 0.0);
     assert!(null.measured_beamformer < 0.4);
     // the beamformer's peak is well above the SISO level
-    let peak = pts.iter().map(|p| p.measured_beamformer).fold(0.0f64, f64::max);
-    let siso_mean: f64 =
-        pts.iter().map(|p| p.measured_siso).sum::<f64>() / pts.len() as f64;
-    assert!(peak > 1.5 * siso_mean, "peak {peak} vs SISO mean {siso_mean}");
+    let peak = pts
+        .iter()
+        .map(|p| p.measured_beamformer)
+        .fold(0.0f64, f64::max);
+    let siso_mean: f64 = pts.iter().map(|p| p.measured_siso).sum::<f64>() / pts.len() as f64;
+    assert!(
+        peak > 1.5 * siso_mean,
+        "peak {peak} vs SISO mean {siso_mean}"
+    );
 }

@@ -1,0 +1,207 @@
+//! Offline vendored criterion: a minimal micro-benchmark harness exposing
+//! the `benchmark_group`/`bench_function` API subset this workspace uses.
+//!
+//! Each `bench_function` warms up briefly, auto-calibrates an iteration
+//! count targeting a fixed measurement window, takes `sample_size` timing
+//! samples and prints median ns/iter (plus element throughput when
+//! configured). There is no statistical regression machinery and nothing
+//! is written to `target/criterion` — results go to stdout only.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle passed to benchmark functions.
+pub struct Criterion {
+    /// Target measurement window per sample batch.
+    measurement: Duration,
+    /// Default number of timing samples.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(200),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored — the
+    /// vendored harness has no CLI options).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the measurement window for subsequent benchmarks.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let _ = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.sample_size)
+            .max(2);
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+
+        // Warm-up + calibration: run 1, 2, 4, ... iterations until the
+        // batch takes long enough to time reliably.
+        let mut iters_per_sample = 1u64;
+        loop {
+            bencher.iters = iters_per_sample;
+            f(&mut bencher);
+            if bencher.elapsed >= self.criterion.measurement / samples as u32
+                || iters_per_sample >= 1 << 30
+            {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..samples)
+            .map(|_| {
+                bencher.iters = iters_per_sample;
+                f(&mut bencher);
+                bencher.elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.3} Melem/s)", n as f64 / median * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  ({:.3} MiB/s)",
+                    n as f64 / median * 1e9 / (1024.0 * 1024.0) / 1e6
+                )
+            }
+            None => String::new(),
+        };
+        println!("  {}/{id}: {median:.1} ns/iter{rate}", self.name);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = self.iters.max(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for call sites using `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(2),
+            sample_size: 3,
+        };
+        let mut g = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        g.sample_size(2)
+            .throughput(Throughput::Elements(4))
+            .bench_function("noop", |b| {
+                count += 1;
+                b.iter(|| 1 + 1);
+            });
+        g.finish();
+        assert!(count >= 2, "closure should run for calibration and samples");
+    }
+}

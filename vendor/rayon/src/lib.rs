@@ -1,0 +1,215 @@
+//! Offline vendored rayon: the `par_iter`/`into_par_iter` + `map` +
+//! `collect`/`sum`/`for_each` subset, executed on scoped OS threads.
+//!
+//! Work is split into at most [`current_num_threads`] contiguous chunks and
+//! the per-chunk results are concatenated **in input order**, so any
+//! pipeline whose closure is a pure function of its item yields results
+//! independent of the thread count — the determinism contract the
+//! Monte-Carlo engine in this workspace relies on.
+//!
+//! `RAYON_NUM_THREADS` is honoured, read once on first use (like upstream's
+//! global pool initialisation).
+
+use std::sync::OnceLock;
+
+/// Number of worker threads used for parallel execution.
+///
+/// `RAYON_NUM_THREADS` overrides the detected CPU count; the value is
+/// latched on first call.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Maps `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// returning results in input order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("vendored-rayon worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A parallel iterator holding its (already materialised) items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on each item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, f);
+    }
+}
+
+/// A mapped parallel iterator (items plus the mapping closure).
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F, R> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Executes the map and collects results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map_vec(self.items, self.f))
+    }
+
+    /// Executes the map and sums the results (input-order fold).
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        par_map_vec(self.items, self.f).into_iter().sum()
+    }
+
+    /// Executes the map and reduces the results with `op`, folding in
+    /// input order starting from `identity()`.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> R
+    where
+        Id: Fn() -> R,
+        Op: Fn(R, R) -> R,
+    {
+        par_map_vec(self.items, self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator,
+    <std::ops::Range<T> as Iterator>::Item: Send,
+{
+    type Item = <std::ops::Range<T> as Iterator>::Item;
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// By-shared-reference conversion into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a shared reference).
+    type Item: Send + 'a;
+    /// Borrows `self` as a [`ParIter`] of references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching upstream `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![(1u32, 2.0f64), (3, 4.0)];
+        let v: Vec<f64> = data.par_iter().map(|&(a, b)| a as f64 + b).collect();
+        assert_eq!(v, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let s: u64 = (0u64..10_000).into_par_iter().map(|x| x % 7).sum();
+        let e: u64 = (0u64..10_000).map(|x| x % 7).sum();
+        assert_eq!(s, e);
+    }
+}

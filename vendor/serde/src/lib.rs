@@ -1,0 +1,307 @@
+//! Offline vendored serde: a value-model serialisation framework.
+//!
+//! Unlike upstream serde's visitor architecture, this vendored stand-in
+//! round-trips everything through one dynamic [`Value`] tree — dramatically
+//! simpler, and fully sufficient for the JSON (de)serialisation this
+//! workspace performs. The `#[derive(Serialize, Deserialize)]` macros are
+//! re-exported from the vendored `serde_derive` proc-macro crate and
+//! generate impls of the two traits below for named-field structs and for
+//! enums with unit/struct variants.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Dynamic serialisation tree: the meeting point of [`Serialize`],
+/// [`Deserialize`] and format crates (`serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key–value map (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a map field by name.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            other => Err(DeError(format!(
+                "expected a map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable node kind for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Value::I64(v) => Some(v as i128),
+            Value::U64(v) => Some(v as i128),
+            Value::F64(v) if v.fract() == 0.0 => Some(v as i128),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialisation into the dynamic [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialisation from the dynamic [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if let Ok(i) = i64::try_from(v) { Value::I64(i) } else { Value::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i128().ok_or_else(|| {
+                    DeError(format!("expected an integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64().map(|x| x as $t).ok_or_else(|| {
+                    DeError(format!("expected a number, found {}", v.kind()))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected a bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| DeError(format!("expected {N} elements, found {}", items.len())))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => Ok(($(
+                        $t::from_value(items.get($n).ok_or_else(|| {
+                            DeError("tuple sequence too short".into())
+                        })?)?,
+                    )+)),
+                    other => Err(DeError(format!(
+                        "expected a sequence, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_field_lookup() {
+        let v = Value::Map(vec![("a".into(), Value::I64(1))]);
+        assert_eq!(v.field("a").unwrap(), &Value::I64(1));
+        assert!(v.field("b").is_err());
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<u32> = Deserialize::from_value(&vec![1u32, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

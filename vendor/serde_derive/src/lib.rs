@@ -1,0 +1,328 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! A dependency-free proc-macro (no `syn`/`quote`): the input token stream
+//! is walked directly to extract the type name plus field/variant names,
+//! and the generated impl is assembled as a string and re-parsed. Supported
+//! shapes — the only ones this workspace uses:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or named-field (struct) variants.
+//!
+//! Generics, tuple structs and tuple variants produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed skeleton of a type definition.
+enum TypeDef {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Splits a token list on top-level commas. Angle brackets (`Vec<T>`,
+/// `HashMap<K, V>`) are tracked manually since they are not token groups.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                // `->` must not close an angle bracket
+                '>' if !prev_dash => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`) and a visibility qualifier from a
+/// token chunk, returning the remainder.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// Parses `name: Type` chunks into field names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    for chunk in split_top_commas(&tokens) {
+        let rest = strip_attrs_and_vis(&chunk);
+        match rest.first() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => return Err(format!("unexpected token in field position: {other}")),
+            None => {}
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Option<Vec<String>>)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    for chunk in split_top_commas(&tokens) {
+        let rest = strip_attrs_and_vis(&chunk);
+        let mut it = rest.iter();
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in variant position: {other}")),
+            None => continue,
+        };
+        match it.next() {
+            None => variants.push((name, None)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push((name, Some(parse_named_fields(g.stream())?)));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple variant `{name}` is not supported by vendored serde"
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token after variant `{name}`: {other}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_type_def(input: TokenStream) -> Result<TypeDef, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1;
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            Some(_) => i += 1,
+            None => return Err("no struct or enum found in derive input".into()),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by vendored serde"
+            ));
+        }
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple struct `{name}` is not supported by vendored serde"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "unit struct `{name}` is not supported by vendored serde"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("missing body for type `{name}`")),
+        }
+    };
+    if kind == "struct" {
+        Ok(TypeDef::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(TypeDef::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = match parse_type_def(input) {
+        Ok(d) => d,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match def {
+        TypeDef::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Map(::std::vec![{entries}])\
+                     }}\
+                 }}"
+            )
+        }
+        TypeDef::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({v:?}), \
+                                  ::serde::Value::Map(::std::vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = match parse_type_def(input) {
+        Ok(d) => d,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match def {
+        TypeDef::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        TypeDef::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok(Self::{v}),"))
+                .collect();
+            let map_arms: String = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: String = fs
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(inner.field({f:?})?)?,")
+                        })
+                        .collect();
+                    format!("{v:?} => ::std::result::Result::Ok(Self::{v} {{ {inits} }}),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         match v {{\
+                             ::serde::Value::Str(s) => match s.as_str() {{\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                             }},\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\
+                                 let (tag, inner) = &entries[0];\
+                                 match tag.as_str() {{\
+                                     {map_arms}\
+                                     other => ::std::result::Result::Err(::serde::DeError(\
+                                         ::std::format!(\
+                                             \"unknown variant `{{other}}` of {name}\"))),\
+                                 }}\
+                             }}\
+                             other => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\
+                                     \"expected a variant of {name}, found {{}}\", \
+                                     other.kind()))),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
