@@ -33,6 +33,20 @@ pub struct ClusterBeamformer {
     wavelength: f64,
 }
 
+/// Outcome of re-pairing a beamforming cluster after transmitter deaths —
+/// see [`ClusterBeamformer::repair`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeamRepair {
+    /// The re-paired beamformer over the survivors; `None` when fewer
+    /// than two survive and the cluster must fall silent.
+    pub beam: Option<ClusterBeamformer>,
+    /// Survivors muted because they cannot self-cancel (the odd one out,
+    /// or everyone when the cluster falls silent).
+    pub muted: usize,
+    /// Virtual antennas lost relative to the pre-failure cluster.
+    pub lost_virtual_antennas: usize,
+}
+
 /// One pair's steering assignment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PairAssignment {
@@ -139,6 +153,52 @@ impl ClusterBeamformer {
     pub fn amplitude_at(&self, p: Point, assignments: &[PairAssignment]) -> f64 {
         let ones = vec![Complex::one(); self.pairs.len()];
         self.field_at(p, assignments, &ones).abs()
+    }
+
+    /// All member positions (paired elements plus the idle node, in
+    /// pairing order).
+    pub fn members(&self) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.pairs.len() * 2 + 1);
+        for p in &self.pairs {
+            out.push(p.st1);
+            out.push(p.st2);
+        }
+        if let Some(idle) = self.idle_node {
+            out.push(idle);
+        }
+        out
+    }
+
+    /// Graceful degradation after transmitter deaths: drops the dead
+    /// elements and re-pairs the survivors ("re-pair or mute orphaned
+    /// null-steering transmitters"). An element whose partner died can
+    /// no longer self-cancel, so it is either matched to another orphan
+    /// or muted; with fewer than two survivors the whole cluster falls
+    /// silent. Muting preserves the null invariant trivially — a silent
+    /// element radiates nothing toward the primary.
+    pub fn repair(&self, dead: &[Point]) -> BeamRepair {
+        let survivors: Vec<Point> = self
+            .members()
+            .into_iter()
+            .filter(|m| !dead.contains(m))
+            .collect();
+        if survivors.len() < 2 {
+            return BeamRepair {
+                beam: None,
+                muted: survivors.len(),
+                lost_virtual_antennas: self.n_virtual_antennas(),
+            };
+        }
+        let beam = ClusterBeamformer::pair_up(&survivors, self.wavelength);
+        let muted = usize::from(beam.idle_node.is_some());
+        let lost = self
+            .n_virtual_antennas()
+            .saturating_sub(beam.n_virtual_antennas());
+        BeamRepair {
+            beam: Some(beam),
+            muted,
+            lost_virtual_antennas: lost,
+        }
     }
 
     /// Worst-case residual amplitude at the protected primary across all
@@ -293,6 +353,46 @@ mod tests {
         let amp = bf.amplitude_at(sr, &asg);
         // two pairs × up to 2 per pair = up to 4; demand well above SISO
         assert!(amp > 1.5, "amplitude toward Sr: {amp}");
+    }
+
+    #[test]
+    fn repair_repairs_and_keeps_the_null() {
+        let bf = ClusterBeamformer::pair_up(&square_cluster(), W);
+        let pr = Point::new(-120.0, 90.0);
+        // kill one element: its partner becomes an orphan and must be
+        // re-matched with a survivor or muted
+        let dead = [square_cluster()[1]];
+        let rep = bf.repair(&dead);
+        let beam = rep.beam.expect("three survivors re-pair");
+        assert_eq!(beam.n_virtual_antennas(), 1);
+        assert_eq!(rep.muted, 1, "odd survivor is muted");
+        assert_eq!(rep.lost_virtual_antennas, 1);
+        // the re-paired cluster still steers a clean null
+        let asg = beam.steer(pr);
+        assert!(beam.null_residual(pr, &asg) < 1e-8);
+    }
+
+    #[test]
+    fn repair_below_two_survivors_falls_silent() {
+        let nodes = square_cluster();
+        let bf = ClusterBeamformer::pair_up(&nodes, W);
+        let rep = bf.repair(&nodes[..3]);
+        assert!(rep.beam.is_none());
+        assert_eq!(rep.muted, 1);
+        assert_eq!(rep.lost_virtual_antennas, 2);
+        let all = bf.repair(&nodes);
+        assert!(all.beam.is_none());
+        assert_eq!(all.muted, 0);
+    }
+
+    #[test]
+    fn repair_with_no_deaths_is_identity_shaped() {
+        let bf = ClusterBeamformer::pair_up(&square_cluster(), W);
+        let rep = bf.repair(&[]);
+        let beam = rep.beam.expect("full cluster");
+        assert_eq!(beam.n_virtual_antennas(), bf.n_virtual_antennas());
+        assert_eq!(rep.muted, 0);
+        assert_eq!(rep.lost_virtual_antennas, 0);
     }
 
     #[test]

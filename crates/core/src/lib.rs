@@ -54,9 +54,9 @@ where
     items.iter().map(f).collect()
 }
 
-pub use cluster_beam::{analyze_interweave_link, ClusterBeamformer};
+pub use cluster_beam::{analyze_interweave_link, BeamRepair, ClusterBeamformer};
 pub use interweave::{phase_delay, InterweaveConfig, TransmitPair};
-pub use overlay::{OverlayAnalysis, OverlayConfig};
+pub use overlay::{OverlayAnalysis, OverlayConfig, OverlayDegradation};
 pub use pu::{PrimaryPair, PuActivity};
 pub use spectrum::{SensingConfig, SpectrumMap};
-pub use underlay::{UnderlayAnalysis, UnderlayConfig};
+pub use underlay::{FallbackStep, UnderlayAnalysis, UnderlayConfig};

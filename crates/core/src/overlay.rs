@@ -112,6 +112,34 @@ impl RelayEnergy {
     }
 }
 
+/// Re-weighted state of an overlay burst after `k` relay deaths — see
+/// [`Overlay::degrade`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlayDegradation {
+    /// Relays still alive (`m − k`).
+    pub m_survivors: usize,
+    /// Whether the Step-1 placement at `D2` still meets the budget.
+    pub d2_feasible: bool,
+    /// Whether the surviving MISO hop at `D3` still meets the budget.
+    pub d3_feasible: bool,
+    /// Per-survivor energy required to hold `ber_relay` at `D3` (J/bit).
+    pub e_su_required: f64,
+    /// The unchanged per-node budget `E1` (J/bit).
+    pub e_budget: f64,
+    /// `e_su_required / e_budget`; > 1 means the survivors cannot fund the
+    /// strict BER at the original placement.
+    pub energy_overdraw: f64,
+    /// End-to-end BER the degraded chain actually delivers.
+    pub ber_e2e: f64,
+}
+
+impl OverlayDegradation {
+    /// Whether the degraded burst still satisfies the full analysis.
+    pub fn feasible(&self) -> bool {
+        self.d2_feasible && self.d3_feasible
+    }
+}
+
 /// The overlay paradigm evaluator.
 #[derive(Debug, Clone)]
 pub struct Overlay<'m> {
@@ -258,6 +286,80 @@ impl<'m> Overlay<'m> {
         // exact two-stage composition for independent binary errors:
         // wrong iff exactly one stage flips
         p1 * (1.0 - p2) + p2 * (1.0 - p1)
+    }
+
+    /// Graceful degradation when `k_failed` of the `m` relays die mid-burst
+    /// (battery exhaustion or crash): the MISO hop re-weights from `m` to
+    /// the `m − k` survivors *at the original placement* and the `D2`/`D3`
+    /// feasibility is re-checked against the unchanged per-node budget
+    /// `E1`. Returns `None` when no relay survives — the burst aborts and
+    /// the primary falls back to its direct link.
+    ///
+    /// Feasibility semantics:
+    /// * Step 1 (`Pt → SUs`): under [`SimoModel::IndependentDecode`] each
+    ///   survivor decoded on its own, so relay deaths never invalidate
+    ///   `D2`; under [`SimoModel::ReceiveDiversity`] the diversity order
+    ///   drops to `m − k` and the budget is re-checked.
+    /// * Step 2 (`SUs → Pr`): the surviving `(m−k) × 1` MISO link loses
+    ///   array gain, so each survivor needs more energy to hold
+    ///   `ber_relay` at `D3`; `energy_overdraw > 1` quantifies by how much
+    ///   the budget would be exceeded.
+    pub fn degrade(&self, d1: f64, k_failed: usize) -> Option<OverlayDegradation> {
+        let m = self.cfg.m;
+        if k_failed >= m {
+            return None;
+        }
+        let survivors = m - k_failed;
+        let a = self.analyze(d1);
+        // Step-1 re-check at the original D2
+        let d2_feasible = match self.cfg.simo_model {
+            SimoModel::IndependentDecode => true,
+            SimoModel::ReceiveDiversity => {
+                let c = minimize_over_b(1, 16, |b| {
+                    let p = LinkParams::new(
+                        self.cfg.ber_relay,
+                        b,
+                        self.cfg.bandwidth_hz,
+                        self.cfg.block_bits,
+                    );
+                    self.model.e_mimot(&p, 1, survivors, a.d2)
+                });
+                c.energy <= a.e1 * (1.0 + 1e-9)
+            }
+        };
+        // Step-2 re-weighting: per-survivor cost of the (m−k) × 1 MISO hop
+        // at the original D3, plus the Step-1 reception the budget covers
+        let c = minimize_over_b(1, 16, |b| {
+            let p = LinkParams::new(
+                self.cfg.ber_relay,
+                b,
+                self.cfg.bandwidth_hz,
+                self.cfg.block_bits,
+            );
+            self.model.e_mimot(&p, survivors, 1, a.d3) + self.model.e_mimor(&p)
+        });
+        let e_su_required = c.energy;
+        let energy_overdraw = e_su_required / a.e1;
+        let d3_feasible = energy_overdraw <= 1.0 + 1e-9;
+        // end-to-end BER: unchanged while the survivors can fund the strict
+        // BER; once the budget breaks, the chain honestly degrades to the
+        // direct-link quality on both stages (the relays cannot promise
+        // ber_relay any more)
+        let ber_e2e = if d2_feasible && d3_feasible {
+            self.end_to_end_ber()
+        } else {
+            let p = self.cfg.ber_direct;
+            p * (1.0 - p) + p * (1.0 - p)
+        };
+        Some(OverlayDegradation {
+            m_survivors: survivors,
+            d2_feasible,
+            d3_feasible,
+            e_su_required,
+            e_budget: a.e1,
+            energy_overdraw,
+            ber_e2e,
+        })
     }
 
     /// Sweeps `d1` over a range (the paper: 150 m – 350 m), returning one
@@ -436,6 +538,62 @@ mod tests {
         cfg.simo_model = SimoModel::ReceiveDiversity;
         let p_lit = Overlay::new(&model, cfg).end_to_end_ber();
         assert!(p_lit < 0.0011);
+    }
+
+    #[test]
+    fn degrade_zero_failures_is_feasible_and_matches_analysis() {
+        let (model, cfg) = overlay(3, 40_000.0);
+        let ov = Overlay::new(&model, cfg);
+        let d = ov.degrade(250.0, 0).expect("no failure");
+        assert_eq!(d.m_survivors, 3);
+        assert!(d.feasible(), "unfailed burst must stay feasible");
+        assert!(
+            (d.energy_overdraw - 1.0).abs() < 1e-6,
+            "at the analysed D3 the budget is exactly met: {}",
+            d.energy_overdraw
+        );
+        assert!((d.ber_e2e - ov.end_to_end_ber()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degrade_losing_relays_breaks_the_miso_budget() {
+        // m = 3 placed at its own D3; two survivors lose array gain and
+        // overdraw the budget — the re-weighting must report it
+        let (model, cfg) = overlay(3, 40_000.0);
+        let ov = Overlay::new(&model, cfg);
+        let d1 = ov.degrade(250.0, 1).expect("two survivors");
+        assert_eq!(d1.m_survivors, 2);
+        assert!(!d1.d3_feasible, "m−1 at the m-placement cannot meet budget");
+        assert!(d1.energy_overdraw > 1.0);
+        assert!(
+            d1.d2_feasible,
+            "independent decode is death-proof on Step 1"
+        );
+        // the degraded chain reports the honest (worse) end-to-end BER
+        assert!(d1.ber_e2e > ov.end_to_end_ber());
+        // deeper failure overdraws more
+        let d2 = ov.degrade(250.0, 2).expect("one survivor");
+        assert!(d2.energy_overdraw > d1.energy_overdraw);
+    }
+
+    #[test]
+    fn degrade_all_dead_aborts_the_burst() {
+        let (model, cfg) = overlay(2, 20_000.0);
+        let ov = Overlay::new(&model, cfg);
+        assert!(ov.degrade(200.0, 2).is_none());
+        assert!(ov.degrade(200.0, 5).is_none());
+    }
+
+    #[test]
+    fn degrade_receive_diversity_rechecks_d2() {
+        let model = EnergyModel::paper();
+        let mut cfg = OverlayConfig::paper(3, 40_000.0);
+        cfg.simo_model = SimoModel::ReceiveDiversity;
+        let ov = Overlay::new(&model, cfg);
+        // under the literal model D2 was sized for diversity order 3; with
+        // 1 survivor the SIMO budget breaks too
+        let d = ov.degrade(250.0, 2).expect("one survivor");
+        assert!(!d.d2_feasible, "diversity-order drop must invalidate D2");
     }
 
     #[test]

@@ -89,6 +89,22 @@ impl UnderlayAnalysis {
     }
 }
 
+/// One rung of the underlay degradation ladder — see
+/// [`Underlay::fallback_chain`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FallbackStep {
+    /// Transmit-cluster size of this rung.
+    pub mt: usize,
+    /// Receive-cluster size of this rung.
+    pub mr: usize,
+    /// The rung's full PA-energy analysis.
+    pub analysis: UnderlayAnalysis,
+    /// Noise-floor margin (dB) at the protected primary receiver.
+    pub margin_db: f64,
+    /// Whether the rung respects the interference ceiling (`margin ≥ 0`).
+    pub admissible: bool,
+}
+
 /// The underlay paradigm evaluator.
 #[derive(Debug, Clone)]
 pub struct Underlay<'m> {
@@ -160,6 +176,59 @@ impl<'m> Underlay<'m> {
             d += step;
         }
         out
+    }
+
+    /// The graceful-degradation ladder after transmit-side failures:
+    /// `mt × mr → (mt−1) × mr → … → 1 × mr → 1 × 1` (SISO last). Each rung
+    /// is re-analysed and re-checked against the `E_PA` interference
+    /// ceiling — the noise-floor margin at a primary receiver
+    /// `pu_distance_m` away — because fewer cooperating transmitters push
+    /// more PA energy through each survivor.
+    pub fn fallback_chain(
+        &self,
+        d_long: f64,
+        pathloss: &impl PathLoss,
+        pu_distance_m: f64,
+    ) -> Vec<FallbackStep> {
+        let mut rungs: Vec<(usize, usize)> = (1..=self.cfg.mt)
+            .rev()
+            .map(|mt| (mt, self.cfg.mr))
+            .collect();
+        if self.cfg.mr > 1 {
+            rungs.push((1, 1));
+        }
+        rungs
+            .into_iter()
+            .map(|(mt, mr)| {
+                let u = Underlay::new(self.model, UnderlayConfig { mt, mr, ..self.cfg });
+                let analysis = u.analyze(d_long);
+                let margin_db = u.noise_floor_margin_db(&analysis, pathloss, pu_distance_m);
+                FallbackStep {
+                    mt,
+                    mr,
+                    analysis,
+                    margin_db,
+                    admissible: margin_db >= 0.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Picks the rung the cluster degrades to when only `mt_alive`
+    /// transmitters survive: the first admissible configuration (noise
+    /// floor respected at the PU) with at most `mt_alive` transmitters.
+    /// `None` means no configuration is admissible — the cluster must fall
+    /// silent, which preserves the interference invariant by muting.
+    pub fn degrade(
+        &self,
+        d_long: f64,
+        pathloss: &impl PathLoss,
+        pu_distance_m: f64,
+        mt_alive: usize,
+    ) -> Option<FallbackStep> {
+        self.fallback_chain(d_long, pathloss, pu_distance_m)
+            .into_iter()
+            .find(|step| step.mt <= mt_alive && step.admissible)
     }
 
     /// The noise-floor margin (dB) at a primary receiver `pu_distance_m`
@@ -331,6 +400,57 @@ mod tests {
         let far_siso = us.noise_floor_margin_db(&s, &pl, 600.0);
         assert!(far > 0.0, "MIMO margin at 600 m: {far} dB");
         assert!(far_siso < 0.0, "SISO margin at 600 m: {far_siso} dB");
+    }
+
+    #[test]
+    fn fallback_chain_walks_down_to_siso() {
+        let (model, cfg) = eval(3, 3);
+        let u = Underlay::new(&model, cfg);
+        let pl = SquareLawLongHaul::paper_defaults();
+        let chain = u.fallback_chain(200.0, &pl, 600.0);
+        let shapes: Vec<(usize, usize)> = chain.iter().map(|s| (s.mt, s.mr)).collect();
+        assert_eq!(shapes, vec![(3, 3), (2, 3), (1, 3), (1, 1)]);
+        // every rung carries a consistent analysis and margin
+        for s in &chain {
+            assert!(s.analysis.total_pa() > 0.0);
+            assert_eq!(s.admissible, s.margin_db >= 0.0);
+        }
+    }
+
+    #[test]
+    fn degrade_picks_first_admissible_surviving_rung() {
+        let (model, cfg) = eval(2, 3);
+        let u = Underlay::new(&model, cfg);
+        let pl = SquareLawLongHaul::paper_defaults();
+        // at 600 m the cooperative rung is admissible (see the margins
+        // test above), so an unfailed cluster keeps its configuration
+        let full = u.degrade(200.0, &pl, 600.0, 2).expect("admissible");
+        assert_eq!((full.mt, full.mr), (2, 3));
+        assert!(full.margin_db >= 0.0);
+        // losing a transmitter forces a rung with mt ≤ 1
+        if let Some(step) = u.degrade(200.0, &pl, 600.0, 1) {
+            assert!(step.mt <= 1);
+            assert!(
+                step.admissible,
+                "degrade must never hand back an inadmissible rung"
+            );
+        }
+        // no survivors → must mute; muting trivially respects the ceiling
+        assert!(u.degrade(200.0, &pl, 600.0, 0).is_none());
+    }
+
+    #[test]
+    fn siso_rung_is_rejected_where_cooperation_is_admissible() {
+        // the invariant teeth: at 600 m the SISO fallback would glare above
+        // the floor (the margins test shows it negative), so the ladder
+        // must mark it inadmissible rather than silently fall back to it
+        let (model, cfg) = eval(2, 3);
+        let u = Underlay::new(&model, cfg);
+        let pl = SquareLawLongHaul::paper_defaults();
+        let chain = u.fallback_chain(200.0, &pl, 600.0);
+        let siso = chain.last().expect("chain ends at SISO");
+        assert_eq!((siso.mt, siso.mr), (1, 1));
+        assert!(!siso.admissible, "SISO margin {} dB", siso.margin_db);
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! # comimo-faults
+//!
+//! Deterministic fault injection and graceful degradation for the
+//! paper's three cognitive-radio paradigms. The paper analyses the
+//! failure-free steady state; this crate asks what each paradigm does
+//! when the network misbehaves mid-operation — and proves the one thing
+//! a cognitive radio must never do (disturb a primary receiver) holds
+//! through every failure mode.
+//!
+//! * [`model`] — the fault taxonomy: relay death, PU return, deep
+//!   shadowing bursts, lossy intra-cluster broadcast, with per-class
+//!   Poisson rates ([`model::FaultConfig`]);
+//! * [`schedule`] — deterministic schedules, one `derive(seed, unit)`
+//!   stream per `(class, unit)` so any thread count produces the same
+//!   byte-for-byte event list;
+//! * [`injector`] — replay through the `comimo-sim` event queue,
+//!   recording a [`injector::FaultTrace`] that CI diffs across feature
+//!   configs and thread counts;
+//! * [`scenarios`] — slotted campaigns wiring the degradation policies
+//!   of `comimo-core` (overlay re-weighting, the underlay fallback
+//!   ladder, interweave re-pairing and evacuation) and the recruitment
+//!   protocol of `comimo-net` into degradation reports, each carrying
+//!   the primary-interference invariant verdict.
+
+pub mod injector;
+pub mod model;
+pub mod scenarios;
+pub mod schedule;
+
+/// Maps `f` over `items` — on the rayon pool when the `parallel` feature
+/// is on, serially otherwise. Output order always matches input order, so
+/// the two paths are interchangeable bit-for-bit; callers must derive any
+/// randomness per item (never thread one stream through the loop).
+#[cfg(feature = "parallel")]
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Send + Sync,
+{
+    use rayon::prelude::*;
+    items.par_iter().map(f).collect()
+}
+
+/// Serial fallback of [`par_map`] (identical results by construction).
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(&T) -> R,
+{
+    items.iter().map(f).collect()
+}
+
+pub use injector::{inject_all, FaultTrace, TraceEntry};
+pub use model::{FaultConfig, FaultEvent, FaultKind, Topology};
+pub use scenarios::{
+    run_interweave_scenario, run_overlay_scenario, run_recruitment_scenario, run_underlay_scenario,
+    DegradationReport, RecruitReport, ScenarioConfig,
+};
+pub use schedule::build_schedule;

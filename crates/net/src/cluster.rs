@@ -41,10 +41,91 @@ impl Cluster {
     }
 }
 
+/// Why a clustering (or a head election) is invalid. Typed so the
+/// reconfiguration path can recover — match on the variant and degrade —
+/// instead of parsing a message or aborting the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A cluster has no members at all.
+    EmptyCluster {
+        /// Index of the offending cluster.
+        cluster: usize,
+    },
+    /// A cluster's head is not one of its members.
+    HeadNotMember {
+        /// Index of the offending cluster.
+        cluster: usize,
+        /// The stray head id.
+        head: usize,
+    },
+    /// A node appears in more than one cluster (the cover is not disjoint).
+    DuplicateMember {
+        /// The doubly-assigned node.
+        node: usize,
+    },
+    /// A dead node was clustered.
+    DeadMemberClustered {
+        /// The dead node.
+        node: usize,
+    },
+    /// Two members of one cluster sit farther apart than the diameter `d`.
+    DiameterExceeded {
+        /// Index of the offending cluster.
+        cluster: usize,
+        /// First member of the violating pair.
+        a: usize,
+        /// Second member of the violating pair.
+        b: usize,
+        /// Their distance (m).
+        dist: f64,
+        /// The required diameter bound `d` (m).
+        d: f64,
+    },
+    /// An alive node is covered by no cluster.
+    AliveNodeUnclustered {
+        /// The uncovered node.
+        node: usize,
+    },
+    /// A head election found no alive member to elect.
+    NoAliveMember {
+        /// The members the election ran over.
+        members: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyCluster { cluster } => write!(f, "cluster {cluster} is empty"),
+            Self::HeadNotMember { cluster, head } => {
+                write!(f, "cluster {cluster}: head {head} not a member")
+            }
+            Self::DuplicateMember { node } => write!(f, "node {node} in two clusters"),
+            Self::DeadMemberClustered { node } => write!(f, "dead node {node} clustered"),
+            Self::DiameterExceeded {
+                cluster,
+                a,
+                b,
+                dist,
+                d,
+            } => write!(f, "cluster {cluster}: nodes {a},{b} at {dist} > d={d}"),
+            Self::AliveNodeUnclustered { node } => write!(f, "alive node {node} unclustered"),
+            Self::NoAliveMember { members } => {
+                write!(f, "no alive member to elect among {members:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
 /// Elects the head: the alive member with the largest battery, ties broken
 /// by the lowest id (battery-aware, per the paper's head-node description).
-pub fn elect_head(graph: &SuGraph, members: &[usize]) -> usize {
-    *members
+/// Recoverable form — all-dead membership returns
+/// [`ClusterError::NoAliveMember`] so callers can degrade (dissolve the
+/// cluster, re-cluster survivors) instead of aborting.
+pub fn try_elect_head(graph: &SuGraph, members: &[usize]) -> Result<usize, ClusterError> {
+    members
         .iter()
         .filter(|&&m| graph.nodes()[m].alive)
         .max_by(|&&a, &&b| {
@@ -55,7 +136,17 @@ pub fn elect_head(graph: &SuGraph, members: &[usize]) -> usize {
                 .expect("NaN battery")
                 .then(b.cmp(&a)) // lower id wins ties
         })
-        .expect("cluster has no alive member")
+        .copied()
+        .ok_or_else(|| ClusterError::NoAliveMember {
+            members: members.to_vec(),
+        })
+}
+
+/// Elects the head, panicking when no member is alive — the historical
+/// API, kept for construction paths where an alive member is guaranteed.
+/// Prefer [`try_elect_head`] anywhere failure is survivable.
+pub fn elect_head(graph: &SuGraph, members: &[usize]) -> usize {
+    try_elect_head(graph, members).expect("cluster has no alive member")
 }
 
 /// Greedy d-clustering: repeatedly seed a new cluster and absorb
@@ -123,37 +214,51 @@ pub fn d_clustering(graph: &SuGraph, d: f64, max_size: usize, order: SeedOrder) 
 
 /// Checks the d-clustering invariants: disjoint cover of alive nodes,
 /// pairwise diameter ≤ d, head is a member. Used by tests and the
-/// reconfiguration path.
-pub fn validate_clustering(graph: &SuGraph, clusters: &[Cluster], d: f64) -> Result<(), String> {
+/// reconfiguration path; violations come back as typed
+/// [`ClusterError`] values so recovery code can branch on the cause.
+pub fn validate_clustering(
+    graph: &SuGraph,
+    clusters: &[Cluster],
+    d: f64,
+) -> Result<(), ClusterError> {
     let mut seen = vec![false; graph.len()];
     for (ci, c) in clusters.iter().enumerate() {
         if c.members.is_empty() {
-            return Err(format!("cluster {ci} is empty"));
+            return Err(ClusterError::EmptyCluster { cluster: ci });
         }
         if !c.contains(c.head) {
-            return Err(format!("cluster {ci}: head {} not a member", c.head));
+            return Err(ClusterError::HeadNotMember {
+                cluster: ci,
+                head: c.head,
+            });
         }
         for &m in &c.members {
             if seen[m] {
-                return Err(format!("node {m} in two clusters"));
+                return Err(ClusterError::DuplicateMember { node: m });
             }
             seen[m] = true;
             if !graph.nodes()[m].alive {
-                return Err(format!("dead node {m} clustered"));
+                return Err(ClusterError::DeadMemberClustered { node: m });
             }
         }
         for (i, &a) in c.members.iter().enumerate() {
             for &b in &c.members[i + 1..] {
                 let dist = graph.nodes()[a].distance_to(&graph.nodes()[b]);
                 if dist > d {
-                    return Err(format!("cluster {ci}: nodes {a},{b} at {dist} > d"));
+                    return Err(ClusterError::DiameterExceeded {
+                        cluster: ci,
+                        a,
+                        b,
+                        dist,
+                        d,
+                    });
                 }
             }
         }
     }
     for (i, node) in graph.nodes().iter().enumerate() {
         if node.alive && !seen[i] {
-            return Err(format!("alive node {i} unclustered"));
+            return Err(ClusterError::AliveNodeUnclustered { node: i });
         }
     }
     Ok(())
@@ -241,9 +346,78 @@ mod tests {
             let nodes = random_deployment(&mut rng, 80, 200.0, 200.0, 10.0);
             let g = SuGraph::build(nodes, 30.0);
             let clusters = d_clustering(&g, 15.0, 4, SeedOrder::DegreeGreedy);
-            validate_clustering(&g, &clusters, 15.0)
-                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            // recoverable validation: a violation is reported as a typed
+            // error and asserted, not unwound from deep inside the
+            // reconfiguration path
+            let verdict = validate_clustering(&g, &clusters, 15.0);
+            assert!(verdict.is_ok(), "trial {trial}: {}", verdict.unwrap_err());
         }
+    }
+
+    #[test]
+    fn validation_errors_are_typed_and_matchable() {
+        let g = grid_graph();
+        let mut clusters = d_clustering(&g, 8.0, 4, SeedOrder::IdOrder);
+        // break the head invariant
+        let real_head = clusters[0].head;
+        clusters[0].head = 999;
+        assert_eq!(
+            validate_clustering(&g, &clusters, 8.0),
+            Err(ClusterError::HeadNotMember {
+                cluster: 0,
+                head: 999
+            })
+        );
+        clusters[0].head = real_head;
+        // break disjointness: clone a member into another cluster
+        let stolen = clusters[0].members[0];
+        assert!(clusters.len() >= 2, "grid splits into several clusters");
+        clusters[1].members.push(stolen);
+        clusters[1].members.sort_unstable();
+        assert_eq!(
+            validate_clustering(&g, &clusters, 8.0),
+            Err(ClusterError::DuplicateMember { node: stolen })
+        );
+        // break the cover: drop a whole cluster
+        let clusters = d_clustering(&g, 8.0, 4, SeedOrder::IdOrder);
+        let dropped = clusters[..clusters.len() - 1].to_vec();
+        assert!(matches!(
+            validate_clustering(&g, &dropped, 8.0),
+            Err(ClusterError::AliveNodeUnclustered { .. })
+        ));
+        // diameter violations carry the offending pair and distance
+        let mut wide = d_clustering(&g, 8.0, 4, SeedOrder::IdOrder);
+        let merged: Vec<usize> = wide.iter().flat_map(|c| c.members.clone()).collect();
+        wide.truncate(1);
+        wide[0].members = merged;
+        wide[0].members.sort_unstable();
+        wide[0].head = wide[0].members[0];
+        match validate_clustering(&g, &wide, 8.0) {
+            Err(ClusterError::DiameterExceeded { dist, d, .. }) => {
+                assert!(dist > d);
+            }
+            other => panic!("expected DiameterExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_elect_head_recovers_from_all_dead() {
+        let mut nodes = vec![
+            SuNode::new(0, Point::new(0.0, 0.0), 1.0),
+            SuNode::new(1, Point::new(1.0, 0.0), 2.0),
+        ];
+        nodes[0].alive = false;
+        nodes[1].alive = false;
+        let g = SuGraph::build(nodes, 10.0);
+        let err = try_elect_head(&g, &[0, 1]).unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::NoAliveMember {
+                members: vec![0, 1]
+            }
+        );
+        // the error renders a readable message for logs
+        assert!(err.to_string().contains("no alive member"));
     }
 
     #[test]

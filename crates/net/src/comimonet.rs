@@ -10,7 +10,9 @@
 //! backbone ... The clusters and the routing backbone are reconfigurable."
 //! (paper, Section 2.1)
 
-use crate::cluster::{d_clustering, elect_head, Cluster, SeedOrder};
+use crate::cluster::{
+    d_clustering, elect_head, validate_clustering, Cluster, ClusterError, SeedOrder,
+};
 use crate::graph::SuGraph;
 use comimo_energy::model::{EnergyModel, LinkParams};
 use comimo_energy::optimize::minimize_over_b;
@@ -307,7 +309,13 @@ impl CoMimoNet {
     /// Kills a node and reconfigures: rebuilds the SU graph, re-clusters,
     /// re-elects heads and rewires the backbone ("The clusters and the
     /// routing backbone are reconfigurable").
-    pub fn kill_node_and_reconfigure(&mut self, node: usize) {
+    ///
+    /// Recoverable form: the rebuilt clustering is re-validated and any
+    /// invariant violation comes back as a typed [`ClusterError`], leaving
+    /// the network in the rebuilt (post-death) state so the caller can
+    /// degrade — retire the deployment, re-cluster with a different `d` —
+    /// instead of unwinding mid-simulation.
+    pub fn try_kill_node_and_reconfigure(&mut self, node: usize) -> Result<(), ClusterError> {
         assert!(node < self.graph.len());
         let mut nodes = self.graph.nodes().to_vec();
         nodes[node].alive = false;
@@ -318,6 +326,15 @@ impl CoMimoNet {
         let (ca, ba) = Self::wire(&self.graph, &self.clusters, self.long_range);
         self.cluster_adj = ca;
         self.backbone_adj = ba;
+        validate_clustering(&self.graph, &self.clusters, self.d)
+    }
+
+    /// Panicking wrapper of [`Self::try_kill_node_and_reconfigure`] — the
+    /// historical API, for callers that treat a broken reconfiguration as
+    /// a programming error.
+    pub fn kill_node_and_reconfigure(&mut self, node: usize) {
+        self.try_kill_node_and_reconfigure(node)
+            .expect("reconfiguration violated clustering invariants");
     }
 
     /// Re-elects the head of a cluster (e.g. after battery drain).

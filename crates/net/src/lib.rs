@@ -32,12 +32,14 @@ pub mod lifetime;
 pub mod mac;
 pub mod mobility;
 pub mod node;
+pub mod recruit;
 pub mod routing;
 
-pub use cluster::{d_clustering, Cluster};
+pub use cluster::{d_clustering, try_elect_head, Cluster, ClusterError};
 pub use comimonet::CoMimoNet;
 pub use graph::SuGraph;
 pub use lifetime::{run_lifetime, LifetimeConfig, LifetimeResult};
 pub use mobility::{MobileNetwork, RandomWaypoint, WaypointConfig};
 pub use node::SuNode;
+pub use recruit::{run_recruitment, RecruitConfig, RecruitOutcome};
 pub use routing::{min_energy_route, EnergyRoute};

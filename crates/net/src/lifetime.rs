@@ -148,9 +148,18 @@ pub fn run_lifetime(
             .filter(|n| !n.alive && !result.deaths.contains(&n.id))
             .map(|n| n.id)
             .collect();
+        let mut reconfig_failed = false;
         for d in dead {
             result.deaths.push(d);
-            net.kill_node_and_reconfigure(d);
+            // a broken reconfiguration ends the lifetime instead of
+            // unwinding: the rounds delivered so far are still the answer
+            if net.try_kill_node_and_reconfigure(d).is_err() {
+                reconfig_failed = true;
+                break;
+            }
+        }
+        if reconfig_failed {
+            break;
         }
     }
     result

@@ -105,8 +105,14 @@ impl MacStats {
         }
     }
 
-    /// Mean delivery latency (s).
+    /// Mean delivery latency (s). Returns `0.0` when nothing was
+    /// delivered (`latencies_s` empty) — e.g. a fault scenario that drops
+    /// every frame — rather than a NaN that would poison downstream
+    /// aggregates.
     pub fn mean_latency_s(&self) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
         comimo_math::stats::mean(&self.latencies_s)
     }
 }
@@ -425,6 +431,49 @@ mod tests {
         assert_eq!(stats.delivered, 0);
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.attempts as u32, cfg().max_retries + 1);
+    }
+
+    #[test]
+    fn mean_latency_of_empty_stats_is_zero() {
+        let stats = MacStats::default();
+        assert_eq!(stats.mean_latency_s(), 0.0);
+        assert!(stats.mean_latency_s().is_finite());
+    }
+
+    #[test]
+    fn retry_exhaustion_counts_the_drop_exactly_once() {
+        // a fully lossy PHY on 0→1: every attempt CRC-fails, so the frame
+        // burns max_retries+1 attempts and is then dropped — once.
+        let mut sim = CsmaSim::new(vec![vec![1], vec![0]], cfg(), 7);
+        let mut phy = vec![vec![0.0; 2]; 2];
+        phy[0][1] = 1.0;
+        sim.set_phy_loss(phy);
+        sim.offer(MacFrame { src: 0, dst: 1 }, SimTime::ZERO);
+        let stats = sim.run(1_000_000);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.attempts as u32, cfg().max_retries + 1);
+        assert_eq!(stats.delivery_ratio(), 0.0);
+        assert_eq!(stats.mean_latency_s(), 0.0);
+    }
+
+    #[test]
+    fn retry_exhaustion_mixed_with_deliveries_keeps_the_ratio_honest() {
+        // 0→1 is dead, 2→1 is clean; delivery_ratio must account for the
+        // exhausted frame exactly once next to the delivered ones.
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let mut sim = CsmaSim::new(adj, cfg(), 11);
+        let mut phy = vec![vec![0.0; 3]; 3];
+        phy[0][1] = 1.0;
+        sim.set_phy_loss(phy);
+        sim.offer(MacFrame { src: 0, dst: 1 }, SimTime::ZERO);
+        for i in 0..3 {
+            sim.offer(MacFrame { src: 2, dst: 1 }, SimTime::from_millis(i * 200));
+        }
+        let stats = sim.run(10_000_000);
+        assert_eq!(stats.delivered, 3);
+        assert_eq!(stats.dropped, 1);
+        assert!((stats.delivery_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

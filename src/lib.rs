@@ -3,6 +3,7 @@ pub use comimo_channel as channel;
 pub use comimo_core as core;
 pub use comimo_dsp as dsp;
 pub use comimo_energy as energy;
+pub use comimo_faults as faults;
 pub use comimo_math as math;
 pub use comimo_net as net;
 pub use comimo_sim as sim;
