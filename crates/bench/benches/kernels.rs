@@ -10,6 +10,7 @@ use comimo_energy::ebar::EbarSolver;
 use comimo_math::cmatrix::CMatrix;
 use comimo_math::complex::Complex;
 use comimo_math::rng::{complex_gaussian, seeded};
+use comimo_stbc::batch::simulate_ber_batch;
 use comimo_stbc::decode::decode_block;
 use comimo_stbc::design::{Ostbc, StbcKind};
 use comimo_stbc::sim::{simulate_ber, simulate_ber_par, SimConstellation};
@@ -90,6 +91,13 @@ fn bench_monte_carlo(c: &mut Criterion) {
         bench.iter(|| {
             let mut rng = seeded(2013);
             black_box(simulate_ber(&mut rng, &code, &cons, 2, 4.0, 1.0, n_blocks))
+        });
+    });
+    g.bench_function("simulate_ber_batch_10k", |bench| {
+        bench.iter(|| {
+            black_box(simulate_ber_batch(
+                2013, &code, &cons, 2, 4.0, 1.0, n_blocks,
+            ))
         });
     });
     g.bench_function("simulate_ber_par_10k", |bench| {

@@ -1,28 +1,65 @@
-//! Times the Monte-Carlo BER engine: the serial single-stream kernel
-//! ([`comimo_stbc::sim::simulate_ber`]) against the deterministic
-//! sharded parallel engine ([`comimo_stbc::sim::simulate_ber_par`]) at a
-//! fixed seed, checks they agree with the shard-plan replay bit for bit,
-//! and writes the numbers to `BENCH_mc.json`.
+//! Times the Monte-Carlo BER engines on the table-2 configuration:
 //!
-//! Usage: `cargo run --release -p comimo-bench --bin mcperf [n_blocks]`
+//! * `scalar` — the per-block oracle ([`comimo_stbc::sim::simulate_ber`])
+//!   replaying the deterministic shard plan on one thread;
+//! * `batch` — the SoA kernel ([`comimo_stbc::batch::simulate_ber_batch`])
+//!   replaying the same plan serially;
+//! * `parallel` — [`comimo_stbc::sim::simulate_ber_par`] on the rayon
+//!   pool (bit-identical to `batch` by construction — asserted here).
+//!
+//! Each engine is timed as the **median of 5 runs**; determinism across
+//! the repeats is asserted as a side effect. A trajectory entry (with the
+//! git commit it was measured at) is **appended** to `BENCH_mc.json`, so
+//! the file accumulates a perf history instead of overwriting it.
+//!
+//! Usage:
+//! `cargo run --release -p comimo-bench --bin mcperf [-- [n_blocks] [--gate]]`
+//!
+//! With `--gate` the run acts as a CI perf-regression gate: the measured
+//! batch-over-scalar speedup is compared against the **last committed
+//! entry** of `BENCH_mc.json`, and the process exits non-zero when it has
+//! regressed below [`GATE_FRACTION`] of that baseline. The ratio of two
+//! engines on the same machine is far more stable across hardware than
+//! absolute blocks/sec, which is what makes a committed baseline
+//! meaningful in CI.
+//!
+//! The line starting with `counts` on stdout is a pure function of
+//! `(seed, n_blocks)` — CI diffs it across thread counts to prove engine
+//! determinism.
 
 use std::time::Instant;
 
 use comimo_bench::EXPERIMENT_SEED;
+use comimo_stbc::batch::{simulate_ber_batch, BATCH_BLOCKS};
 use comimo_stbc::design::{Ostbc, StbcKind};
 use comimo_stbc::sim::{
     shard_plan, simulate_ber, simulate_ber_par, BerResult, SimConstellation, DEFAULT_SHARD_BLOCKS,
 };
-use serde::Serialize;
+use serde::{Serialize, Value};
+
+/// Timing repeats per engine; the median is reported.
+const RUNS: usize = 5;
+
+/// Minimum acceptable fraction of the baseline batch/scalar speedup
+/// before `--gate` fails the run. Shared CI runners jitter the ratio by
+/// tens of percent even with median-of-5 timing, so the floor is set
+/// where only a genuine kernel regression (e.g. the SoA batch path
+/// falling back to per-sample work, ~4x -> ~1x) can trip it.
+const GATE_FRACTION: f64 = 0.6;
 
 /// One timed engine configuration.
 #[derive(Debug, Clone, Serialize)]
 struct EngineRow {
-    /// `"serial"` (one stream, one thread) or `"parallel"` (sharded).
+    /// `"scalar"`, `"batch"` or `"parallel"`.
     engine: String,
-    /// Wall-clock seconds for the whole run.
+    /// Threads this engine actually ran on (the live rayon pool width for
+    /// `parallel`, 1 for the serial engines).
+    threads: usize,
+    /// Median wall-clock seconds over [`RUNS`] repeats.
     seconds: f64,
-    /// Simulated blocks per second.
+    /// Timing repeats behind the median.
+    runs: usize,
+    /// Simulated blocks per second (median-based).
     blocks_per_sec: f64,
     /// Bits simulated.
     bits: u64,
@@ -30,42 +67,111 @@ struct EngineRow {
     errors: u64,
 }
 
-/// The `BENCH_mc.json` document.
+/// One appended trajectory entry of `BENCH_mc.json`.
 #[derive(Debug, Clone, Serialize)]
-struct McReport {
-    /// Seed of the run (results are a pure function of it).
+struct McEntry {
+    /// `git rev-parse --short HEAD` at measurement time (`"unknown"`
+    /// outside a work tree).
+    commit: String,
+    /// Unix timestamp (seconds) of the run.
+    unix_time: u64,
+    /// Seed of the run (engine results are a pure function of it).
     seed: u64,
     /// Monte-Carlo blocks per engine run.
     n_blocks: usize,
     /// Blocks per deterministic shard.
     shard_blocks: usize,
-    /// Rayon pool width the parallel engine ran with.
-    threads: usize,
-    /// Parallel speedup over serial (wall-clock ratio).
-    speedup: f64,
+    /// Blocks per bulk draw inside the batch kernel.
+    batch_blocks: usize,
+    /// Batch-engine speedup over the scalar oracle, single thread —
+    /// the ratio the `--gate` mode defends.
+    speedup_batch_over_scalar: f64,
+    /// Parallel-engine speedup over the scalar oracle.
+    speedup_parallel_over_scalar: f64,
     /// Timed rows.
     engines: Vec<EngineRow>,
 }
 
-fn time_run(f: impl FnOnce() -> BerResult) -> (f64, BerResult) {
-    let t0 = Instant::now();
-    let r = f();
-    (t0.elapsed().as_secs_f64(), r)
+/// Times `f` [`RUNS`] times, asserts every repeat returns identical
+/// counts, and returns the median seconds with the counts.
+fn median_time(mut f: impl FnMut() -> BerResult) -> (f64, BerResult) {
+    let mut times = Vec::with_capacity(RUNS);
+    let mut result: Option<BerResult> = None;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let r = f();
+        times.push(t0.elapsed().as_secs_f64());
+        match result {
+            None => result = Some(r),
+            Some(prev) => assert_eq!(prev, r, "engine is not deterministic across repeats"),
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[RUNS / 2], result.unwrap())
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Reads the existing trajectory (`{"entries": [...]}`), tolerating a
+/// missing file and the pre-trajectory single-report schema (which is
+/// dropped — the history restarts from this run).
+fn read_entries(path: &str) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        return Vec::new();
+    };
+    match doc.field("entries") {
+        Ok(Value::Seq(list)) => list.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Extracts a number field from a trajectory entry.
+fn number_field(entry: &Value, name: &str) -> Option<f64> {
+    match entry.field(name) {
+        Ok(&Value::F64(x)) => Some(x),
+        Ok(&Value::I64(x)) => Some(x as f64),
+        Ok(&Value::U64(x)) => Some(x as f64),
+        _ => None,
+    }
 }
 
 fn main() {
-    let n_blocks: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("n_blocks must be an integer"))
-        .unwrap_or(200_000);
+    let mut n_blocks: usize = 200_000;
+    let mut gate = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--gate" {
+            gate = true;
+        } else {
+            n_blocks = arg.parse().expect("n_blocks must be an integer");
+        }
+    }
     let code = Ostbc::new(StbcKind::Alamouti);
     let cons = SimConstellation::new(2);
     let (mr, es, n0) = (2, 4.0, 1.0);
     let seed = EXPERIMENT_SEED;
+    let path = "BENCH_mc.json";
 
-    // serial reference: replay the parallel engine's shard plan on one
-    // stream-per-shard, exactly what simulate_ber_par does without a pool
-    let (t_serial, r_serial) = time_run(|| {
+    // the committed baseline must be read before this run appends to it
+    let mut entries = read_entries(path);
+    let baseline_speedup = entries
+        .last()
+        .and_then(|e| number_field(e, "speedup_batch_over_scalar"));
+
+    // scalar oracle: replay the parallel engine's shard plan on one
+    // stream-per-shard, one thread — the PR-1 reference engine
+    let (t_scalar, r_scalar) = median_time(|| {
         let mut acc = BerResult { bits: 0, errors: 0 };
         for (label, blocks) in shard_plan(n_blocks) {
             let mut rng = comimo_math::rng::derive(seed, label);
@@ -75,46 +181,91 @@ fn main() {
         }
         acc
     });
-    let (t_par, r_par) = time_run(|| simulate_ber_par(seed, &code, &cons, mr, es, n0, n_blocks));
+    // batch SoA kernel, serial shard replay, one thread
+    let (t_batch, r_batch) =
+        median_time(|| simulate_ber_batch(seed, &code, &cons, mr, es, n0, n_blocks));
+    // sharded parallel engine on the live rayon pool
+    let (t_par, r_par) = median_time(|| simulate_ber_par(seed, &code, &cons, mr, es, n0, n_blocks));
     assert_eq!(
-        r_par, r_serial,
-        "parallel engine diverged from the serial shard replay"
+        r_par, r_batch,
+        "parallel engine diverged from the serial batch shard replay"
+    );
+    assert_eq!(
+        r_scalar.bits, r_batch.bits,
+        "engines simulated different bit counts"
     );
 
     let threads = rayon::current_num_threads();
-    let report = McReport {
+    let speedup_batch = t_scalar / t_batch;
+    let speedup_par = t_scalar / t_par;
+    let row = |engine: &str, threads: usize, seconds: f64, r: BerResult| EngineRow {
+        engine: engine.into(),
+        threads,
+        seconds,
+        runs: RUNS,
+        blocks_per_sec: n_blocks as f64 / seconds,
+        bits: r.bits,
+        errors: r.errors,
+    };
+    let entry = McEntry {
+        commit: git_commit(),
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
         seed,
         n_blocks,
         shard_blocks: DEFAULT_SHARD_BLOCKS,
-        threads,
-        speedup: t_serial / t_par,
+        batch_blocks: BATCH_BLOCKS,
+        speedup_batch_over_scalar: speedup_batch,
+        speedup_parallel_over_scalar: speedup_par,
         engines: vec![
-            EngineRow {
-                engine: "serial".into(),
-                seconds: t_serial,
-                blocks_per_sec: n_blocks as f64 / t_serial,
-                bits: r_serial.bits,
-                errors: r_serial.errors,
-            },
-            EngineRow {
-                engine: "parallel".into(),
-                seconds: t_par,
-                blocks_per_sec: n_blocks as f64 / t_par,
-                bits: r_par.bits,
-                errors: r_par.errors,
-            },
+            row("scalar", 1, t_scalar, r_scalar),
+            row("batch", 1, t_batch, r_batch),
+            row("parallel", threads, t_par, r_par),
         ],
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialise report");
-    std::fs::write("BENCH_mc.json", &json).expect("write BENCH_mc.json");
+
+    let json = serde_json::to_string_pretty(&entry).expect("serialise entry");
     println!("{json}");
+    // deterministic engine output — CI diffs this line across thread counts
     println!(
-        "\n{} blocks: serial {:.2}s, parallel {:.2}s on {} thread(s) ({:.2}x), BER {:.3e}",
-        n_blocks,
-        t_serial,
-        t_par,
-        threads,
-        report.speedup,
+        "counts seed={seed} n_blocks={n_blocks} bits={} errors={}",
+        r_par.bits, r_par.errors
+    );
+    println!(
+        "{n_blocks} blocks: scalar {t_scalar:.3}s, batch {t_batch:.3}s ({speedup_batch:.2}x), \
+         parallel {t_par:.3}s on {threads} thread(s) ({speedup_par:.2}x), BER {:.3e}",
         r_par.errors as f64 / r_par.bits as f64
     );
+
+    entries.push(entry.to_value());
+    let doc = Value::Map(vec![("entries".to_string(), Value::Seq(entries))]);
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialise"))
+        .expect("write BENCH_mc.json");
+
+    if gate {
+        match baseline_speedup {
+            Some(base) => {
+                let floor = GATE_FRACTION * base;
+                if speedup_batch < floor {
+                    eprintln!(
+                        "PERF GATE FAILED: batch/scalar speedup {speedup_batch:.2}x fell below \
+                         {floor:.2}x ({:.0}% of committed baseline {base:.2}x)",
+                        GATE_FRACTION * 100.0
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "perf gate OK: batch/scalar speedup {speedup_batch:.2}x >= {floor:.2}x \
+                     ({:.0}% of committed baseline {base:.2}x)",
+                    GATE_FRACTION * 100.0
+                );
+            }
+            None => {
+                eprintln!("PERF GATE FAILED: no committed baseline entry in {path}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -6,10 +6,14 @@
 //! and independent across blocks. The indoor testbed adds a line-of-sight
 //! component, modelled here as Rician with configurable K-factor.
 
+use comimo_math::batch::complex_gaussian_fill;
 use comimo_math::cmatrix::CMatrix;
 use comimo_math::complex::Complex;
 use comimo_math::rng::complex_gaussian;
 use rand::Rng;
+
+/// Coefficients per internal planar scratch chunk of the batched fillers.
+const FILL_CHUNK: usize = 64;
 
 /// A generator of per-block channel realisations.
 pub trait FadingChannel {
@@ -23,8 +27,53 @@ pub trait FadingChannel {
         CMatrix::from_fn(mr, mt, |_, _| self.sample_coeff(rng))
     }
 
+    /// Fills `out` with i.i.d. coefficient realisations in one batched
+    /// call: one dynamic dispatch per *buffer* instead of one per
+    /// coefficient, letting implementations use the bulk samplers of
+    /// `comimo_math::batch`.
+    ///
+    /// The default just loops [`sample_coeff`](Self::sample_coeff)
+    /// (draw-compatible with the scalar path); [`BlockRayleigh`] and
+    /// [`Rician`] override it with branch-free batched Box–Muller sampling,
+    /// whose draw order **differs** from the scalar path's polar rejection
+    /// loop (same distribution, different realisation per seed).
+    fn fill_coeffs(&self, rng: &mut dyn rand::RngCore, out: &mut [Complex]) {
+        for slot in out {
+            *slot = self.sample_coeff(rng);
+        }
+    }
+
+    /// Redraws every entry of `h` for a new block through
+    /// [`fill_coeffs`](Self::fill_coeffs) — the batched, allocation-free
+    /// counterpart of [`sample_matrix`](Self::sample_matrix) for hot loops
+    /// that reuse one matrix across blocks.
+    fn fill_matrix(&self, rng: &mut dyn rand::RngCore, h: &mut CMatrix) {
+        self.fill_coeffs(rng, h.as_mut_slice());
+    }
+
     /// Mean power `E[|h|²]` of a coefficient.
     fn mean_power(&self) -> f64;
+}
+
+/// Shared batched scatter kernel: fills `out` with `CN(0, variance)` via
+/// planar chunked Box–Muller, then lets `finish` post-process each chunk
+/// (e.g. add a line-of-sight component).
+fn fill_scatter(
+    rng: &mut dyn rand::RngCore,
+    variance: f64,
+    out: &mut [Complex],
+    finish: impl Fn(&mut Complex),
+) {
+    let mut re = [0.0f64; FILL_CHUNK];
+    let mut im = [0.0f64; FILL_CHUNK];
+    for chunk in out.chunks_mut(FILL_CHUNK) {
+        let n = chunk.len();
+        complex_gaussian_fill(rng, variance, &mut re[..n], &mut im[..n]);
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = Complex::new(re[i], im[i]);
+            finish(slot);
+        }
+    }
 }
 
 /// Flat block-Rayleigh fading: coefficients are `CN(0, mean_power)`.
@@ -49,6 +98,10 @@ impl BlockRayleigh {
 impl FadingChannel for BlockRayleigh {
     fn sample_coeff(&self, rng: &mut dyn rand::RngCore) -> Complex {
         complex_gaussian(rng, self.mean_power)
+    }
+
+    fn fill_coeffs(&self, rng: &mut dyn rand::RngCore, out: &mut [Complex]) {
+        fill_scatter(rng, self.mean_power, out, |_| {});
     }
 
     fn mean_power(&self) -> f64 {
@@ -95,6 +148,13 @@ impl FadingChannel for Rician {
         let los_amp = (self.mean_power * k / (k + 1.0)).sqrt();
         let scatter_power = self.mean_power / (k + 1.0);
         Complex::from_polar(los_amp, self.los_phase) + complex_gaussian(rng, scatter_power)
+    }
+
+    fn fill_coeffs(&self, rng: &mut dyn rand::RngCore, out: &mut [Complex]) {
+        let k = self.k_factor;
+        let los = Complex::from_polar((self.mean_power * k / (k + 1.0)).sqrt(), self.los_phase);
+        let scatter_power = self.mean_power / (k + 1.0);
+        fill_scatter(rng, scatter_power, out, |c| *c += los);
     }
 
     fn mean_power(&self) -> f64 {
@@ -152,6 +212,72 @@ mod tests {
         }
         assert!((st.mean() - k).abs() < 0.1, "mean {}", st.mean());
         assert!((st.variance() - k).abs() < 0.3, "var {}", st.variance());
+    }
+
+    #[test]
+    fn fill_matrix_redraws_in_place_with_unit_power() {
+        let mut rng = seeded(27);
+        let ch = BlockRayleigh::unit();
+        let mut h = CMatrix::zeros(4, 4);
+        let mut st = RunningStats::new();
+        for _ in 0..10_000 {
+            ch.fill_matrix(&mut rng, &mut h);
+            st.push(h.frobenius_norm_sqr());
+        }
+        // E[||H||^2] = 16 for a 4x4 unit-Rayleigh draw
+        assert!((st.mean() - 16.0).abs() < 0.25, "{}", st.mean());
+    }
+
+    #[test]
+    fn batched_rayleigh_matches_scalar_distribution() {
+        // same mean power and the same amplitude CDF as the scalar sampler
+        let ch = BlockRayleigh::with_mean_power(2.0);
+        let n = 100_000;
+        let mut batched = vec![Complex::zero(); n];
+        ch.fill_coeffs(&mut seeded(28), &mut batched);
+        let mut rng = seeded(29);
+        let mut below_batch = 0usize;
+        let mut below_scalar = 0usize;
+        let mut st = RunningStats::new();
+        for &c in &batched {
+            st.push(c.norm_sqr());
+            if c.norm_sqr() < 2.0 {
+                below_batch += 1;
+            }
+        }
+        for _ in 0..n {
+            if ch.sample_coeff(&mut rng).norm_sqr() < 2.0 {
+                below_scalar += 1;
+            }
+        }
+        assert!((st.mean() - 2.0).abs() < 0.04, "mean power {}", st.mean());
+        let gap = (below_batch as f64 - below_scalar as f64).abs() / n as f64;
+        assert!(gap < 0.01, "CDF gap {gap}");
+    }
+
+    #[test]
+    fn batched_rician_keeps_los_and_power() {
+        let ch = Rician::new(4.0, 1.0, 0.3);
+        let n = 100_000;
+        let mut coeffs = vec![Complex::zero(); n];
+        ch.fill_coeffs(&mut seeded(30), &mut coeffs);
+        let mut power = RunningStats::new();
+        let mut mean = Complex::zero();
+        for &c in &coeffs {
+            power.push(c.norm_sqr());
+            mean += c;
+        }
+        mean /= Complex::real(n as f64);
+        assert!((power.mean() - 1.0).abs() < 0.02, "power {}", power.mean());
+        // the deterministic LOS term survives averaging: amp √(K/(K+1)),
+        // phase 0.3
+        let los_amp = (4.0f64 / 5.0).sqrt();
+        assert!(
+            (mean.abs() - los_amp).abs() < 0.01,
+            "LOS amp {}",
+            mean.abs()
+        );
+        assert!((mean.arg() - 0.3).abs() < 0.01, "LOS phase {}", mean.arg());
     }
 
     #[test]

@@ -116,6 +116,14 @@ impl CMatrix {
         &self.data
     }
 
+    /// Mutable row-major slice of all elements — the entry point for
+    /// batched fillers (e.g. `comimo_channel`'s `FadingChannel::fill_matrix`)
+    /// that rewrite a whole matrix in one pass.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
     /// A single row as a slice.
     pub fn row(&self, r: usize) -> &[Complex] {
         assert!(r < self.rows);

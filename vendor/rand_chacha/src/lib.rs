@@ -119,6 +119,30 @@ impl RngCore for ChaCha8Rng {
         let hi = self.next_u32() as u64;
         lo | (hi << 32)
     }
+
+    /// Bulk keystream copy: whole 8-byte chunks are lifted straight out of
+    /// the buffered ChaCha block (two words at a time) instead of going
+    /// through `next_u64`. **Byte-identical** to the default trait
+    /// implementation — words are consumed in the same order and the tail
+    /// still burns a full `u64` — so batched and scalar consumers see the
+    /// same stream; the bulk samplers in `comimo_math::batch` rely on this.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            if self.idx + 2 <= BLOCK_WORDS {
+                chunk[..4].copy_from_slice(&self.buf[self.idx].to_le_bytes());
+                chunk[4..].copy_from_slice(&self.buf[self.idx + 1].to_le_bytes());
+                self.idx += 2;
+            } else {
+                chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+            }
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +172,33 @@ mod tests {
         let mut b = a.clone();
         for _ in 0..64 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        // the bulk override must be byte-identical to composing next_u64
+        // calls (the default trait implementation's behaviour)
+        for len in [0usize, 1, 7, 8, 9, 64, 67, 1024] {
+            let mut fast = ChaCha8Rng::seed_from_u64(77);
+            // desync from the block boundary to exercise the slow path
+            fast.next_u32();
+            let mut reference = fast.clone();
+            let mut got = vec![0u8; len];
+            fast.fill_bytes(&mut got);
+            let mut expect = vec![0u8; len];
+            let mut chunks = expect.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&reference.next_u64().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let last = reference.next_u64().to_le_bytes();
+                rem.copy_from_slice(&last[..rem.len()]);
+            }
+            assert_eq!(got, expect, "len={len}");
+            // and both generators end at the same stream position
+            assert_eq!(fast.next_u64(), reference.next_u64(), "len={len}");
         }
     }
 
