@@ -106,7 +106,9 @@ fn median_time(mut f: impl FnMut() -> BerResult) -> (f64, BerResult) {
             Some(prev) => assert_eq!(prev, r, "engine is not deterministic across repeats"),
         }
     }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: a NaN timing (impossible, but cheap to be total about)
+    // sorts instead of panicking mid-benchmark
+    times.sort_by(f64::total_cmp);
     (times[RUNS / 2], result.unwrap())
 }
 
@@ -147,15 +149,36 @@ fn number_field(entry: &Value, name: &str) -> Option<f64> {
     }
 }
 
+/// Prints usage and exits non-zero — a bad invocation must never reach
+/// (let alone corrupt) the committed perf baseline.
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("usage: mcperf [n_blocks] [--gate]");
+    eprintln!("  n_blocks  Monte-Carlo blocks per engine run (default 200000)");
+    eprintln!("  --gate    fail if the batch/scalar speedup regressed below");
+    eprintln!(
+        "            {:.0}% of the last committed BENCH_mc.json entry",
+        GATE_FRACTION * 100.0
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let mut n_blocks: usize = 200_000;
     let mut gate = false;
     for arg in std::env::args().skip(1) {
         if arg == "--gate" {
             gate = true;
+        } else if arg.starts_with('-') {
+            usage(&format!("unknown flag {arg:?}"));
         } else {
-            n_blocks = arg.parse().expect("n_blocks must be an integer");
+            n_blocks = arg
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("n_blocks must be an integer, got {arg:?}")));
         }
+    }
+    if n_blocks == 0 {
+        usage("n_blocks must be positive");
     }
     let code = Ostbc::new(StbcKind::Alamouti);
     let cons = SimConstellation::new(2);
@@ -226,7 +249,13 @@ fn main() {
         ],
     };
 
-    let json = serde_json::to_string_pretty(&entry).expect("serialise entry");
+    let json = match serde_json::to_string_pretty(&entry) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: could not serialise the trajectory entry: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("{json}");
     // deterministic engine output — CI diffs this line across thread counts
     println!(
@@ -241,8 +270,20 @@ fn main() {
 
     entries.push(entry.to_value());
     let doc = Value::Map(vec![("entries".to_string(), Value::Seq(entries))]);
-    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialise"))
-        .expect("write BENCH_mc.json");
+    let doc_json = match serde_json::to_string_pretty(&doc) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: could not serialise {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // atomic commit (temp + rename): a crash mid-write can truncate only
+    // the temp file, never the committed baseline `--gate` depends on
+    let tmp = format!("{path}.tmp");
+    if let Err(e) = std::fs::write(&tmp, doc_json).and_then(|()| std::fs::rename(&tmp, path)) {
+        eprintln!("error: could not write {path}: {e}");
+        std::process::exit(1);
+    }
 
     if gate {
         match baseline_speedup {

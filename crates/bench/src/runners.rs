@@ -1,6 +1,14 @@
 //! Shared experiment runners — one function per paper artefact, with the
 //! paper's exact parameters baked in as defaults.
+//!
+//! Every runner executes under the campaign supervisor
+//! ([`comimo_campaign::supervised_map_strict`]): each grid point / trial
+//! runs panic-isolated with one bounded retry, so a transient failure in
+//! one point is retried in place and a persistent one is reported with
+//! its index and message after the rest of the sweep has finished —
+//! instead of a bare unwind that throws the whole artefact away.
 
+use comimo_campaign::{supervised_map_strict, SuperviseConfig};
 use comimo_core::interweave::{run_table1, InterweaveConfig, InterweaveTrial};
 use comimo_core::overlay::{Overlay, OverlayAnalysis, OverlayConfig};
 use comimo_core::underlay::{Underlay, UnderlayAnalysis, UnderlayConfig};
@@ -9,11 +17,29 @@ use comimo_testbed::experiments::beam_scan::{self, BeamScanConfig, BeamScanPoint
 use comimo_testbed::experiments::overlay_multi::{self, MultiRelayConfig, MultiRelayRow};
 use comimo_testbed::experiments::overlay_single::{self, SingleRelayConfig, SingleRelayResult};
 use comimo_testbed::experiments::underlay_image::{self, UnderlayImageConfig, UnderlayImageResult};
-use rayon::prelude::*;
 use serde::Serialize;
 
 /// The workspace-wide experiment seed (recorded in EXPERIMENTS.md).
 pub const EXPERIMENT_SEED: u64 = 2013;
+
+/// The supervision policy of every artefact runner: two attempts per
+/// point, no backoff (the work is deterministic and in-process — the
+/// retry exists to survive transient environmental failures, e.g. a
+/// worker thread hit by an allocation blip).
+fn supervise() -> SuperviseConfig {
+    SuperviseConfig {
+        max_attempts: 2,
+        ..Default::default()
+    }
+}
+
+/// Runs one artefact closure under the supervisor (retry + escalation
+/// with context).
+fn supervised_run<R: Send>(label: &str, f: impl Fn() -> R + Send + Sync) -> R {
+    supervised_map_strict(label, &supervise(), &[()], |_, ()| f())
+        .pop()
+        .expect("one item in, one out")
+}
 
 /// One Figure-6 series: `(m, bandwidth)` ↦ analyses over `D1`.
 #[derive(Debug, Clone, Serialize)]
@@ -31,21 +57,19 @@ pub struct Fig6Series {
 pub fn fig6(step: f64) -> Vec<Fig6Series> {
     let model = EnergyModel::paper();
     // the analytic sweeps are deterministic, so the (m, B) grid fans out
-    // onto the rayon pool with the output kept in grid order
+    // onto the rayon pool (under supervision) with the output in grid order
     let grid: Vec<(usize, f64)> = [2usize, 3]
         .iter()
         .flat_map(|&m| [20_000.0, 40_000.0].iter().map(move |&bw| (m, bw)))
         .collect();
-    grid.par_iter()
-        .map(|&(m, bw)| {
-            let overlay = Overlay::new(&model, OverlayConfig::paper(m, bw));
-            Fig6Series {
-                m,
-                bandwidth_hz: bw,
-                points: overlay.sweep(150.0, 350.0, step),
-            }
-        })
-        .collect()
+    supervised_map_strict("fig6", &supervise(), &grid, |_, &(m, bw)| {
+        let overlay = Overlay::new(&model, OverlayConfig::paper(m, bw));
+        Fig6Series {
+            m,
+            bandwidth_hz: bw,
+            points: overlay.sweep(150.0, 350.0, step),
+        }
+    })
 }
 
 /// One Figure-7 series: an `(mt, mr)` configuration over `D`.
@@ -66,33 +90,36 @@ pub const FIG7_CONFIGS: [(usize, usize); 6] = [(1, 1), (2, 1), (1, 2), (1, 3), (
 /// `p = 0.001`, `B = 10 kHz`, for the six cluster configurations.
 pub fn fig7(step: f64) -> Vec<Fig7Series> {
     let model = EnergyModel::paper();
-    FIG7_CONFIGS
-        .par_iter()
-        .map(|&(mt, mr)| {
-            let u = Underlay::new(&model, UnderlayConfig::paper(mt, mr, 10_000.0));
-            Fig7Series {
-                mt,
-                mr,
-                points: u.sweep(100.0, 300.0, step),
-            }
-        })
-        .collect()
+    supervised_map_strict("fig7", &supervise(), &FIG7_CONFIGS, |_, &(mt, mr)| {
+        let u = Underlay::new(&model, UnderlayConfig::paper(mt, mr, 10_000.0));
+        Fig7Series {
+            mt,
+            mr,
+            points: u.sweep(100.0, 300.0, step),
+        }
+    })
 }
 
 /// Table 1: ten interweave trials with the paper's geometry.
 pub fn table1() -> Vec<InterweaveTrial> {
-    run_table1(EXPERIMENT_SEED, &InterweaveConfig::paper())
+    supervised_run("table1", || {
+        run_table1(EXPERIMENT_SEED, &InterweaveConfig::paper())
+    })
 }
 
 /// Table 2: the single-relay overlay testbed experiment (three runs of
 /// 100 000 bits).
 pub fn table2() -> SingleRelayResult {
-    overlay_single::run(&SingleRelayConfig::paper(), EXPERIMENT_SEED)
+    supervised_run("table2", || {
+        overlay_single::run(&SingleRelayConfig::paper(), EXPERIMENT_SEED)
+    })
 }
 
 /// Table 3: the multi-relay overlay testbed experiment.
 pub fn table3() -> MultiRelayRow {
-    overlay_multi::run(&MultiRelayConfig::paper(), EXPERIMENT_SEED)
+    supervised_run("table3", || {
+        overlay_multi::run(&MultiRelayConfig::paper(), EXPERIMENT_SEED)
+    })
 }
 
 /// Table 4: the underlay image transfer at amplitudes 800/600/400.
@@ -102,12 +129,16 @@ pub fn table4(n_packets: Option<usize>) -> UnderlayImageResult {
     if let Some(n) = n_packets {
         cfg.n_packets = n;
     }
-    underlay_image::run(&cfg, &[800, 600, 400], EXPERIMENT_SEED)
+    supervised_run("table4", || {
+        underlay_image::run(&cfg, &[800, 600, 400], EXPERIMENT_SEED)
+    })
 }
 
 /// Figure 8: the interweave beam scan (null at 120°, 0°–180° in 20° steps).
 pub fn fig8() -> Vec<BeamScanPoint> {
-    beam_scan::run(&BeamScanConfig::paper(), EXPERIMENT_SEED)
+    supervised_run("fig8", || {
+        beam_scan::run(&BeamScanConfig::paper(), EXPERIMENT_SEED)
+    })
 }
 
 #[cfg(test)]

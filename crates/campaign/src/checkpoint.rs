@@ -1,0 +1,413 @@
+//! The campaign checkpoint: a versioned, CRC-checked snapshot of which
+//! shards have completed, written atomically so a crash can never leave a
+//! torn file behind.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"CMCK"
+//!      4     2  format version (little-endian u16, = 1)
+//!      6     2  reserved (0)
+//!      8     4  payload length (LE u32)
+//!     12     4  CRC-32 (IEEE) of the payload bytes
+//!     16     n  payload
+//! ```
+//!
+//! The payload is fixed-order little-endian: campaign seed, config
+//! fingerprint, total shard count, merged `bits`/`errors` counts, the
+//! done bitmap (one bit per shard), and the quarantine list. Every load
+//! re-derives the CRC, so truncation and bit flips are *detected* — the
+//! supervisor then recovers by restarting the campaign from scratch
+//! (sound, because shard results are pure functions of the seed) instead
+//! of trusting garbage counts.
+//!
+//! # Atomicity
+//!
+//! [`save_atomic`] writes the full image to `<path>.tmp`, fsyncs, then
+//! renames over `path`. On POSIX the rename is atomic, so the committed
+//! checkpoint is always either the previous complete snapshot or the new
+//! one — a SIGKILL mid-write costs at most one chunk of progress, never
+//! the file.
+
+use comimo_dsp::crc::crc32;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"CMCK";
+/// Current (and only) format version.
+pub const VERSION: u16 = 1;
+/// Header bytes before the payload.
+const HEADER_LEN: usize = 16;
+
+/// Why a checkpoint image failed to decode. Every variant is a clean
+/// error — the decoder never panics on hostile bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Shorter than the fixed header.
+    TooShort,
+    /// The magic bytes are wrong — not a checkpoint file.
+    BadMagic,
+    /// A version this build does not understand (stale or future).
+    UnsupportedVersion(u16),
+    /// The payload is shorter than the header promised (truncated file).
+    Truncated {
+        /// Bytes the header declared.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The payload CRC disagrees with the stored one (bit rot / flip).
+    BadCrc {
+        /// CRC stored in the header.
+        stored: u32,
+        /// CRC of the payload as read.
+        computed: u32,
+    },
+    /// The payload passed the CRC but its fields are inconsistent
+    /// (wrong bitmap length, out-of-range shard labels, trailing bytes).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooShort => write!(f, "checkpoint shorter than its header"),
+            Self::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            Self::Truncated { expected, got } => {
+                write!(f, "truncated checkpoint: {got} of {expected} payload bytes")
+            }
+            Self::BadCrc { stored, computed } => write!(
+                f,
+                "checkpoint CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::Malformed(what) => write!(f, "malformed checkpoint payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A shard the supervisor gave up on: every attempt panicked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Shard label.
+    pub shard: u64,
+    /// Attempts spent before quarantine.
+    pub attempts: u32,
+}
+
+/// The resumable state of a campaign: merged counts plus per-shard
+/// completion. Counts merge by addition (commutative and associative
+/// over `u64`), which is what makes the merged result independent of
+/// completion order — and therefore of thread count and of where a
+/// previous run was killed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Simulation seed the campaign derives its shard streams from.
+    pub seed: u64,
+    /// Fingerprint of the campaign parameters (see
+    /// [`fingerprint64`](crate::fingerprint64)); a resume with different
+    /// parameters is rejected instead of silently merging apples into
+    /// oranges.
+    pub fingerprint: u64,
+    /// Shards in the campaign's plan.
+    pub total_shards: u64,
+    /// Bits simulated by the completed shards.
+    pub bits: u64,
+    /// Bit errors counted by the completed shards.
+    pub errors: u64,
+    /// One bit per shard, set when the shard's counts are merged.
+    done: Vec<u8>,
+    /// Shards abandoned after bounded retries.
+    pub quarantined: Vec<Quarantined>,
+}
+
+impl Checkpoint {
+    /// A fresh checkpoint with no shard done.
+    pub fn new(seed: u64, fingerprint: u64, total_shards: u64) -> Self {
+        Self {
+            seed,
+            fingerprint,
+            total_shards,
+            bits: 0,
+            errors: 0,
+            done: vec![0u8; (total_shards as usize).div_ceil(8)],
+            quarantined: Vec::new(),
+        }
+    }
+
+    /// Whether `shard`'s counts are already merged.
+    pub fn is_done(&self, shard: u64) -> bool {
+        let (byte, bit) = (shard as usize / 8, shard as usize % 8);
+        byte < self.done.len() && self.done[byte] & (1 << bit) != 0
+    }
+
+    /// Whether `shard` is quarantined.
+    pub fn is_quarantined(&self, shard: u64) -> bool {
+        self.quarantined.iter().any(|q| q.shard == shard)
+    }
+
+    /// Merges a completed shard's counts. Idempotence guard: merging a
+    /// shard twice would double-count, so a second merge panics — the
+    /// supervisor never offers a done shard for execution.
+    pub fn mark_done(&mut self, shard: u64, bits: u64, errors: u64) {
+        assert!(shard < self.total_shards, "shard {shard} out of range");
+        assert!(!self.is_done(shard), "shard {shard} merged twice");
+        self.done[shard as usize / 8] |= 1 << (shard as usize % 8);
+        self.bits += bits;
+        self.errors += errors;
+    }
+
+    /// Records a quarantined shard.
+    pub fn quarantine(&mut self, shard: u64, attempts: u32) {
+        assert!(shard < self.total_shards, "shard {shard} out of range");
+        if !self.is_quarantined(shard) {
+            self.quarantined.push(Quarantined { shard, attempts });
+        }
+    }
+
+    /// Number of completed shards.
+    pub fn done_count(&self) -> u64 {
+        self.done.iter().map(|b| u64::from(b.count_ones())).sum()
+    }
+
+    /// Whether every shard is either done or quarantined.
+    pub fn is_complete(&self) -> bool {
+        self.done_count() + self.quarantined.len() as u64 == self.total_shards
+    }
+
+    /// Shard labels still to run (not done, not quarantined), ascending.
+    pub fn pending(&self) -> Vec<u64> {
+        (0..self.total_shards)
+            .filter(|&s| !self.is_done(s) && !self.is_quarantined(s))
+            .collect()
+    }
+
+    /// Serialises to the version-1 image (header + CRC + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(44 + self.done.len() + 12 * self.quarantined.len());
+        payload.extend_from_slice(&self.seed.to_le_bytes());
+        payload.extend_from_slice(&self.fingerprint.to_le_bytes());
+        payload.extend_from_slice(&self.total_shards.to_le_bytes());
+        payload.extend_from_slice(&self.bits.to_le_bytes());
+        payload.extend_from_slice(&self.errors.to_le_bytes());
+        payload.extend_from_slice(&(self.quarantined.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&(self.done.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&self.done);
+        for q in &self.quarantined {
+            payload.extend_from_slice(&q.shard.to_le_bytes());
+            payload.extend_from_slice(&q.attempts.to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a version-1 image, verifying magic, version, length and
+    /// CRC before touching any field. Never panics on arbitrary bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CheckpointError::TooShort);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        // the reserved field must be zero in version 1; anything else is
+        // header corruption (the CRC only covers the payload)
+        if bytes[6] != 0 || bytes[7] != 0 {
+            return Err(CheckpointError::Malformed("nonzero reserved header field"));
+        }
+        let declared = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+        let stored_crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() < declared {
+            return Err(CheckpointError::Truncated {
+                expected: declared,
+                got: payload.len(),
+            });
+        }
+        if payload.len() > declared {
+            return Err(CheckpointError::Malformed("trailing bytes after payload"));
+        }
+        let computed = crc32(payload);
+        if computed != stored_crc {
+            return Err(CheckpointError::BadCrc {
+                stored: stored_crc,
+                computed,
+            });
+        }
+        let mut r = Reader { buf: payload };
+        let seed = r.u64()?;
+        let fingerprint = r.u64()?;
+        let total_shards = r.u64()?;
+        let bits = r.u64()?;
+        let errors = r.u64()?;
+        let n_quarantined = r.u32()? as usize;
+        let bitmap_len = r.u32()? as usize;
+        if bitmap_len != (total_shards as usize).div_ceil(8) {
+            return Err(CheckpointError::Malformed("bitmap length mismatch"));
+        }
+        let done = r.bytes(bitmap_len)?.to_vec();
+        // bits past total_shards must be zero, or done_count() lies
+        if total_shards % 8 != 0 {
+            if let Some(&last) = done.last() {
+                if last >> (total_shards % 8) != 0 {
+                    return Err(CheckpointError::Malformed("done bits past total_shards"));
+                }
+            }
+        }
+        let mut quarantined = Vec::with_capacity(n_quarantined.min(1024));
+        for _ in 0..n_quarantined {
+            let shard = r.u64()?;
+            let attempts = r.u32()?;
+            if shard >= total_shards {
+                return Err(CheckpointError::Malformed("quarantined shard out of range"));
+            }
+            quarantined.push(Quarantined { shard, attempts });
+        }
+        if !r.buf.is_empty() {
+            return Err(CheckpointError::Malformed("payload longer than its fields"));
+        }
+        Ok(Self {
+            seed,
+            fingerprint,
+            total_shards,
+            bits,
+            errors,
+            done,
+            quarantined,
+        })
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.buf.len() < n {
+            return Err(CheckpointError::Malformed("payload field truncated"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+/// Writes `bytes` to `path` atomically: full image to `<path>.tmp`,
+/// fsync, rename. The committed file is never in a half-written state.
+pub fn save_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// The sibling temp path `save_atomic` stages through.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Loads and decodes a checkpoint file.
+pub fn load(path: &Path) -> Result<Checkpoint, LoadError> {
+    let bytes = std::fs::read(path).map_err(LoadError::Io)?;
+    Checkpoint::decode(&bytes).map_err(LoadError::Codec)
+}
+
+/// Why a checkpoint could not be loaded from disk.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read (missing, permissions, ...).
+    Io(std::io::Error),
+    /// The file was read but its bytes do not decode.
+    Codec(CheckpointError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint read failed: {e}"),
+            Self::Codec(e) => write!(f, "checkpoint decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let mut ck = Checkpoint::new(2013, 0xDEAD_BEEF, 37);
+        ck.mark_done(0, 100, 3);
+        ck.mark_done(5, 100, 1);
+        ck.mark_done(36, 50, 0);
+        ck.quarantine(7, 3);
+        let back = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.done_count(), 3);
+        assert!(back.is_done(36) && !back.is_done(35));
+        assert!(back.is_quarantined(7));
+        assert_eq!(back.bits, 250);
+        assert_eq!(back.errors, 4);
+    }
+
+    #[test]
+    fn pending_excludes_done_and_quarantined() {
+        let mut ck = Checkpoint::new(1, 2, 6);
+        ck.mark_done(1, 10, 0);
+        ck.quarantine(4, 2);
+        assert_eq!(ck.pending(), vec![0, 2, 3, 5]);
+        assert!(!ck.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "merged twice")]
+    fn double_merge_is_refused() {
+        let mut ck = Checkpoint::new(1, 2, 3);
+        ck.mark_done(0, 10, 0);
+        ck.mark_done(0, 10, 0);
+    }
+
+    #[test]
+    fn save_is_atomic_and_loadable() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("comimo_ck_unit_{}.bin", std::process::id()));
+        let ck = Checkpoint::new(9, 9, 100);
+        save_atomic(&path, &ck.encode()).unwrap();
+        assert!(!tmp_path(&path).exists(), "temp file left behind");
+        assert_eq!(load(&path).unwrap(), ck);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

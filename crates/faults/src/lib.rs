@@ -7,6 +7,9 @@
 //! a cognitive radio must never do (disturb a primary receiver) holds
 //! through every failure mode.
 //!
+//! * [`campaign`] — deterministic fault plans for the Monte-Carlo
+//!   campaign supervisor (`comimo-campaign`): shard-execution panics and
+//!   checkpoint-IO errors as pure functions of `(seed, shard, attempt)`;
 //! * [`model`] — the fault taxonomy: relay death, PU return, deep
 //!   shadowing bursts, lossy intra-cluster broadcast, with per-class
 //!   Poisson rates ([`model::FaultConfig`]);
@@ -22,6 +25,7 @@
 //!   protocol of `comimo-net` into degradation reports, each carrying
 //!   the primary-interference invariant verdict.
 
+pub mod campaign;
 pub mod injector;
 pub mod model;
 pub mod scenarios;
@@ -51,6 +55,7 @@ where
     items.iter().map(f).collect()
 }
 
+pub use campaign::CampaignFaultPlan;
 pub use injector::{inject_all, FaultTrace, TraceEntry};
 pub use model::{FaultConfig, FaultEvent, FaultKind, Topology};
 pub use scenarios::{

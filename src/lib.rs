@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the comimo workspace public API.
+pub use comimo_campaign as campaign;
 pub use comimo_channel as channel;
 pub use comimo_core as core;
 pub use comimo_dsp as dsp;
