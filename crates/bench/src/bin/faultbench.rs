@@ -13,9 +13,10 @@
 
 use comimo_bench::tables::render_table;
 use comimo_bench::EXPERIMENT_SEED;
+use comimo_chaos::{run_events, ChaosConfig, InvariantRegistry};
 use comimo_faults::{
-    run_interweave_scenario, run_overlay_scenario, run_recruitment_scenario, run_underlay_scenario,
-    DegradationReport, FaultConfig, ScenarioConfig,
+    build_schedule, run_interweave_scenario, run_overlay_scenario, run_recruitment_scenario,
+    run_underlay_scenario, DegradationReport, FaultConfig, ScenarioConfig,
 };
 
 const HORIZON_S: f64 = 200.0;
@@ -36,6 +37,25 @@ fn assert_invariant(r: &DegradationReport) {
         "{}: {} transmitting slot(s) violated the primary-interference \
          invariant",
         r.paradigm, r.interference_violations
+    );
+}
+
+/// The every-slot assertion, through the shared invariant registry: the
+/// same fault schedule the scenarios consume is replayed through the
+/// chaos world with every paper invariant armed (`INV-EPA-CEILING`,
+/// `INV-NULL-DEPTH`, `INV-DEGRADE-POWER`, …), checking every slot —
+/// transmitting *and* muted — against the paper's true bounds.
+fn assert_registry_invariants(lambda: f64) {
+    let cfg = scenario(lambda);
+    let world = ChaosConfig::paper(EXPERIMENT_SEED, HORIZON_S);
+    let schedule = build_schedule(&cfg.faults, &world.topology(), EXPERIMENT_SEED);
+    let reg = InvariantRegistry::paper();
+    let out = run_events(&world, &schedule, &reg, false);
+    assert!(
+        out.violations.is_empty(),
+        "lambda {lambda}: {} invariant violation(s) at paper bounds, first: {:?}",
+        out.violations.len(),
+        out.violations.first()
     );
 }
 
@@ -61,6 +81,7 @@ fn main() {
     let trace_mode = std::env::args().any(|a| a == "--trace");
     if trace_mode {
         // the determinism witness: byte-identical at any thread count
+        assert_registry_invariants(1.0);
         let cfg = scenario(1.0);
         for report in [
             run_overlay_scenario(&cfg),
@@ -84,6 +105,12 @@ fn main() {
         "min margin dB",
         "violations",
     ];
+    // every slot of every lambda checked against the shared registry at
+    // the paper's true bounds, before any table is rendered
+    for lambda in LAMBDAS {
+        assert_registry_invariants(lambda);
+    }
+
     let mut out = String::new();
     out.push_str(&format!(
         "Fault-injection degradation sweep ({HORIZON_S} s horizon, seed {EXPERIMENT_SEED}, \
@@ -118,7 +145,8 @@ fn main() {
     out.push_str("Cluster recruitment under lossy broadcast + head death\n");
     let mut rows = Vec::new();
     for lambda in LAMBDAS {
-        let r = run_recruitment_scenario(&scenario(lambda));
+        let r = run_recruitment_scenario(&scenario(lambda))
+            .expect("recruitment completes under the benchmark fault schedule");
         rows.push(vec![
             format!("{lambda:.1}"),
             format!("{}", r.joined),

@@ -1,0 +1,316 @@
+//! Replayable violation artifacts: `seed + minimized trace + violated
+//! invariant ID` as JSON.
+//!
+//! An artifact is everything needed to reproduce a violation
+//! *bit-identically* on any machine at any thread count: the full world
+//! config, the armed bounds, the 1-minimal fault trace, and the expected
+//! violation down to the exact f64 bit patterns (stored as `u64` bits —
+//! JSON round-trips them losslessly and the comparison is `==`, not an
+//! epsilon).
+
+use crate::explore::RunFinding;
+use crate::invariant::{InvariantBounds, InvariantRegistry, Violation};
+use crate::world::{run_events, ChaosConfig};
+use comimo_faults::{FaultEvent, FaultKind};
+use comimo_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Artifact schema version; bump on any incompatible change.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// One fault event in serialized form (`SimTime` itself carries no serde;
+/// nanoseconds are its exact representation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Absolute injection time (ns).
+    pub at_ns: u64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+impl From<FaultEvent> for TraceEvent {
+    fn from(ev: FaultEvent) -> Self {
+        Self {
+            at_ns: ev.at.as_nanos(),
+            kind: ev.kind,
+        }
+    }
+}
+
+impl From<TraceEvent> for FaultEvent {
+    fn from(ev: TraceEvent) -> Self {
+        Self {
+            at: SimTime::from_nanos(ev.at_ns),
+            kind: ev.kind,
+        }
+    }
+}
+
+/// A minimized, replayable violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosArtifact {
+    /// Schema version ([`ARTIFACT_VERSION`]).
+    pub version: u32,
+    /// Stable ID of the violated invariant.
+    pub invariant: String,
+    /// Master seed of the sweep that found it.
+    pub master_seed: u64,
+    /// Run index within the sweep.
+    pub run: u64,
+    /// The run's derived seed (the world config embeds it too).
+    pub run_seed: u64,
+    /// The run's fault-intensity multiplier λ.
+    pub lambda: f64,
+    /// Bounds that were armed when the violation fired.
+    pub bounds: InvariantBounds,
+    /// The complete world configuration.
+    pub config: ChaosConfig,
+    /// Events in the original (pre-shrink) schedule.
+    pub original_events: u64,
+    /// World re-runs ddmin spent minimizing.
+    pub shrink_probes: u64,
+    /// When the violation fires (ns).
+    pub at_ns: u64,
+    /// Expected observed value, as raw f64 bits.
+    pub observed_bits: u64,
+    /// Expected bound, as raw f64 bits.
+    pub bound_bits: u64,
+    /// Expected human-readable detail.
+    pub detail: String,
+    /// The 1-minimal reproducing fault trace.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl ChaosArtifact {
+    /// Packages an exploration finding for replay.
+    pub fn from_finding(
+        master_seed: u64,
+        horizon_s: f64,
+        bounds: InvariantBounds,
+        f: &RunFinding,
+    ) -> Self {
+        Self {
+            version: ARTIFACT_VERSION,
+            invariant: f.invariant.clone(),
+            master_seed,
+            run: f.run,
+            run_seed: f.run_seed,
+            lambda: f.lambda,
+            bounds,
+            config: ChaosConfig::paper(f.run_seed, horizon_s),
+            original_events: f.schedule_len as u64,
+            shrink_probes: f.shrink_probes,
+            at_ns: f.at_ns,
+            observed_bits: f.observed.to_bits(),
+            bound_bits: f.bound.to_bits(),
+            detail: f.detail.clone(),
+            trace: f.minimized.iter().map(|&e| TraceEvent::from(e)).collect(),
+        }
+    }
+
+    /// Pretty JSON for the artifact directory / CI upload.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses and version-checks an artifact.
+    pub fn from_json(s: &str) -> Result<Self, ArtifactError> {
+        let art: Self = serde_json::from_str(s).map_err(ArtifactError::Json)?;
+        if art.version != ARTIFACT_VERSION {
+            return Err(ArtifactError::Version {
+                found: art.version,
+                supported: ARTIFACT_VERSION,
+            });
+        }
+        Ok(art)
+    }
+
+    /// The trace as world-ready fault events.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.trace.iter().map(|&e| FaultEvent::from(e)).collect()
+    }
+}
+
+/// Why an artifact failed to load.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Malformed JSON or schema mismatch.
+    Json(serde_json::Error),
+    /// Unsupported schema version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "artifact JSON: {e}"),
+            Self::Version { found, supported } => {
+                write!(
+                    f,
+                    "artifact version {found} unsupported (this build reads {supported})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// What a replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Whether the replay reproduced the recorded violation
+    /// bit-identically (same invariant, timestamp, observed/bound bit
+    /// patterns and detail).
+    pub reproduced: bool,
+    /// The matching violation the replay fired, if any.
+    pub violation: Option<Violation>,
+    /// Invariant checks the replay consulted.
+    pub checks: u64,
+    /// A canonical text digest of the replay (identical across thread
+    /// counts iff the replay is — CI diffs the serial digest against the
+    /// pooled one).
+    pub digest: String,
+}
+
+/// Re-executes an artifact's minimized trace through the full world and
+/// compares what fires against the recorded violation, bit for bit.
+pub fn replay(art: &ChaosArtifact, serial: bool) -> ReplayOutcome {
+    let reg = InvariantRegistry::with_bounds(art.bounds);
+    let events = art.events();
+    let out = run_events(&art.config, &events, &reg, serial);
+    let violation = out
+        .violations
+        .iter()
+        .find(|v| v.invariant == art.invariant)
+        .cloned();
+    let reproduced = violation.as_ref().is_some_and(|v| {
+        v.at_ns == art.at_ns
+            && v.observed.to_bits() == art.observed_bits
+            && v.bound.to_bits() == art.bound_bits
+            && v.detail == art.detail
+    });
+    let digest = match &violation {
+        Some(v) => format!(
+            "invariant: {}\nat_ns: {}\nobserved_bits: {:016x}\nbound_bits: {:016x}\n\
+             detail: {}\ntrace_events: {}\nchecks: {}\nreproduced: {}\n",
+            v.invariant,
+            v.at_ns,
+            v.observed.to_bits(),
+            v.bound.to_bits(),
+            v.detail,
+            art.trace.len(),
+            out.checks,
+            reproduced,
+        ),
+        None => format!(
+            "invariant: {}\nno matching violation fired\ntrace_events: {}\nchecks: {}\n\
+             reproduced: false\n",
+            art.invariant,
+            art.trace.len(),
+            out.checks,
+        ),
+    };
+    ReplayOutcome {
+        reproduced,
+        violation,
+        checks: out.checks,
+        digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreConfig};
+    use crate::invariant::INV_DEGRADE_POWER;
+
+    /// A finding every build can produce instantly: an overdraw bound
+    /// below 1 fires on the fault-free world, shrinking to the empty
+    /// trace.
+    fn empty_trace_finding() -> (ExploreConfig, RunFinding) {
+        let cfg = ExploreConfig {
+            runs: 1,
+            horizon_s: 10.0,
+            bounds: InvariantBounds {
+                overdraw_max: 0.5,
+                ..InvariantBounds::paper()
+            },
+            serial: true,
+            ..ExploreConfig::new(21)
+        };
+        let report = explore(&cfg);
+        let f = report
+            .findings
+            .first()
+            .expect("weakened bound fires")
+            .clone();
+        assert_eq!(f.invariant, INV_DEGRADE_POWER);
+        assert!(f.minimized.is_empty(), "no fault needed");
+        (cfg, f)
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let (cfg, f) = empty_trace_finding();
+        let art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, &f);
+        let json = art.to_json().expect("serializes");
+        let back = ChaosArtifact::from_json(&json).expect("parses");
+        assert_eq!(back, art);
+    }
+
+    #[test]
+    fn replay_reproduces_bit_identically_at_any_thread_count() {
+        let (cfg, f) = empty_trace_finding();
+        let art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, &f);
+        let serial = replay(&art, true);
+        let pooled = replay(&art, false);
+        assert!(serial.reproduced, "{}", serial.digest);
+        assert!(pooled.reproduced, "{}", pooled.digest);
+        assert_eq!(serial.digest, pooled.digest);
+    }
+
+    #[test]
+    fn tampered_expectations_fail_the_replay() {
+        let (cfg, f) = empty_trace_finding();
+        let mut art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, &f);
+        art.observed_bits ^= 1;
+        let out = replay(&art, true);
+        assert!(!out.reproduced);
+        assert!(out.violation.is_some(), "the violation still fires");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (cfg, f) = empty_trace_finding();
+        let mut art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, &f);
+        art.version = ARTIFACT_VERSION + 1;
+        let json = art.to_json().expect("serializes");
+        match ChaosArtifact::from_json(&json) {
+            Err(ArtifactError::Version { found, .. }) => {
+                assert_eq!(found, ARTIFACT_VERSION + 1);
+            }
+            other => panic!("expected a version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_with_a_real_fault_roundtrips_through_serde() {
+        let ev = TraceEvent {
+            at_ns: 1_500_000_000,
+            kind: FaultKind::ShadowBurst {
+                node: 2,
+                extra_loss_db: 20.0,
+                duration_s: 2.0,
+            },
+        };
+        let json = serde_json::to_string(&ev).expect("serializes");
+        let back: TraceEvent = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, ev);
+    }
+}

@@ -1,0 +1,232 @@
+//! Chaos explorer CLI.
+//!
+//! ```text
+//! chaos list-invariants
+//!     print the invariant table: stable ID, bound, paper source, guarded code
+//!
+//! chaos explore [--seed N] [--runs N] [--start-run N] [--horizon SECS]
+//!               [--lambda-min F] [--lambda-max F]
+//!               [--epa-floor-db F] [--null-residual-max F] [--overdraw-max F]
+//!               [--out DIR] [--serial] [--no-shrink]
+//!     run a deterministic sweep; write one replayable JSON artifact per
+//!     violating run into DIR (default chaos-artifacts/).
+//!     exit 0 = clean, 1 = violations found.
+//!
+//! chaos soak [explore flags] [--wall-secs N] [--batch N]
+//!     explore batch after batch until the wall-clock budget runs out or
+//!     SIGINT is raised (the in-flight batch always finishes).
+//!
+//! chaos replay FILE [--serial] [--parallel]
+//!     re-execute an artifact's minimized trace and compare the violation
+//!     bit for bit. Prints the canonical digest.
+//!     exit 0 = reproduced, 2 = not reproduced.
+//! ```
+//!
+//! The weakened-bound flags exist so CI can prove the pipeline end to
+//! end: weaken a bound, watch the explorer find and shrink a violation,
+//! then watch `replay` reproduce it bit-identically at both thread
+//! counts. At the paper's true bounds a sweep must come back clean.
+
+use comimo_campaign::install_sigint_stop;
+use comimo_chaos::{
+    explore, replay, soak, ChaosArtifact, ExploreConfig, ExploreReport, InvariantBounds,
+    InvariantRegistry,
+};
+use std::process::ExitCode;
+use std::str::FromStr;
+use std::time::Duration;
+
+const EX_USAGE: u8 = 64;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: chaos <list-invariants | explore | soak | replay FILE> [flags]\n\
+         see `cargo doc -p comimo-chaos --bin chaos` or the module docs for flags"
+    );
+    ExitCode::from(EX_USAGE)
+}
+
+/// `--name value` lookup; exits with a usage error on an unparsable value.
+fn flag<T: FromStr>(args: &[String], name: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == name)?;
+    let raw = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("chaos: {name} needs a value");
+        std::process::exit(EX_USAGE as i32);
+    });
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("chaos: cannot parse {name} value {raw:?}");
+            std::process::exit(EX_USAGE as i32);
+        }
+    }
+}
+
+fn has(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn bounds_from(args: &[String]) -> InvariantBounds {
+    let mut b = InvariantBounds::paper();
+    if let Some(v) = flag(args, "--epa-floor-db") {
+        b.epa_margin_floor_db = v;
+    }
+    if let Some(v) = flag(args, "--null-residual-max") {
+        b.null_residual_max = v;
+    }
+    if let Some(v) = flag(args, "--overdraw-max") {
+        b.overdraw_max = v;
+    }
+    b
+}
+
+fn explore_config_from(args: &[String]) -> ExploreConfig {
+    let mut cfg = ExploreConfig::new(flag(args, "--seed").unwrap_or(2013));
+    if let Some(v) = flag(args, "--runs") {
+        cfg.runs = v;
+    }
+    if let Some(v) = flag(args, "--start-run") {
+        cfg.start_run = v;
+    }
+    if let Some(v) = flag(args, "--horizon") {
+        cfg.horizon_s = v;
+    }
+    if let Some(v) = flag(args, "--lambda-min") {
+        cfg.lambda_min = v;
+    }
+    if let Some(v) = flag(args, "--lambda-max") {
+        cfg.lambda_max = v;
+    }
+    cfg.bounds = bounds_from(args);
+    cfg.serial = has(args, "--serial");
+    cfg.shrink = !has(args, "--no-shrink");
+    cfg
+}
+
+fn list_invariants() -> ExitCode {
+    let reg = InvariantRegistry::paper();
+    println!("{} paper invariants (true bounds):\n", reg.len());
+    for inv in reg.invariants() {
+        println!("{}", inv.id());
+        println!("  bound:  {}", inv.bound_text());
+        println!("  paper:  {}", inv.paper_ref());
+        println!("  guards: {}", inv.guards());
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_artifacts(cfg: &ExploreConfig, report: &ExploreReport, out_dir: &str) {
+    if report.findings.is_empty() {
+        return;
+    }
+    std::fs::create_dir_all(out_dir).expect("create artifact directory");
+    for f in &report.findings {
+        let art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, f);
+        let path = format!(
+            "{out_dir}/{}-seed{}-run{}.json",
+            f.invariant.to_lowercase(),
+            cfg.seed,
+            f.run
+        );
+        std::fs::write(&path, art.to_json().expect("serialize artifact")).expect("write artifact");
+        println!(
+            "  run {:>4}  λ={:.2}  {}  {} events → {} minimized ({} probes)  -> {path}",
+            f.run,
+            f.lambda,
+            f.invariant,
+            f.schedule_len,
+            f.minimized.len(),
+            f.shrink_probes
+        );
+    }
+}
+
+fn summarize(report: &ExploreReport) {
+    println!(
+        "explored {} run(s): {} clean, {} violating; {} fault event(s), {} invariant check(s)",
+        report.runs,
+        report.clean_runs,
+        report.findings.len(),
+        report.total_faults,
+        report.total_checks
+    );
+}
+
+fn explore_cmd(args: &[String]) -> ExitCode {
+    let cfg = explore_config_from(args);
+    let out_dir: String = flag(args, "--out").unwrap_or_else(|| "chaos-artifacts".into());
+    println!(
+        "chaos explore: seed {}, runs {}..{}, horizon {} s, λ ∈ [{}, {}]",
+        cfg.seed,
+        cfg.start_run,
+        cfg.start_run + cfg.runs,
+        cfg.horizon_s,
+        cfg.lambda_min,
+        cfg.lambda_max
+    );
+    let report = explore(&cfg);
+    summarize(&report);
+    write_artifacts(&cfg, &report, &out_dir);
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn soak_cmd(args: &[String]) -> ExitCode {
+    let cfg = explore_config_from(args);
+    let out_dir: String = flag(args, "--out").unwrap_or_else(|| "chaos-artifacts".into());
+    let wall_secs: u64 = flag(args, "--wall-secs").unwrap_or(30);
+    let batch: u64 = flag(args, "--batch").unwrap_or(8);
+    let stop = install_sigint_stop();
+    println!(
+        "chaos soak: seed {}, {} s wall budget, batches of {} runs (Ctrl-C stops at the \
+         next batch boundary)",
+        cfg.seed, wall_secs, batch
+    );
+    let report = soak(&cfg, Duration::from_secs(wall_secs), batch, stop);
+    summarize(&report);
+    write_artifacts(&cfg, &report, &out_dir);
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn replay_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("chaos replay: missing artifact path");
+        return ExitCode::from(EX_USAGE);
+    };
+    let serial = has(args, "--serial");
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("chaos replay: cannot read {path}: {e}");
+        std::process::exit(EX_USAGE as i32);
+    });
+    let art = ChaosArtifact::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("chaos replay: {e}");
+        std::process::exit(EX_USAGE as i32);
+    });
+    let out = replay(&art, serial);
+    print!("{}", out.digest);
+    if out.reproduced {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos replay: artifact did NOT reproduce");
+        ExitCode::from(2)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list-invariants") => list_invariants(),
+        Some("explore") => explore_cmd(&args[1..]),
+        Some("soak") => soak_cmd(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,762 @@
+//! The invariant registry: the paper's physical and protocol constraints
+//! as first-class, checkable predicates with stable IDs.
+//!
+//! Every invariant encodes one guarantee the cognitive radio stack must
+//! hold *at runtime, through every fault*:
+//!
+//! | ID | paper source | constraint |
+//! |----|--------------|------------|
+//! | `INV-EPA-CEILING`  | Sec. 4, `E_PA = max(e_PA^Lt, mt·e_PA^MIMOt)` | underlay PA energy stays under the primary noise floor, every slot |
+//! | `INV-NULL-DEPTH`   | Sec. 5, `δ = π(2r·cos α/w − 1)` | interweave null depth holds at the PU; never transmit on a PU-active channel |
+//! | `INV-DEGRADE-POWER`| Sec. 3 energy budget | overlay degradation never claims feasibility past the budget; infeasible bursts fall back to the direct link |
+//! | `INV-EVENTQ-TIME`  | discrete-event engine contract | simulation time is monotone non-decreasing across event pops |
+//! | `INV-CKPT-COUNTS`  | campaign determinism contract | a completed campaign's merged counts equal the seed-derived oracle |
+//!
+//! Checks are driven by [`Observation`]s the chaos world emits — one per
+//! simulated slot, event pop, or campaign completion — and produce
+//! [`Violation`]s carrying the observed value, the bound it broke, and a
+//! human-readable detail string. A violation is data, not a panic: the
+//! explorer shrinks it, the replayer reproduces it bit-identically.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier: underlay `E_PA` below the primary noise floor.
+pub const INV_EPA_CEILING: &str = "INV-EPA-CEILING";
+/// Stable identifier: interweave steered-null depth and channel discipline.
+pub const INV_NULL_DEPTH: &str = "INV-NULL-DEPTH";
+/// Stable identifier: overlay degradation energy budget.
+pub const INV_DEGRADE_POWER: &str = "INV-DEGRADE-POWER";
+/// Stable identifier: event-queue time monotonicity.
+pub const INV_EVENTQ_TIME: &str = "INV-EVENTQ-TIME";
+/// Stable identifier: campaign counts equal the deterministic oracle.
+pub const INV_CKPT_COUNTS: &str = "INV-CKPT-COUNTS";
+
+/// One fact the chaos world observed; the registry fans each observation
+/// out to every invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Observation {
+    /// One underlay slot: the rung chosen (or mute) and its margin.
+    UnderlaySlot {
+        /// Slot midpoint (ns).
+        at_ns: u64,
+        /// Whether the cluster radiated this slot (false = muted).
+        transmitting: bool,
+        /// Transmit-cluster size of the chosen rung (0 when muted).
+        mt: usize,
+        /// Receive-cluster size of the chosen rung (0 when muted).
+        mr: usize,
+        /// Noise-floor margin at the PU (dB; `+∞` when muted).
+        margin_db: f64,
+    },
+    /// One interweave slot: channel discipline and null residual.
+    InterweaveSlot {
+        /// Slot start (ns) — when sensing and the channel pick happen.
+        at_ns: u64,
+        /// Whether the cluster radiated this slot.
+        transmitting: bool,
+        /// The channel picked (meaningless when muted).
+        channel: usize,
+        /// Whether a primary was active on that channel at slot start.
+        pu_active: bool,
+        /// Residual field amplitude at the protected primary.
+        null_residual: f64,
+    },
+    /// One overlay slot: the degradation decision and its energy account.
+    OverlaySlot {
+        /// Slot midpoint (ns).
+        at_ns: u64,
+        /// Relays still alive.
+        survivors: usize,
+        /// `e_su_required / e_budget` (`+∞` when every relay is dead).
+        overdraw: f64,
+        /// Whether the policy claims the degraded burst is feasible.
+        claims_feasible: bool,
+        /// Whether the slot's energy accounting fell back to the direct
+        /// primary link.
+        fallback_direct: bool,
+    },
+    /// One event-queue pop: the clock before and after.
+    EventPop {
+        /// Clock before the pop (ns).
+        prev_ns: u64,
+        /// Popped event's timestamp (ns).
+        now_ns: u64,
+    },
+    /// A completed campaign's merged counts next to the oracle's.
+    CampaignCounts {
+        /// When the campaign finished, in simulation terms (ns).
+        at_ns: u64,
+        /// Merged bits.
+        bits: u64,
+        /// Merged errors.
+        errors: u64,
+        /// Oracle bits (sum over non-quarantined shards).
+        expected_bits: u64,
+        /// Oracle errors.
+        expected_errors: u64,
+    },
+}
+
+impl Observation {
+    /// The observation's timestamp (ns).
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            Self::UnderlaySlot { at_ns, .. }
+            | Self::InterweaveSlot { at_ns, .. }
+            | Self::OverlaySlot { at_ns, .. }
+            | Self::CampaignCounts { at_ns, .. } => *at_ns,
+            Self::EventPop { now_ns, .. } => *now_ns,
+        }
+    }
+}
+
+/// A broken invariant: which one, when, and by how much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Stable invariant ID (`INV-…`).
+    pub invariant: &'static str,
+    /// When the violating observation happened (ns).
+    pub at_ns: u64,
+    /// The observed value that broke the bound.
+    pub observed: f64,
+    /// The bound it broke.
+    pub bound: f64,
+    /// Human-readable account of the breach.
+    pub detail: String,
+}
+
+/// The numeric bounds the invariants check against. The paper values are
+/// the defaults; the chaos CLI can weaken them to *prove the explorer
+/// finds and shrinks real violations* (a weakened bound is the only way
+/// to produce one on a correct stack).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvariantBounds {
+    /// Minimum admissible underlay noise-floor margin (dB). Paper: 0 —
+    /// the SU PSD at the PU sits at or below the noise floor.
+    pub epa_margin_floor_db: f64,
+    /// Maximum residual field amplitude at the steered null. Paper
+    /// nulling is exact; 1e-6 absorbs floating-point evaluation noise.
+    pub null_residual_max: f64,
+    /// Maximum `e_su_required / e_budget` a feasible overlay burst may
+    /// report. Paper: 1 (+1e-9 for the k = 0 equality case).
+    pub overdraw_max: f64,
+}
+
+impl InvariantBounds {
+    /// The paper's true bounds.
+    pub fn paper() -> Self {
+        Self {
+            epa_margin_floor_db: 0.0,
+            null_residual_max: 1e-6,
+            overdraw_max: 1.0 + 1e-9,
+        }
+    }
+}
+
+impl Default for InvariantBounds {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A paper constraint as a checkable predicate over [`Observation`]s.
+pub trait Invariant: Send + Sync {
+    /// Stable ID (`INV-…`), the key artifacts and CLIs refer to.
+    fn id(&self) -> &'static str;
+    /// Paper equation / section this encodes.
+    fn paper_ref(&self) -> &'static str;
+    /// The code paths this invariant guards.
+    fn guards(&self) -> &'static str;
+    /// Human-readable bound (with the active numeric values).
+    fn bound_text(&self) -> String;
+    /// Checks one observation; `None` means the invariant holds for it.
+    fn check(&self, obs: &Observation) -> Option<Violation>;
+}
+
+// ---------------------------------------------------------------------
+// The five paper invariants
+// ---------------------------------------------------------------------
+
+struct EpaCeiling {
+    floor_db: f64,
+}
+
+impl Invariant for EpaCeiling {
+    fn id(&self) -> &'static str {
+        INV_EPA_CEILING
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Sec. 4, E_PA = max(e_PA^Lt, mt·e_PA^MIMOt) under the primary noise floor"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-core Underlay::degrade / fallback_chain rung admission"
+    }
+    fn bound_text(&self) -> String {
+        format!("every slot: muted, or margin_db ≥ {:.3} dB", self.floor_db)
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        // checked on EVERY underlay slot, transmitting or muted: a muted
+        // slot radiates nothing, so the ceiling holds trivially — but the
+        // check still runs, which is what "every slot" means.
+        let Observation::UnderlaySlot {
+            at_ns,
+            transmitting,
+            mt,
+            mr,
+            margin_db,
+        } = obs
+        else {
+            return None;
+        };
+        if *transmitting && *margin_db < self.floor_db {
+            return Some(Violation {
+                invariant: INV_EPA_CEILING,
+                at_ns: *at_ns,
+                observed: *margin_db,
+                bound: self.floor_db,
+                detail: format!(
+                    "underlay transmitted on the {mt}x{mr} rung with noise-floor margin \
+                     {margin_db:.6} dB < floor {:.6} dB",
+                    self.floor_db
+                ),
+            });
+        }
+        None
+    }
+}
+
+struct NullDepth {
+    residual_max: f64,
+}
+
+impl Invariant for NullDepth {
+    fn id(&self) -> &'static str {
+        INV_NULL_DEPTH
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Sec. 5, null delay δ = π(2r·cos α/w − 1); interweave channel discipline"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-core ClusterBeamformer::repair / steer; interweave channel pick"
+    }
+    fn bound_text(&self) -> String {
+        format!(
+            "transmitting slots: PU-free channel and null residual ≤ {:e}",
+            self.residual_max
+        )
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        let Observation::InterweaveSlot {
+            at_ns,
+            transmitting,
+            channel,
+            pu_active,
+            null_residual,
+        } = obs
+        else {
+            return None;
+        };
+        if !transmitting {
+            return None;
+        }
+        if *pu_active {
+            return Some(Violation {
+                invariant: INV_NULL_DEPTH,
+                at_ns: *at_ns,
+                observed: 1.0,
+                bound: 0.0,
+                detail: format!(
+                    "interweave transmitted on channel {channel} while its primary was active"
+                ),
+            });
+        }
+        if *null_residual > self.residual_max {
+            return Some(Violation {
+                invariant: INV_NULL_DEPTH,
+                at_ns: *at_ns,
+                observed: *null_residual,
+                bound: self.residual_max,
+                detail: format!(
+                    "steered-null residual {null_residual:e} > {:e} at the protected primary \
+                     (channel {channel})",
+                    self.residual_max
+                ),
+            });
+        }
+        None
+    }
+}
+
+struct DegradePower {
+    overdraw_max: f64,
+}
+
+impl Invariant for DegradePower {
+    fn id(&self) -> &'static str {
+        INV_DEGRADE_POWER
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Sec. 3, per-SU energy budget E1 of the relayed burst"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-core Overlay::degrade re-weighting and direct-link fallback"
+    }
+    fn bound_text(&self) -> String {
+        format!(
+            "feasible bursts: overdraw ≤ {:.9}; infeasible bursts must fall back direct",
+            self.overdraw_max
+        )
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        let Observation::OverlaySlot {
+            at_ns,
+            survivors,
+            overdraw,
+            claims_feasible,
+            fallback_direct,
+        } = obs
+        else {
+            return None;
+        };
+        if *claims_feasible && *overdraw > self.overdraw_max {
+            return Some(Violation {
+                invariant: INV_DEGRADE_POWER,
+                at_ns: *at_ns,
+                observed: *overdraw,
+                bound: self.overdraw_max,
+                detail: format!(
+                    "overlay claimed a feasible burst on {survivors} survivors with energy \
+                     overdraw {overdraw:.9} > {:.9}",
+                    self.overdraw_max
+                ),
+            });
+        }
+        if !*claims_feasible && !*fallback_direct {
+            return Some(Violation {
+                invariant: INV_DEGRADE_POWER,
+                at_ns: *at_ns,
+                observed: *overdraw,
+                bound: self.overdraw_max,
+                detail: format!(
+                    "overlay burst infeasible on {survivors} survivors (overdraw {overdraw:.9}) \
+                     but did not fall back to the direct link"
+                ),
+            });
+        }
+        None
+    }
+}
+
+struct EventqTime;
+
+impl Invariant for EventqTime {
+    fn id(&self) -> &'static str {
+        INV_EVENTQ_TIME
+    }
+    fn paper_ref(&self) -> &'static str {
+        "discrete-event engine contract (deterministic CSMA/CA substrate, Sec. 2.1)"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-sim EventQueue::run_with_probe pop ordering"
+    }
+    fn bound_text(&self) -> String {
+        "event pops never move the clock backwards".into()
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        let Observation::EventPop { prev_ns, now_ns } = obs else {
+            return None;
+        };
+        if now_ns < prev_ns {
+            return Some(Violation {
+                invariant: INV_EVENTQ_TIME,
+                at_ns: *now_ns,
+                observed: *now_ns as f64,
+                bound: *prev_ns as f64,
+                detail: format!("event queue popped t={now_ns} ns after t={prev_ns} ns"),
+            });
+        }
+        None
+    }
+}
+
+struct CkptCounts;
+
+impl Invariant for CkptCounts {
+    fn id(&self) -> &'static str {
+        INV_CKPT_COUNTS
+    }
+    fn paper_ref(&self) -> &'static str {
+        "campaign determinism contract: counts are a pure function of (seed, shard)"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-campaign run_campaign merge, retry and quarantine accounting"
+    }
+    fn bound_text(&self) -> String {
+        "completed campaigns merge exactly the oracle's (bits, errors)".into()
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        let Observation::CampaignCounts {
+            at_ns,
+            bits,
+            errors,
+            expected_bits,
+            expected_errors,
+        } = obs
+        else {
+            return None;
+        };
+        if bits != expected_bits || errors != expected_errors {
+            return Some(Violation {
+                invariant: INV_CKPT_COUNTS,
+                at_ns: *at_ns,
+                observed: *bits as f64,
+                bound: *expected_bits as f64,
+                detail: format!(
+                    "campaign merged ({bits} bits, {errors} errors) but the seed oracle \
+                     predicts ({expected_bits} bits, {expected_errors} errors)"
+                ),
+            });
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+/// The shared registry every checker (chaos explorer, faultbench, tests)
+/// registers against and consults.
+pub struct InvariantRegistry {
+    invariants: Vec<Box<dyn Invariant>>,
+}
+
+impl InvariantRegistry {
+    /// An empty registry (for custom invariant sets).
+    pub fn empty() -> Self {
+        Self {
+            invariants: Vec::new(),
+        }
+    }
+
+    /// The five paper invariants at their true bounds.
+    pub fn paper() -> Self {
+        Self::with_bounds(InvariantBounds::paper())
+    }
+
+    /// The five paper invariants at explicit (possibly weakened) bounds.
+    pub fn with_bounds(b: InvariantBounds) -> Self {
+        let mut reg = Self::empty();
+        reg.register(Box::new(EpaCeiling {
+            floor_db: b.epa_margin_floor_db,
+        }));
+        reg.register(Box::new(NullDepth {
+            residual_max: b.null_residual_max,
+        }));
+        reg.register(Box::new(DegradePower {
+            overdraw_max: b.overdraw_max,
+        }));
+        reg.register(Box::new(EventqTime));
+        reg.register(Box::new(CkptCounts));
+        reg
+    }
+
+    /// Registers an invariant.
+    ///
+    /// # Panics
+    /// On a duplicate ID — stable IDs are the whole point.
+    pub fn register(&mut self, inv: Box<dyn Invariant>) {
+        assert!(
+            self.get(inv.id()).is_none(),
+            "duplicate invariant id {}",
+            inv.id()
+        );
+        self.invariants.push(inv);
+    }
+
+    /// Looks an invariant up by its stable ID.
+    pub fn get(&self, id: &str) -> Option<&dyn Invariant> {
+        self.invariants
+            .iter()
+            .find(|i| i.id() == id)
+            .map(|b| b.as_ref())
+    }
+
+    /// All registered invariants, in registration order.
+    pub fn invariants(&self) -> impl Iterator<Item = &dyn Invariant> {
+        self.invariants.iter().map(|b| b.as_ref())
+    }
+
+    /// Number of registered invariants.
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+
+    /// Fans `obs` out to every invariant, appending violations to `out`.
+    /// Returns the number of invariant checks consulted (for check-count
+    /// accounting: "how hard did we look").
+    pub fn check(&self, obs: &Observation, out: &mut Vec<Violation>) -> u64 {
+        for inv in &self.invariants {
+            if let Some(v) = inv.check(obs) {
+                out.push(v);
+            }
+        }
+        self.invariants.len() as u64
+    }
+}
+
+impl std::fmt::Debug for InvariantRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvariantRegistry")
+            .field(
+                "ids",
+                &self.invariants.iter().map(|i| i.id()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_registry_has_the_five_stable_ids() {
+        let reg = InvariantRegistry::paper();
+        assert_eq!(reg.len(), 5);
+        for id in [
+            INV_EPA_CEILING,
+            INV_NULL_DEPTH,
+            INV_DEGRADE_POWER,
+            INV_EVENTQ_TIME,
+            INV_CKPT_COUNTS,
+        ] {
+            let inv = reg.get(id).unwrap_or_else(|| panic!("missing {id}"));
+            assert_eq!(inv.id(), id);
+            assert!(!inv.paper_ref().is_empty());
+            assert!(!inv.guards().is_empty());
+            assert!(!inv.bound_text().is_empty());
+        }
+        assert!(reg.get("INV-NO-SUCH").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate invariant id")]
+    fn duplicate_registration_panics() {
+        let mut reg = InvariantRegistry::paper();
+        reg.register(Box::new(EventqTime));
+    }
+
+    #[test]
+    fn epa_ceiling_fires_only_on_transmitting_sub_floor_slots() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        // muted slot with a terrible margin: trivially holds
+        let checks = reg.check(
+            &Observation::UnderlaySlot {
+                at_ns: 10,
+                transmitting: false,
+                mt: 0,
+                mr: 0,
+                margin_db: -40.0,
+            },
+            &mut v,
+        );
+        assert_eq!(checks, 5, "every slot consults every invariant");
+        assert!(v.is_empty());
+        // transmitting below the floor: violation
+        reg.check(
+            &Observation::UnderlaySlot {
+                at_ns: 20,
+                transmitting: true,
+                mt: 2,
+                mr: 3,
+                margin_db: -0.5,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, INV_EPA_CEILING);
+        assert_eq!(v[0].at_ns, 20);
+        assert_eq!(v[0].observed, -0.5);
+    }
+
+    #[test]
+    fn null_depth_fires_on_pu_active_channel_and_on_residual() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        reg.check(
+            &Observation::InterweaveSlot {
+                at_ns: 5,
+                transmitting: true,
+                channel: 2,
+                pu_active: true,
+                null_residual: 0.0,
+            },
+            &mut v,
+        );
+        reg.check(
+            &Observation::InterweaveSlot {
+                at_ns: 6,
+                transmitting: true,
+                channel: 0,
+                pu_active: false,
+                null_residual: 1e-3,
+            },
+            &mut v,
+        );
+        // muted slot never fires
+        reg.check(
+            &Observation::InterweaveSlot {
+                at_ns: 7,
+                transmitting: false,
+                channel: 0,
+                pu_active: true,
+                null_residual: 9.0,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.invariant == INV_NULL_DEPTH));
+        assert!(v[1].detail.contains("residual"));
+    }
+
+    #[test]
+    fn degrade_power_fires_on_overdraw_and_on_missing_fallback() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        reg.check(
+            &Observation::OverlaySlot {
+                at_ns: 1,
+                survivors: 2,
+                overdraw: 1.5,
+                claims_feasible: true,
+                fallback_direct: false,
+            },
+            &mut v,
+        );
+        reg.check(
+            &Observation::OverlaySlot {
+                at_ns: 2,
+                survivors: 1,
+                overdraw: 3.0,
+                claims_feasible: false,
+                fallback_direct: false,
+            },
+            &mut v,
+        );
+        // the correct pair of outcomes never fires
+        reg.check(
+            &Observation::OverlaySlot {
+                at_ns: 3,
+                survivors: 4,
+                overdraw: 1.0,
+                claims_feasible: true,
+                fallback_direct: false,
+            },
+            &mut v,
+        );
+        reg.check(
+            &Observation::OverlaySlot {
+                at_ns: 4,
+                survivors: 1,
+                overdraw: 3.0,
+                claims_feasible: false,
+                fallback_direct: true,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.invariant == INV_DEGRADE_POWER));
+    }
+
+    #[test]
+    fn eventq_time_fires_on_clock_regression() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        reg.check(
+            &Observation::EventPop {
+                prev_ns: 10,
+                now_ns: 10,
+            },
+            &mut v,
+        );
+        reg.check(
+            &Observation::EventPop {
+                prev_ns: 10,
+                now_ns: 9,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, INV_EVENTQ_TIME);
+        assert_eq!(v[0].at_ns, 9);
+    }
+
+    #[test]
+    fn ckpt_counts_fires_on_oracle_mismatch() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        reg.check(
+            &Observation::CampaignCounts {
+                at_ns: 0,
+                bits: 4096,
+                errors: 7,
+                expected_bits: 4096,
+                expected_errors: 7,
+            },
+            &mut v,
+        );
+        assert!(v.is_empty());
+        reg.check(
+            &Observation::CampaignCounts {
+                at_ns: 0,
+                bits: 4096,
+                errors: 8,
+                expected_bits: 4096,
+                expected_errors: 7,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, INV_CKPT_COUNTS);
+    }
+
+    #[test]
+    fn weakened_bounds_strengthen_the_checks() {
+        let weak = InvariantRegistry::with_bounds(InvariantBounds {
+            epa_margin_floor_db: 3.0,
+            null_residual_max: -1.0,
+            overdraw_max: 0.5,
+        });
+        let mut v = Vec::new();
+        // a margin fine at the paper floor breaks a +3 dB floor
+        weak.check(
+            &Observation::UnderlaySlot {
+                at_ns: 0,
+                transmitting: true,
+                mt: 4,
+                mr: 3,
+                margin_db: 1.0,
+            },
+            &mut v,
+        );
+        // a perfect null breaks a negative residual bound
+        weak.check(
+            &Observation::InterweaveSlot {
+                at_ns: 0,
+                transmitting: true,
+                channel: 0,
+                pu_active: false,
+                null_residual: 0.0,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -76,16 +76,16 @@ impl ClusterBeamformer {
         let mut pairs = Vec::with_capacity(nodes.len() / 2);
         while remaining.len() >= 2 {
             // take the first node, match it with its nearest neighbour
+            // (total_cmp so NaN coordinates order instead of panicking)
             let a = remaining.remove(0);
-            let (j, _) = remaining
-                .iter()
-                .enumerate()
-                .min_by(|x, y| {
-                    a.distance(*x.1)
-                        .partial_cmp(&a.distance(*y.1))
-                        .expect("NaN distance")
-                })
-                .expect("non-empty remainder");
+            let mut j = 0;
+            for (i, cand) in remaining.iter().enumerate().skip(1) {
+                if a.distance(*cand).total_cmp(&a.distance(remaining[j]))
+                    == std::cmp::Ordering::Less
+                {
+                    j = i;
+                }
+            }
             let b = remaining.remove(j);
             pairs.push(TransmitPair::new(a, b, wavelength));
         }
@@ -383,6 +383,46 @@ mod tests {
         let all = bf.repair(&nodes);
         assert!(all.beam.is_none());
         assert_eq!(all.muted, 0);
+    }
+
+    #[test]
+    fn repair_of_odd_cluster_keeps_unpaired_transmitter_silent() {
+        // a 5-node cluster starts with one idle (unpaired) transmitter;
+        // killing one *paired* element leaves 4 survivors — the orphan and
+        // the old idle node re-pair, no one is left muted, and the null at
+        // the primary survives the re-pairing
+        let mut nodes = square_cluster();
+        nodes.push(Point::new(10.0, 10.0));
+        let bf = ClusterBeamformer::pair_up(&nodes, W);
+        assert_eq!(bf.n_virtual_antennas(), 2);
+        assert!(bf.idle_node.is_some(), "odd cluster starts with an idle");
+        let pr = Point::new(-150.0, 200.0);
+
+        let rep = bf.repair(&[nodes[0]]);
+        let beam = rep.beam.expect("four survivors re-pair");
+        assert_eq!(beam.n_virtual_antennas(), 2);
+        assert_eq!(rep.muted, 0, "even survivor count: everyone pairs");
+        assert_eq!(rep.lost_virtual_antennas, 0);
+        let asg = beam.steer(pr);
+        assert!(beam.null_residual(pr, &asg) < 1e-8);
+
+        // killing the idle node instead costs nothing: the pairs stand
+        let rep_idle = bf.repair(&[Point::new(10.0, 10.0)]);
+        let beam_idle = rep_idle.beam.expect("both pairs survive");
+        assert_eq!(beam_idle.n_virtual_antennas(), 2);
+        assert_eq!(rep_idle.muted, 0);
+        assert_eq!(rep_idle.lost_virtual_antennas, 0);
+        assert!(beam_idle.idle_node.is_none());
+
+        // killing two paired elements leaves 3 survivors: one re-pair,
+        // one orphan muted — the unpaired transmitter must stay silent
+        let rep3 = bf.repair(&[nodes[0], nodes[2]]);
+        let beam3 = rep3.beam.expect("three survivors re-pair");
+        assert_eq!(beam3.n_virtual_antennas(), 1);
+        assert_eq!(rep3.muted, 1, "odd survivor is muted, not transmitting");
+        assert!(beam3.idle_node.is_some());
+        let asg3 = beam3.steer(pr);
+        assert!(beam3.null_residual(pr, &asg3) < 1e-8);
     }
 
     #[test]

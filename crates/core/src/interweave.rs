@@ -215,7 +215,7 @@ pub fn select_pu(candidates: &[Point], st1: Point, sr: Point, radius: f64) -> us
     candidates
         .iter()
         .enumerate()
-        .max_by(|a, b| score(a.1).partial_cmp(&score(b.1)).expect("NaN score"))
+        .max_by(|a, b| score(a.1).total_cmp(&score(b.1)))
         .map(|(i, _)| i)
         .expect("non-empty candidates")
 }

@@ -585,6 +585,32 @@ mod tests {
     }
 
     #[test]
+    fn degrade_zero_survivors_boundary_and_fallback_accounting() {
+        // the exact boundary the chaos explorer probes: the last survivor
+        // still yields a (heavily overdrawn) re-weighting, one more death
+        // aborts to the direct link — no survivor energy is ever billed
+        // past that point (None carries no e_su_required), and the direct
+        // fallback's quality is the primary's own two-stage direct BER,
+        // which the last-survivor degradation already reports honestly
+        let (model, cfg) = overlay(4, 40_000.0);
+        let p = cfg.ber_direct;
+        let ov = Overlay::new(&model, cfg);
+        let last = ov.degrade(250.0, 3).expect("one survivor remains");
+        assert_eq!(last.m_survivors, 1);
+        assert!(!last.feasible(), "a lone relay cannot fund the MISO hop");
+        assert!(last.energy_overdraw > 1.0);
+        assert!(last.e_su_required > last.e_budget);
+        let direct = p * (1.0 - p) + p * (1.0 - p);
+        assert!(
+            (last.ber_e2e - direct).abs() < 1e-15,
+            "infeasible burst reports direct-link quality"
+        );
+        // k = m is the abort: the burst is the primary's own transmission,
+        // with zero secondary energy by construction
+        assert!(ov.degrade(250.0, 4).is_none());
+    }
+
+    #[test]
     fn degrade_receive_diversity_rechecks_d2() {
         let model = EnergyModel::paper();
         let mut cfg = OverlayConfig::paper(3, 40_000.0);

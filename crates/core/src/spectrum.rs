@@ -136,8 +136,7 @@ impl SpectrumMap {
             .iter()
             .min_by(|a, b| {
                 a.busy_fraction
-                    .partial_cmp(&b.busy_fraction)
-                    .expect("NaN occupancy")
+                    .total_cmp(&b.busy_fraction)
                     .then(a.channel.cmp(&b.channel))
             })
             .map(|e| e.channel)
@@ -162,7 +161,7 @@ impl SpectrumMap {
                 let score = |c: &SensedChannel| {
                     collinearity_deviation(c.pu.rx, st, sr) + 0.1 * st.distance(c.pu.rx) / max_dist
                 };
-                score(a).partial_cmp(&score(b)).expect("NaN score")
+                score(a).total_cmp(&score(b))
             })
             .map(|c| c.pu.channel)
             .expect("no channels")

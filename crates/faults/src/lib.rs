@@ -59,7 +59,7 @@ pub use campaign::CampaignFaultPlan;
 pub use injector::{inject_all, FaultTrace, TraceEntry};
 pub use model::{FaultConfig, FaultEvent, FaultKind, Topology};
 pub use scenarios::{
-    run_interweave_scenario, run_overlay_scenario, run_recruitment_scenario, run_underlay_scenario,
-    DegradationReport, RecruitReport, ScenarioConfig,
+    beam_positions, run_interweave_scenario, run_overlay_scenario, run_recruitment_scenario,
+    run_underlay_scenario, DegradationReport, RecruitReport, ScenarioConfig, Timeline,
 };
 pub use schedule::build_schedule;

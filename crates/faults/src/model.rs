@@ -13,10 +13,10 @@
 //!   turns lossy for a while, so symbol vectors need retransmission.
 
 use comimo_sim::time::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One concrete fault.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// SU `node` dies permanently.
     RelayDeath { node: usize },

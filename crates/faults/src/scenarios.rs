@@ -109,9 +109,12 @@ pub struct DegradationReport {
     pub trace: FaultTrace,
 }
 
-/// The fault state unrolled onto the time axis, slot-queryable.
+/// The fault state unrolled onto the time axis, slot-queryable. Public so
+/// external drivers (the chaos explorer) can replay arbitrary — including
+/// shrunk or hand-crafted — fault schedules through the same lens the
+/// scenarios use.
 #[derive(Debug, Default)]
-struct Timeline {
+pub struct Timeline {
     /// `(time_s, node)` permanent deaths.
     deaths: Vec<(f64, usize)>,
     /// `(start_s, end_s, node)` shadowing intervals.
@@ -123,7 +126,8 @@ struct Timeline {
 }
 
 impl Timeline {
-    fn from_schedule(schedule: &[crate::model::FaultEvent]) -> Self {
+    /// Unrolls a fault schedule onto the time axis.
+    pub fn from_schedule(schedule: &[crate::model::FaultEvent]) -> Self {
         let mut tl = Self::default();
         for ev in schedule {
             let t = ev.at.as_secs_f64();
@@ -147,33 +151,37 @@ impl Timeline {
     }
 
     /// Nodes out of service at `t` (dead, or inside a shadow burst),
-    /// deduplicated.
-    fn nodes_out(&self, t: f64, n_nodes: usize) -> Vec<usize> {
+    /// deduplicated. Faults naming nodes outside `0..n_nodes` (possible
+    /// in hand-crafted or minimized traces) are ignored, not a panic.
+    pub fn nodes_out(&self, t: f64, n_nodes: usize) -> Vec<usize> {
         let mut out = vec![false; n_nodes];
         for &(td, node) in &self.deaths {
-            if td <= t {
+            if td <= t && node < n_nodes {
                 out[node] = true;
             }
         }
         for &(s, e, node) in &self.shadows {
-            if s <= t && t < e {
+            if s <= t && t < e && node < n_nodes {
                 out[node] = true;
             }
         }
         (0..n_nodes).filter(|&n| out[n]).collect()
     }
 
-    fn dead_before(&self, t: f64) -> usize {
+    /// Count of permanent deaths at or before `t`.
+    pub fn dead_before(&self, t: f64) -> usize {
         self.deaths.iter().filter(|&&(td, _)| td <= t).count()
     }
 
-    fn pu_active(&self, t: f64, channel: usize) -> bool {
+    /// Whether a returned primary occupies `channel` at `t`.
+    pub fn pu_active(&self, t: f64, channel: usize) -> bool {
         self.pu_on
             .iter()
             .any(|&(s, e, c)| c == channel && s <= t && t < e)
     }
 
-    fn bcast_loss(&self, t: f64) -> f64 {
+    /// Worst active broadcast-loss probability at `t` (0 when quiet).
+    pub fn bcast_loss(&self, t: f64) -> f64 {
         self.bcast
             .iter()
             .filter(|&&(s, e, _)| s <= t && t < e)
@@ -378,7 +386,7 @@ pub fn run_underlay_scenario(cfg: &ScenarioConfig) -> DegradationReport {
 
 /// Positions an `mt`-element beamforming cluster: tight λ/2 pairs spaced
 /// a few metres apart (the geometry the delay formula is exact for).
-fn beam_positions(mt: usize, wavelength: f64) -> Vec<Point> {
+pub fn beam_positions(mt: usize, wavelength: f64) -> Vec<Point> {
     (0..mt)
         .map(|i| Point::new((i / 2) as f64 * 4.0, (i % 2) as f64 * wavelength / 2.0))
         .collect()
@@ -551,7 +559,13 @@ pub struct RecruitReport {
 /// Runs cluster recruitment over `mt + mr` nodes with the fault config's
 /// broadcast-loss probability on every invite/ack, plus a head death at
 /// 1/3 of the horizon when relay deaths are enabled.
-pub fn run_recruitment_scenario(cfg: &ScenarioConfig) -> RecruitReport {
+///
+/// Errors when no survivor can be elected head (every member dead) — a
+/// reachable state under adversarial fault schedules, surfaced as a typed
+/// error so explorers can observe it instead of aborting.
+pub fn run_recruitment_scenario(
+    cfg: &ScenarioConfig,
+) -> Result<RecruitReport, comimo_net::ClusterError> {
     let n = cfg.mt + cfg.mr;
     let nodes: Vec<SuNode> = (0..n)
         .map(|i| SuNode::new(i, Point::new(i as f64 * 3.0, 0.0), 1.0 + i as f64))
@@ -569,14 +583,13 @@ pub fn run_recruitment_scenario(cfg: &ScenarioConfig) -> RecruitReport {
             .then(|| SimTime::from_secs_f64(cfg.faults.horizon_s / 3.0)),
         ..RecruitConfig::default()
     };
-    let out: RecruitOutcome =
-        run_recruitment(&graph, &members, &rc, cfg.seed).expect("survivors can elect a head");
-    RecruitReport {
+    let out: RecruitOutcome = run_recruitment(&graph, &members, &rc, cfg.seed)?;
+    Ok(RecruitReport {
         joined: out.joined.len(),
         abandoned: out.abandoned.len(),
         frames_sent: out.frames_sent,
         head_reelections: out.head_reelections,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -650,11 +663,84 @@ mod tests {
     #[test]
     fn recruitment_survives_loss_and_head_death() {
         let cfg = paper(9, FaultConfig::nominal(90.0));
-        let r = run_recruitment_scenario(&cfg);
+        let r = run_recruitment_scenario(&cfg).expect("survivors can elect a head");
         assert_eq!(r.head_reelections, 1);
         assert!(r.joined + r.abandoned >= cfg.mt + cfg.mr - 2);
-        let clean = run_recruitment_scenario(&paper(9, FaultConfig::disabled(90.0)));
+        let clean = run_recruitment_scenario(&paper(9, FaultConfig::disabled(90.0)))
+            .expect("fault-free recruitment succeeds");
         assert_eq!(clean.abandoned, 0);
         assert!(r.frames_sent >= clean.frames_sent);
+    }
+
+    #[test]
+    fn overlay_with_every_relay_dead_accounts_direct_link_energy() {
+        // a death rate high enough that all m relays are gone almost
+        // immediately: every subsequent slot must fall back to the direct
+        // primary link — delivery continues, energy reverts to the
+        // direct-link e1, and the BER settles at the direct-link BER
+        let mut faults = FaultConfig::disabled(400.0);
+        faults.relay_death_rate_hz = 1.0;
+        let cfg = paper(13, faults);
+        let report = run_overlay_scenario(&cfg);
+        assert!(
+            report.faults >= cfg.m_overlay,
+            "need all {} relays dead, saw {} deaths",
+            cfg.m_overlay,
+            report.faults
+        );
+        assert_eq!(report.delivered_fraction, 1.0, "overlay never stops");
+        assert!(
+            report.slots_full <= 5,
+            "all relays die within seconds; {} full slots",
+            report.slots_full
+        );
+        // the long tail of the campaign is pure direct-link fallback, so
+        // the means are dominated by (and converge towards) its figures
+        let model = EnergyModel::paper();
+        let ov = Overlay::new(
+            &model,
+            OverlayConfig::paper(cfg.m_overlay, cfg.bandwidth_hz),
+        );
+        let direct_e1 = ov.analyze(cfg.d1_m).e1;
+        let ber_direct = OverlayConfig::paper(cfg.m_overlay, cfg.bandwidth_hz).ber_direct;
+        assert!(
+            (report.mean_energy_per_bit_j - direct_e1).abs() / direct_e1 < 0.05,
+            "mean energy {:.3e} should approach direct-link e1 {:.3e}",
+            report.mean_energy_per_bit_j,
+            direct_e1
+        );
+        assert!(
+            (report.mean_ber - ber_direct).abs() / ber_direct < 0.05,
+            "mean BER {:.3e} should approach direct-link BER {:.3e}",
+            report.mean_ber,
+            ber_direct
+        );
+    }
+
+    #[test]
+    fn timeline_ignores_out_of_range_nodes() {
+        use crate::model::FaultEvent;
+        let schedule = [
+            FaultEvent {
+                at: SimTime::from_secs_f64(1.0),
+                kind: FaultKind::RelayDeath { node: 99 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs_f64(1.0),
+                kind: FaultKind::ShadowBurst {
+                    node: 7,
+                    extra_loss_db: 20.0,
+                    duration_s: 5.0,
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs_f64(2.0),
+                kind: FaultKind::RelayDeath { node: 1 },
+            },
+        ];
+        let tl = Timeline::from_schedule(&schedule);
+        // nodes 99 and 7 are outside a 4-node scenario: no panic, no entry
+        assert_eq!(tl.nodes_out(3.0, 4), vec![1]);
+        assert_eq!(tl.dead_before(3.0), 2, "dead_before counts raw events");
     }
 }

@@ -131,10 +131,9 @@ pub fn try_elect_head(graph: &SuGraph, members: &[usize]) -> Result<usize, Clust
         .max_by(|&&a, &&b| {
             let na = &graph.nodes()[a];
             let nb = &graph.nodes()[b];
-            na.battery_j
-                .partial_cmp(&nb.battery_j)
-                .expect("NaN battery")
-                .then(b.cmp(&a)) // lower id wins ties
+            // total_cmp: a NaN battery (corrupt telemetry) orders instead
+            // of panicking — the election stays survivable
+            na.battery_j.total_cmp(&nb.battery_j).then(b.cmp(&a)) // lower id wins ties
         })
         .copied()
         .ok_or_else(|| ClusterError::NoAliveMember {

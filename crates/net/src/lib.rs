@@ -41,5 +41,5 @@ pub use graph::SuGraph;
 pub use lifetime::{run_lifetime, LifetimeConfig, LifetimeResult};
 pub use mobility::{MobileNetwork, RandomWaypoint, WaypointConfig};
 pub use node::SuNode;
-pub use recruit::{run_recruitment, RecruitConfig, RecruitOutcome};
+pub use recruit::{backoff_delay, run_recruitment, RecruitConfig, RecruitOutcome};
 pub use routing::{min_energy_route, EnergyRoute};

@@ -106,10 +106,9 @@ fn elect_local(
         .filter(|&&m| graph.nodes()[m].alive && !locally_dead.contains(&m))
         .max_by(|&&a, &&b| {
             let (na, nb) = (&graph.nodes()[a], &graph.nodes()[b]);
-            na.battery_j
-                .partial_cmp(&nb.battery_j)
-                .expect("NaN battery")
-                .then(b.cmp(&a))
+            // total_cmp: a NaN battery (corrupt telemetry) sorts instead
+            // of panicking mid-protocol
+            na.battery_j.total_cmp(&nb.battery_j).then(b.cmp(&a))
         })
         .copied()
         .ok_or_else(|| ClusterError::NoAliveMember {
@@ -117,8 +116,14 @@ fn elect_local(
         })
 }
 
-fn backoff(base: SimTime, attempt: u32) -> SimTime {
-    SimTime::from_nanos(base.as_nanos() << attempt.min(10))
+/// Exponential backoff delay before re-invite number `attempt + 1`:
+/// `base · 2^min(attempt, 10)`, saturating at `u64::MAX` nanoseconds. The
+/// shift is widened to 128 bits first — a plain `u64 <<` would silently
+/// drop high bits for large bases, producing a *shorter* (even zero)
+/// delay at high attempt counts and breaking monotonicity.
+pub fn backoff_delay(base: SimTime, attempt: u32) -> SimTime {
+    let scaled = (base.as_nanos() as u128) << attempt.min(10);
+    SimTime::from_nanos(u64::try_from(scaled).unwrap_or(u64::MAX))
 }
 
 /// Runs the recruitment protocol over `members` of `graph` (the head is
@@ -213,7 +218,7 @@ pub fn run_recruitment(
                     let next = attempt + 1;
                     streams[i].2 = TargetState::Pending { attempt: next };
                     q.schedule_in(
-                        backoff(cfg.backoff_base, attempt),
+                        backoff_delay(cfg.backoff_base, attempt),
                         Ev::SendInvite {
                             target,
                             attempt: next,
@@ -355,5 +360,94 @@ mod tests {
         };
         let err = run_recruitment(&g, &[0, 1], &cfg, 7).unwrap_err();
         assert!(matches!(err, ClusterError::NoAliveMember { .. }));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_wrapping() {
+        // regression: the old `u64 <<` dropped high bits, so a large base
+        // produced a *shorter* delay at high attempts (even zero)
+        let big = SimTime::from_nanos(u64::MAX / 2);
+        assert_eq!(backoff_delay(big, 0), big);
+        // one doubling still fits exactly (2·(MAX/2) = MAX − 1) …
+        assert_eq!(backoff_delay(big, 1), SimTime::from_nanos(u64::MAX - 1));
+        // … every further one saturates instead of wrapping
+        for attempt in 2..20 {
+            assert_eq!(
+                backoff_delay(big, attempt),
+                SimTime::from_nanos(u64::MAX),
+                "attempt {attempt}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Backoff never misbehaves at any attempt count up to (and far
+        /// beyond) any plausible `max_retries`: no panic, no wraparound —
+        /// the delay is exactly `base·2^min(attempt,10)` saturated to u64.
+        #[test]
+        fn prop_backoff_exact_or_saturated(
+            base_ns in any::<u64>(),
+            attempt in 0u32..10_000,
+        ) {
+            let d = backoff_delay(SimTime::from_nanos(base_ns), attempt);
+            let exact = (base_ns as u128) << attempt.min(10);
+            let expect = u64::try_from(exact).unwrap_or(u64::MAX);
+            prop_assert_eq!(d.as_nanos(), expect);
+        }
+
+        /// Backoff delays are monotone non-decreasing over the retry
+        /// sequence — a later retry never waits less than an earlier one.
+        #[test]
+        fn prop_backoff_monotone_over_retry_sequence(
+            base_ns in any::<u64>(),
+            max_retries in 0u32..64,
+        ) {
+            let base = SimTime::from_nanos(base_ns);
+            let mut prev = backoff_delay(base, 0);
+            for attempt in 1..=max_retries {
+                let next = backoff_delay(base, attempt);
+                prop_assert!(
+                    next >= prev,
+                    "attempt {} delay {} < previous {}",
+                    attempt,
+                    next,
+                    prev
+                );
+                prev = next;
+            }
+        }
+
+        /// The whole protocol terminates and resolves every non-head
+        /// member at any retry bound, including the loss extremes.
+        #[test]
+        fn prop_recruitment_resolves_all_members(
+            seed in any::<u64>(),
+            max_retries in 0u32..12,
+            loss_pct in 0u8..101,
+        ) {
+            use crate::node::SuNode;
+            use comimo_channel::geometry::Point;
+            let nodes: Vec<SuNode> = (0..5)
+                .map(|i| SuNode::new(i, Point::new(i as f64 * 2.0, 0.0), 10.0 + i as f64))
+                .collect();
+            let g = SuGraph::build(nodes, 50.0);
+            let cfg = RecruitConfig {
+                max_retries,
+                loss_prob: f64::from(loss_pct) / 100.0,
+                ..RecruitConfig::default()
+            };
+            let out = run_recruitment(&g, &[0, 1, 2, 3, 4], &cfg, seed).unwrap();
+            prop_assert_eq!(out.joined.len() + out.abandoned.len(), 4);
+            // each of the 4 targets burns at most max_retries + 1 invites
+            prop_assert!(out.frames_sent <= 4 * (u64::from(max_retries) + 1));
+        }
     }
 }

@@ -54,10 +54,8 @@ pub fn min_energy_route(
     }
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0
-                .partial_cmp(&other.0)
-                .expect("NaN cost")
-                .then(self.1.cmp(&other.1))
+            // total_cmp: a NaN hop cost must not panic the router
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
         }
     }
 

@@ -17,6 +17,20 @@ use std::collections::{BinaryHeap, HashSet};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
+/// Observer of the simulation step loop, called once per popped event with
+/// the clock before and after the pop. Runtime monitors (invariant
+/// registries, trace recorders) implement this to watch every step without
+/// the handler having to know about them. `()` is the no-op probe.
+pub trait StepProbe {
+    /// Called after an event pops, before the handler runs. `prev` is the
+    /// clock before the pop, `now` the popped event's timestamp.
+    fn on_event(&mut self, prev: SimTime, now: SimTime);
+}
+
+impl StepProbe for () {
+    fn on_event(&mut self, _prev: SimTime, _now: SimTime) {}
+}
+
 /// A deterministic event queue carrying payloads of type `E`.
 #[derive(Debug)]
 pub struct EventQueue<E> {
@@ -144,11 +158,26 @@ impl<E> EventQueue<E> {
     pub fn run(
         &mut self,
         max_events: usize,
+        handler: impl FnMut(&mut Self, SimTime, E) -> bool,
+    ) -> usize {
+        self.run_with_probe(max_events, &mut (), handler)
+    }
+
+    /// [`Self::run`] with a [`StepProbe`] observing every pop: the probe
+    /// sees the clock before and after each event fires, letting runtime
+    /// monitors check time-monotonicity (and anything else per-step)
+    /// without entangling the handler.
+    pub fn run_with_probe(
+        &mut self,
+        max_events: usize,
+        probe: &mut impl StepProbe,
         mut handler: impl FnMut(&mut Self, SimTime, E) -> bool,
     ) -> usize {
         let mut handled = 0;
         while handled < max_events {
+            let prev = self.now;
             let Some((t, e)) = self.pop() else { break };
+            probe.on_event(prev, t);
             handled += 1;
             if !handler(self, t, e) {
                 break;
@@ -289,6 +318,31 @@ mod tests {
         });
         assert_eq!(handled, 3);
         assert_eq!(q.len(), 1, "the never-fired reschedule remains");
+    }
+
+    #[test]
+    fn probe_sees_every_pop_with_monotone_clock() {
+        struct Recorder(Vec<(SimTime, SimTime)>);
+        impl StepProbe for Recorder {
+            fn on_event(&mut self, prev: SimTime, now: SimTime) {
+                self.0.push((prev, now));
+            }
+        }
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(5), ());
+        q.schedule_at(SimTime::from_nanos(5), ());
+        q.schedule_at(SimTime::from_nanos(9), ());
+        let mut probe = Recorder(Vec::new());
+        let handled = q.run_with_probe(100, &mut probe, |_, _, ()| true);
+        assert_eq!(handled, 3);
+        assert_eq!(
+            probe.0,
+            vec![
+                (SimTime::ZERO, SimTime::from_nanos(5)),
+                (SimTime::from_nanos(5), SimTime::from_nanos(5)),
+                (SimTime::from_nanos(5), SimTime::from_nanos(9)),
+            ]
+        );
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod engine;
 pub mod medium;
 pub mod time;
 
-pub use engine::{EventId, EventQueue};
-pub use medium::{Medium, TxId, TxOutcome};
+pub use engine::{EventId, EventQueue, StepProbe};
+pub use medium::{Medium, TxId, TxOutcome, UnknownTxId};
 pub use time::SimTime;

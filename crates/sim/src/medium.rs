@@ -139,9 +139,16 @@ impl Medium {
     /// Finishes a transmission and reports who decoded it.
     ///
     /// # Panics
-    /// If the id is unknown (double finish).
+    /// If the id is unknown (double finish). Fallible callers (fault
+    /// scenarios, chaos drivers) should use [`Self::try_finish`].
     pub fn finish(&mut self, id: TxId) -> TxOutcome {
-        let tx = self.active.remove(&id.0).expect("unknown or finished TxId");
+        self.try_finish(id).expect("unknown or finished TxId")
+    }
+
+    /// Finishes a transmission, surfacing an unknown/double-finished id as
+    /// a typed error instead of a panic.
+    pub fn try_finish(&mut self, id: TxId) -> Result<TxOutcome, UnknownTxId> {
+        let tx = self.active.remove(&id.0).ok_or(UnknownTxId(id))?;
         let mut delivered_to = Vec::new();
         let mut collided_at = Vec::new();
         for &rx in &self.adjacency[tx.src] {
@@ -151,12 +158,24 @@ impl Medium {
                 delivered_to.push(rx);
             }
         }
-        TxOutcome {
+        Ok(TxOutcome {
             delivered_to,
             collided_at,
-        }
+        })
     }
 }
+
+/// A [`TxId`] that is not (or no longer) active on the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownTxId(pub TxId);
+
+impl std::fmt::Display for UnknownTxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown or already-finished transmission {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownTxId {}
 
 #[cfg(test)]
 mod tests {
@@ -251,5 +270,13 @@ mod tests {
         let a = m.begin(0, t(0), t(10));
         let _ = m.finish(a);
         let _ = m.finish(a);
+    }
+
+    #[test]
+    fn try_finish_reports_double_finish_as_typed_error() {
+        let mut m = Medium::fully_connected(2);
+        let a = m.begin(0, t(0), t(10));
+        assert!(m.try_finish(a).is_ok());
+        assert_eq!(m.try_finish(a), Err(UnknownTxId(a)));
     }
 }

@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the comimo workspace public API.
 pub use comimo_campaign as campaign;
 pub use comimo_channel as channel;
+pub use comimo_chaos as chaos;
 pub use comimo_core as core;
 pub use comimo_dsp as dsp;
 pub use comimo_energy as energy;

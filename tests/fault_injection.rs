@@ -96,8 +96,10 @@ fn degradation_is_monotone_in_the_fault_rate() {
 
 #[test]
 fn recruitment_degrades_gracefully_not_catastrophically() {
-    let clean = run_recruitment_scenario(&paper(FaultConfig::disabled(90.0)));
-    let faulty = run_recruitment_scenario(&paper(FaultConfig::nominal(90.0)));
+    let clean = run_recruitment_scenario(&paper(FaultConfig::disabled(90.0)))
+        .expect("fault-free recruitment completes");
+    let faulty = run_recruitment_scenario(&paper(FaultConfig::nominal(90.0)))
+        .expect("recruitment completes under nominal faults");
     // loss and head death cost frames and possibly members, but the
     // protocol terminates with every target resolved
     assert!(faulty.frames_sent >= clean.frames_sent);
