@@ -1,0 +1,57 @@
+//! Regenerates the bergrid artefact: Monte-Carlo BER validation of the
+//! constellations Figures 6 and 7 operate at, for the cooperative
+//! cluster configurations `(Alamouti, 2, 3)` and `(H3, 3, 3)`, on the
+//! common-random-number grid engine — every `(constellation, SNR)` point
+//! of a series shares one draw stream, so the whole sweep costs a single
+//! pass over the blocks and adjacent curves differ only by configuration.
+//!
+//! Usage: `cargo run --release -p comimo-bench --bin bergrid [n_blocks]`
+//!
+//! The trailing `counts` lines are a pure function of
+//! `(EXPERIMENT_SEED, n_blocks)` — CI can diff them across thread counts.
+
+use comimo_bench::tables::{render_table, sci};
+use comimo_bench::{BERGRID_SNRS_DB, EXPERIMENT_SEED};
+
+fn main() {
+    let n_blocks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let series = comimo_bench::bergrid(n_blocks);
+
+    println!("BER of the operating constellations selected by Figures 6/7");
+    println!(
+        "(CRN grid engine, seed {EXPERIMENT_SEED}, {n_blocks} blocks per point; \
+         rows: symbol SNR Es/N0)\n"
+    );
+    let n_snr = BERGRID_SNRS_DB.len();
+    for s in &series {
+        println!("{} (mt={}, mr={}):", s.kind, s.mt, s.mr);
+        let n_cons = s.points.len() / n_snr;
+        let mut headers: Vec<String> = vec!["SNR (dB)".into()];
+        for c in 0..n_cons {
+            headers.push(format!("b={}", s.points[c * n_snr].bits_per_symbol));
+        }
+        let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = (0..n_snr)
+            .map(|i| {
+                let mut row = vec![format!("{:.0}", BERGRID_SNRS_DB[i])];
+                for c in 0..n_cons {
+                    row.push(sci(s.points[c * n_snr + i].ber));
+                }
+                row
+            })
+            .collect();
+        println!("{}", render_table(&hdr_refs, &rows));
+    }
+    for s in &series {
+        let errs: Vec<String> = s.points.iter().map(|p| p.errors.to_string()).collect();
+        println!(
+            "counts kind={} mr={} seed={EXPERIMENT_SEED} n_blocks={n_blocks} errors={}",
+            s.kind,
+            s.mr,
+            errs.join(",")
+        );
+    }
+}

@@ -2,56 +2,87 @@
 //!
 //! * `scalar` — the per-block oracle ([`comimo_stbc::sim::simulate_ber`])
 //!   replaying the deterministic shard plan on one thread;
-//! * `batch` — the SoA kernel ([`comimo_stbc::batch::simulate_ber_batch`])
-//!   replaying the same plan serially;
+//! * `batch` — the unified lane-parallel engine pinned to the
+//!   **forced-scalar dispatch tier** (the portable fallback every target
+//!   gets), replaying the same plan serially;
+//! * `simd` — the same engine under the **native dispatch tier**
+//!   ([`comimo_math::simd::active`]; AVX2 where the CPU has it) —
+//!   bit-identical to `batch` by the dispatch contract, asserted here;
+//! * `grid` — the common-random-number grid engine
+//!   ([`comimo_stbc::grid::simulate_ber_grid`]) simulating a whole
+//!   SNR sweep ([`GRID_SWEEP_N0S`] points) from one shared draw stream;
+//!   its `blocks_per_sec` counts *point-blocks* (blocks × grid points);
 //! * `parallel` — [`comimo_stbc::sim::simulate_ber_par`] on the rayon
-//!   pool (bit-identical to `batch` by construction — asserted here).
+//!   pool (bit-identical to `simd` by construction — asserted here).
 //!
-//! Each engine is timed as the **median of 5 runs**; determinism across
-//! the repeats is asserted as a side effect. A trajectory entry (with the
-//! git commit it was measured at) is **appended** to `BENCH_mc.json`, so
-//! the file accumulates a perf history instead of overwriting it.
+//! Each engine is timed over **5 runs**; the row records the median plus
+//! the min/max blocks-per-second spread so the trajectory captures
+//! run-to-run variance, and determinism across the repeats is asserted
+//! as a side effect. A trajectory entry (with the git commit it was
+//! measured at) is **appended** to `BENCH_mc.json`, so the file
+//! accumulates a perf history instead of overwriting it.
 //!
 //! Usage:
 //! `cargo run --release -p comimo-bench --bin mcperf [-- [n_blocks] [--gate]]`
 //!
-//! With `--gate` the run acts as a CI perf-regression gate: the measured
-//! batch-over-scalar speedup is compared against the **last committed
-//! entry** of `BENCH_mc.json`, and the process exits non-zero when it has
-//! regressed below [`GATE_FRACTION`] of that baseline. The ratio of two
-//! engines on the same machine is far more stable across hardware than
-//! absolute blocks/sec, which is what makes a committed baseline
-//! meaningful in CI.
+//! With `--gate` the run acts as a CI perf-regression gate, defending
+//! three properties:
 //!
-//! The line starting with `counts` on stdout is a pure function of
-//! `(seed, n_blocks)` — CI diffs it across thread counts to prove engine
-//! determinism.
+//! 1. the batch(forced-scalar)/scalar speedup against [`GATE_FRACTION`]
+//!    of the last committed entry (ratio-based, hardware-independent);
+//! 2. the simd/scalar speedup likewise (skipped with a note when the
+//!    last committed entry predates the field);
+//! 3. the grid/scalar speedup against the **absolute floor**
+//!    [`GRID_GATE_FLOOR`] — the CRN grid engine must stay an
+//!    order-of-magnitude win over the per-block oracle on a single
+//!    thread, on any hardware.
+//!
+//! The lines starting with `counts` on stdout are a pure function of
+//! `(seed, n_blocks)` — CI diffs them across thread counts to prove
+//! engine determinism.
 
 use std::time::Instant;
 
 use comimo_bench::EXPERIMENT_SEED;
-use comimo_stbc::batch::{simulate_ber_batch, BATCH_BLOCKS};
+use comimo_math::simd;
+use comimo_stbc::batch::{simulate_ber_batch, BatchWorkspace, BATCH_BLOCKS};
 use comimo_stbc::design::{Ostbc, StbcKind};
+use comimo_stbc::grid::{simulate_ber_grid, GridPoint};
 use comimo_stbc::sim::{
     shard_plan, simulate_ber, simulate_ber_par, BerResult, SimConstellation, DEFAULT_SHARD_BLOCKS,
 };
 use serde::{Serialize, Value};
 
-/// Timing repeats per engine; the median is reported.
+/// Timing repeats per engine; the median is reported, min/max recorded.
 const RUNS: usize = 5;
 
-/// Minimum acceptable fraction of the baseline batch/scalar speedup
-/// before `--gate` fails the run. Shared CI runners jitter the ratio by
+/// Minimum acceptable fraction of a committed relative-speedup baseline
+/// before `--gate` fails the run. Shared CI runners jitter ratios by
 /// tens of percent even with median-of-5 timing, so the floor is set
-/// where only a genuine kernel regression (e.g. the SoA batch path
-/// falling back to per-sample work, ~4x -> ~1x) can trip it.
+/// where only a genuine kernel regression (e.g. a lane path falling back
+/// to per-sample work) can trip it.
 const GATE_FRACTION: f64 = 0.6;
+
+/// Absolute `--gate` floor on the grid-engine speedup over the scalar
+/// oracle (single thread, point-blocks per second vs blocks per second).
+/// The CRN grid amortises channel/symbol/noise draws and the shared
+/// matched-filter coefficients across the whole sweep, on top of the
+/// SIMD lanes — losing the order-of-magnitude win means one of those
+/// layers regressed, not timing jitter.
+const GRID_GATE_FLOOR: f64 = 10.0;
+
+/// Noise variances of the timed grid sweep (QPSK at `es = 4.0`). The
+/// first point replicates the per-point engines' `(es, n0)` so the CRN
+/// equality `grid[0] == simd` is asserted on every run.
+const GRID_SWEEP_N0S: [f64; 8] = [1.0, 2.0, 1.5, 0.8, 0.6, 0.45, 0.35, 0.25];
 
 /// One timed engine configuration.
 #[derive(Debug, Clone, Serialize)]
 struct EngineRow {
-    /// `"scalar"`, `"batch"` or `"parallel"`.
+    /// `"scalar"`, `"batch"`, `"simd"`, `"grid"` or `"parallel"`.
     engine: String,
+    /// SIMD dispatch tier the engine ran under.
+    dispatch: String,
     /// Threads this engine actually ran on (the live rayon pool width for
     /// `parallel`, 1 for the serial engines).
     threads: usize,
@@ -59,11 +90,17 @@ struct EngineRow {
     seconds: f64,
     /// Timing repeats behind the median.
     runs: usize,
-    /// Simulated blocks per second (median-based).
+    /// Simulated blocks per second at the median time. For the `grid`
+    /// engine a "block" is a point-block (block × grid point): the grid
+    /// does the whole sweep's work in one pass.
     blocks_per_sec: f64,
-    /// Bits simulated.
+    /// Worst blocks-per-second across the repeats.
+    blocks_per_sec_min: f64,
+    /// Best blocks-per-second across the repeats.
+    blocks_per_sec_max: f64,
+    /// Bits simulated (summed over grid points for `grid`).
     bits: u64,
-    /// Bit errors counted.
+    /// Bit errors counted (summed over grid points for `grid`).
     errors: u64,
 }
 
@@ -83,9 +120,17 @@ struct McEntry {
     shard_blocks: usize,
     /// Blocks per bulk draw inside the batch kernel.
     batch_blocks: usize,
-    /// Batch-engine speedup over the scalar oracle, single thread —
-    /// the ratio the `--gate` mode defends.
+    /// Grid points in the timed CRN sweep.
+    grid_points: usize,
+    /// Forced-scalar engine speedup over the per-block oracle, single
+    /// thread (the portable-baseline ratio the relative gate defends).
     speedup_batch_over_scalar: f64,
+    /// Native-dispatch engine speedup over the oracle, single thread.
+    speedup_simd_over_scalar: f64,
+    /// Grid-engine point-block throughput over the oracle's block
+    /// throughput, single thread — the ratio the absolute
+    /// [`GRID_GATE_FLOOR`] defends.
+    speedup_grid_over_scalar: f64,
     /// Parallel-engine speedup over the scalar oracle.
     speedup_parallel_over_scalar: f64,
     /// Timed rows.
@@ -93,23 +138,23 @@ struct McEntry {
 }
 
 /// Times `f` [`RUNS`] times, asserts every repeat returns identical
-/// counts, and returns the median seconds with the counts.
-fn median_time(mut f: impl FnMut() -> BerResult) -> (f64, BerResult) {
+/// counts, and returns the ascending times with the counts.
+fn bench<R: PartialEq + std::fmt::Debug>(mut f: impl FnMut() -> R) -> (Vec<f64>, R) {
     let mut times = Vec::with_capacity(RUNS);
-    let mut result: Option<BerResult> = None;
+    let mut result: Option<R> = None;
     for _ in 0..RUNS {
         let t0 = Instant::now();
         let r = f();
         times.push(t0.elapsed().as_secs_f64());
-        match result {
+        match &result {
             None => result = Some(r),
-            Some(prev) => assert_eq!(prev, r, "engine is not deterministic across repeats"),
+            Some(prev) => assert_eq!(*prev, r, "engine is not deterministic across repeats"),
         }
     }
     // total_cmp: a NaN timing (impossible, but cheap to be total about)
     // sorts instead of panicking mid-benchmark
     times.sort_by(f64::total_cmp);
-    (times[RUNS / 2], result.unwrap())
+    (times, result.unwrap())
 }
 
 fn git_commit() -> String {
@@ -155,11 +200,12 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!("usage: mcperf [n_blocks] [--gate]");
     eprintln!("  n_blocks  Monte-Carlo blocks per engine run (default 200000)");
-    eprintln!("  --gate    fail if the batch/scalar speedup regressed below");
+    eprintln!("  --gate    fail if the batch/simd speedups regressed below");
     eprintln!(
-        "            {:.0}% of the last committed BENCH_mc.json entry",
+        "            {:.0}% of the last committed BENCH_mc.json entry, or",
         GATE_FRACTION * 100.0
     );
+    eprintln!("            the grid/scalar speedup fell below {GRID_GATE_FLOOR:.0}x");
     std::process::exit(2);
 }
 
@@ -185,16 +231,28 @@ fn main() {
     let (mr, es, n0) = (2, 4.0, 1.0);
     let seed = EXPERIMENT_SEED;
     let path = "BENCH_mc.json";
+    let grid_points: Vec<GridPoint> = GRID_SWEEP_N0S
+        .iter()
+        .map(|&n0| GridPoint {
+            bits_per_symbol: 2,
+            es,
+            n0,
+        })
+        .collect();
+    let n_grid = grid_points.len();
 
     // the committed baseline must be read before this run appends to it
     let mut entries = read_entries(path);
-    let baseline_speedup = entries
+    let baseline_batch = entries
         .last()
         .and_then(|e| number_field(e, "speedup_batch_over_scalar"));
+    let baseline_simd = entries
+        .last()
+        .and_then(|e| number_field(e, "speedup_simd_over_scalar"));
 
     // scalar oracle: replay the parallel engine's shard plan on one
     // stream-per-shard, one thread — the PR-1 reference engine
-    let (t_scalar, r_scalar) = median_time(|| {
+    let (t_scalar, r_scalar) = bench(|| {
         let mut acc = BerResult { bits: 0, errors: 0 };
         for (label, blocks) in shard_plan(n_blocks) {
             let mut rng = comimo_math::rng::derive(seed, label);
@@ -204,32 +262,72 @@ fn main() {
         }
         acc
     });
-    // batch SoA kernel, serial shard replay, one thread
-    let (t_batch, r_batch) =
-        median_time(|| simulate_ber_batch(seed, &code, &cons, mr, es, n0, n_blocks));
+    // unified engine pinned to the forced-scalar dispatch tier (the
+    // portable fallback), serial shard replay, one thread
+    let (t_batch, r_batch) = bench(|| {
+        let mut ws = BatchWorkspace::with_dispatch(&code, &cons, mr, Some(simd::Dispatch::Scalar));
+        let mut acc = BerResult { bits: 0, errors: 0 };
+        for (label, blocks) in shard_plan(n_blocks) {
+            let mut rng = comimo_math::rng::derive(seed, label);
+            let r = ws.simulate(&mut rng, es, n0, blocks);
+            acc.bits += r.bits;
+            acc.errors += r.errors;
+        }
+        acc
+    });
+    // the same engine under the native dispatch tier
+    let (t_simd, r_simd) = bench(|| simulate_ber_batch(seed, &code, &cons, mr, es, n0, n_blocks));
+    // CRN grid engine: the whole SNR sweep from one shared draw stream
+    let (t_grid, r_grid) = bench(|| simulate_ber_grid(seed, &code, &grid_points, mr, n_blocks));
     // sharded parallel engine on the live rayon pool
-    let (t_par, r_par) = median_time(|| simulate_ber_par(seed, &code, &cons, mr, es, n0, n_blocks));
+    let (t_par, r_par) = bench(|| simulate_ber_par(seed, &code, &cons, mr, es, n0, n_blocks));
+
     assert_eq!(
-        r_par, r_batch,
-        "parallel engine diverged from the serial batch shard replay"
+        r_batch, r_simd,
+        "dispatch tiers diverged: forced-scalar vs native must be bit-identical"
     );
     assert_eq!(
-        r_scalar.bits, r_batch.bits,
+        r_par, r_simd,
+        "parallel engine diverged from the serial shard replay"
+    );
+    assert_eq!(
+        r_grid[0], r_simd,
+        "CRN contract broken: grid point 0 must equal the per-point engine"
+    );
+    assert_eq!(
+        r_scalar.bits, r_simd.bits,
         "engines simulated different bit counts"
     );
 
     let threads = rayon::current_num_threads();
-    let speedup_batch = t_scalar / t_batch;
-    let speedup_par = t_scalar / t_par;
-    let row = |engine: &str, threads: usize, seconds: f64, r: BerResult| EngineRow {
+    let native = simd::active().name().to_string();
+    let median = |times: &[f64]| times[RUNS / 2];
+    let speedup_batch = median(&t_scalar) / median(&t_batch);
+    let speedup_simd = median(&t_scalar) / median(&t_simd);
+    let speedup_par = median(&t_scalar) / median(&t_par);
+    // grid throughput counts point-blocks: one sweep pass does the work
+    // of n_grid per-point runs
+    let speedup_grid = (n_grid as f64 * median(&t_scalar)) / median(&t_grid);
+    let row = |engine: &str,
+               dispatch: &str,
+               threads: usize,
+               times: &[f64],
+               work_blocks: f64,
+               bits: u64,
+               errors: u64| EngineRow {
         engine: engine.into(),
+        dispatch: dispatch.into(),
         threads,
-        seconds,
+        seconds: median(times),
         runs: RUNS,
-        blocks_per_sec: n_blocks as f64 / seconds,
-        bits: r.bits,
-        errors: r.errors,
+        blocks_per_sec: work_blocks / median(times),
+        blocks_per_sec_min: work_blocks / times[times.len() - 1],
+        blocks_per_sec_max: work_blocks / times[0],
+        bits,
+        errors,
     };
+    let grid_bits: u64 = r_grid.iter().map(|r| r.bits).sum();
+    let grid_errors: u64 = r_grid.iter().map(|r| r.errors).sum();
     let entry = McEntry {
         commit: git_commit(),
         unix_time: std::time::SystemTime::now()
@@ -240,12 +338,57 @@ fn main() {
         n_blocks,
         shard_blocks: DEFAULT_SHARD_BLOCKS,
         batch_blocks: BATCH_BLOCKS,
+        grid_points: n_grid,
         speedup_batch_over_scalar: speedup_batch,
+        speedup_simd_over_scalar: speedup_simd,
+        speedup_grid_over_scalar: speedup_grid,
         speedup_parallel_over_scalar: speedup_par,
         engines: vec![
-            row("scalar", 1, t_scalar, r_scalar),
-            row("batch", 1, t_batch, r_batch),
-            row("parallel", threads, t_par, r_par),
+            row(
+                "scalar",
+                "none",
+                1,
+                &t_scalar,
+                n_blocks as f64,
+                r_scalar.bits,
+                r_scalar.errors,
+            ),
+            row(
+                "batch",
+                "scalar",
+                1,
+                &t_batch,
+                n_blocks as f64,
+                r_batch.bits,
+                r_batch.errors,
+            ),
+            row(
+                "simd",
+                &native,
+                1,
+                &t_simd,
+                n_blocks as f64,
+                r_simd.bits,
+                r_simd.errors,
+            ),
+            row(
+                "grid",
+                &native,
+                1,
+                &t_grid,
+                (n_blocks * n_grid) as f64,
+                grid_bits,
+                grid_errors,
+            ),
+            row(
+                "parallel",
+                &native,
+                threads,
+                &t_par,
+                n_blocks as f64,
+                r_par.bits,
+                r_par.errors,
+            ),
         ],
     };
 
@@ -257,14 +400,26 @@ fn main() {
         }
     };
     println!("{json}");
-    // deterministic engine output — CI diffs this line across thread counts
+    // deterministic engine output — CI diffs these lines across thread
+    // counts (and dispatch tiers: the counts may not depend on either)
     println!(
         "counts seed={seed} n_blocks={n_blocks} bits={} errors={}",
         r_par.bits, r_par.errors
     );
+    let grid_errs: Vec<String> = r_grid.iter().map(|r| r.errors.to_string()).collect();
     println!(
-        "{n_blocks} blocks: scalar {t_scalar:.3}s, batch {t_batch:.3}s ({speedup_batch:.2}x), \
-         parallel {t_par:.3}s on {threads} thread(s) ({speedup_par:.2}x), BER {:.3e}",
+        "counts_grid seed={seed} n_blocks={n_blocks} points={n_grid} errors={}",
+        grid_errs.join(",")
+    );
+    println!(
+        "{n_blocks} blocks: scalar {:.3}s, batch[scalar] {:.3}s ({speedup_batch:.2}x), \
+         simd[{native}] {:.3}s ({speedup_simd:.2}x), grid x{n_grid} {:.3}s ({speedup_grid:.2}x), \
+         parallel {:.3}s on {threads} thread(s) ({speedup_par:.2}x), BER {:.3e}",
+        median(&t_scalar),
+        median(&t_batch),
+        median(&t_simd),
+        median(&t_grid),
+        median(&t_par),
         r_par.errors as f64 / r_par.bits as f64
     );
 
@@ -286,7 +441,9 @@ fn main() {
     }
 
     if gate {
-        match baseline_speedup {
+        let mut failed = false;
+        // 1. portable-baseline ratio vs committed history
+        match baseline_batch {
             Some(base) => {
                 let floor = GATE_FRACTION * base;
                 if speedup_batch < floor {
@@ -295,18 +452,61 @@ fn main() {
                          {floor:.2}x ({:.0}% of committed baseline {base:.2}x)",
                         GATE_FRACTION * 100.0
                     );
-                    std::process::exit(1);
+                    failed = true;
+                } else {
+                    println!(
+                        "perf gate OK: batch/scalar speedup {speedup_batch:.2}x >= {floor:.2}x \
+                         ({:.0}% of committed baseline {base:.2}x)",
+                        GATE_FRACTION * 100.0
+                    );
                 }
-                println!(
-                    "perf gate OK: batch/scalar speedup {speedup_batch:.2}x >= {floor:.2}x \
-                     ({:.0}% of committed baseline {base:.2}x)",
-                    GATE_FRACTION * 100.0
-                );
             }
             None => {
                 eprintln!("PERF GATE FAILED: no committed baseline entry in {path}");
-                std::process::exit(1);
+                failed = true;
             }
+        }
+        // 2. native-dispatch ratio vs committed history (entries from
+        //    before the simd engine existed carry no baseline — noted,
+        //    not failed, so the first simd entry can land)
+        match baseline_simd {
+            Some(base) => {
+                let floor = GATE_FRACTION * base;
+                if speedup_simd < floor {
+                    eprintln!(
+                        "PERF GATE FAILED: simd/scalar speedup {speedup_simd:.2}x fell below \
+                         {floor:.2}x ({:.0}% of committed baseline {base:.2}x)",
+                        GATE_FRACTION * 100.0
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "perf gate OK: simd/scalar speedup {speedup_simd:.2}x >= {floor:.2}x \
+                         ({:.0}% of committed baseline {base:.2}x)",
+                        GATE_FRACTION * 100.0
+                    );
+                }
+            }
+            None => println!(
+                "perf gate note: last committed entry has no simd baseline; \
+                 absolute grid floor still applies"
+            ),
+        }
+        // 3. absolute order-of-magnitude floor on the CRN grid engine
+        if speedup_grid < GRID_GATE_FLOOR {
+            eprintln!(
+                "PERF GATE FAILED: grid/scalar speedup {speedup_grid:.2}x fell below the \
+                 absolute floor {GRID_GATE_FLOOR:.0}x"
+            );
+            failed = true;
+        } else {
+            println!(
+                "perf gate OK: grid/scalar speedup {speedup_grid:.2}x >= absolute floor \
+                 {GRID_GATE_FLOOR:.0}x"
+            );
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 }

@@ -17,6 +17,7 @@ struct Report {
     table3: comimo_testbed::experiments::overlay_multi::MultiRelayRow,
     table4: comimo_testbed::experiments::underlay_image::UnderlayImageResult,
     fig8: Vec<comimo_testbed::experiments::beam_scan::BeamScanPoint>,
+    bergrid: Vec<comimo_bench::BerGridSeries>,
 }
 
 fn main() {
@@ -37,6 +38,7 @@ fn main() {
         table3: comimo_bench::table3(),
         table4: comimo_bench::table4(t4_packets.or(Some(100))),
         fig8: comimo_bench::fig8(),
+        bergrid: comimo_bench::bergrid(20_000),
     };
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");

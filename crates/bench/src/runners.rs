@@ -13,6 +13,8 @@ use comimo_core::interweave::{run_table1, InterweaveConfig, InterweaveTrial};
 use comimo_core::overlay::{Overlay, OverlayAnalysis, OverlayConfig};
 use comimo_core::underlay::{Underlay, UnderlayAnalysis, UnderlayConfig};
 use comimo_energy::model::EnergyModel;
+use comimo_stbc::design::{Ostbc, StbcKind};
+use comimo_stbc::grid::{simulate_ber_grid_par, GridPoint};
 use comimo_testbed::experiments::beam_scan::{self, BeamScanConfig, BeamScanPoint};
 use comimo_testbed::experiments::overlay_multi::{self, MultiRelayConfig, MultiRelayRow};
 use comimo_testbed::experiments::overlay_single::{self, SingleRelayConfig, SingleRelayResult};
@@ -141,6 +143,126 @@ pub fn fig8() -> Vec<BeamScanPoint> {
     })
 }
 
+/// Symbol-SNR grid (dB, `Es/N0`) of the bergrid Monte-Carlo sweep.
+pub const BERGRID_SNRS_DB: [f64; 7] = [0.0, 3.0, 6.0, 9.0, 12.0, 15.0, 18.0];
+
+/// The cooperative cluster configurations the bergrid sweep validates:
+/// the Figure-7 MIMO hops `(mt, mr) = (2, 3)` and `(3, 3)` mapped onto
+/// their orthogonal space-time designs (Alamouti, Tarokh H3).
+pub const BERGRID_CONFIGS: [(StbcKind, usize, usize); 2] =
+    [(StbcKind::Alamouti, 2, 3), (StbcKind::H3, 3, 3)];
+
+/// One Monte-Carlo-validated BER point of a bergrid series.
+#[derive(Debug, Clone, Serialize)]
+pub struct BerGridPoint {
+    /// Constellation size (bits per symbol).
+    pub bits_per_symbol: u32,
+    /// Symbol SNR `Es/N0` (dB).
+    pub snr_db: f64,
+    /// Bits simulated at this point.
+    pub bits: u64,
+    /// Bit errors counted.
+    pub errors: u64,
+    /// `errors / bits`.
+    pub ber: f64,
+}
+
+/// One bergrid series: a cooperative cluster configuration's BER grid,
+/// every point drawn from **one shared random-number stream** (the CRN
+/// grid engine), so adjacent points differ only by the configuration —
+/// not by sampling noise.
+#[derive(Debug, Clone, Serialize)]
+pub struct BerGridSeries {
+    /// Space-time code of the transmit cluster.
+    pub kind: String,
+    /// Transmit cluster size.
+    pub mt: usize,
+    /// Receive cluster size.
+    pub mr: usize,
+    /// Monte-Carlo blocks behind every point.
+    pub n_blocks: usize,
+    /// Constellation-major point list: each constellation's full SNR
+    /// curve ([`BERGRID_SNRS_DB`]) is contiguous.
+    pub points: Vec<BerGridPoint>,
+}
+
+/// The operating constellations the analytic artefacts actually select —
+/// Figure 6's direct/SIMO/MISO optima and Figure 7's per-distance optima
+/// — filtered to the Monte-Carlo simulator's supported sizes (`b = 1` or
+/// even `b ≤ 8`), sorted and deduplicated.
+pub fn operating_constellations() -> Vec<u32> {
+    let mut bs: Vec<u32> = fig6(100.0)
+        .iter()
+        .flat_map(|s| {
+            s.points
+                .iter()
+                .flat_map(|p| [p.b_direct, p.b_simo, p.b_miso])
+        })
+        .chain(
+            fig7(100.0)
+                .iter()
+                .flat_map(|s| s.points.iter().map(|p| p.b)),
+        )
+        .filter(|&b| b == 1 || (b % 2 == 0 && b <= 8))
+        .collect();
+    bs.sort_unstable();
+    bs.dedup();
+    bs
+}
+
+/// The `constellation × SNR` grid bergrid simulates (constellation-major,
+/// `es = 1`, `n0 = 10^(-snr/10)`).
+pub fn bergrid_points() -> Vec<GridPoint> {
+    operating_constellations()
+        .iter()
+        .flat_map(|&b| {
+            BERGRID_SNRS_DB.iter().map(move |&snr| GridPoint {
+                bits_per_symbol: b,
+                es: 1.0,
+                n0: 10f64.powf(-snr / 10.0),
+            })
+        })
+        .collect()
+}
+
+/// Bergrid: Monte-Carlo BER validation of the constellations Figures 6
+/// and 7 operate at, on the CRN grid engine
+/// ([`comimo_stbc::grid::simulate_ber_grid_par`]) — the whole
+/// `constellation × SNR` grid of each cluster configuration reuses one
+/// channel/noise draw stream, so the curves are directly comparable and
+/// the entire sweep costs one pass over the blocks. Results are a pure
+/// function of `(EXPERIMENT_SEED, n_blocks)` at any thread count.
+pub fn bergrid(n_blocks: usize) -> Vec<BerGridSeries> {
+    let points = bergrid_points();
+    supervised_map_strict(
+        "bergrid",
+        &supervise(),
+        &BERGRID_CONFIGS,
+        |_, &(kind, mt, mr)| {
+            let code = Ostbc::new(kind);
+            let results = simulate_ber_grid_par(EXPERIMENT_SEED, &code, &points, mr, n_blocks);
+            BerGridSeries {
+                kind: format!("{kind:?}"),
+                mt,
+                mr,
+                n_blocks,
+                points: points
+                    .iter()
+                    .zip(&results)
+                    .enumerate()
+                    .map(|(i, (p, r))| BerGridPoint {
+                        bits_per_symbol: p.bits_per_symbol,
+                        snr_db: BERGRID_SNRS_DB[i % BERGRID_SNRS_DB.len()],
+                        bits: r.bits,
+                        errors: r.errors,
+                        ber: r.errors as f64 / r.bits as f64,
+                    })
+                    .collect(),
+            }
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +298,50 @@ mod tests {
     #[test]
     fn fig8_has_ten_points() {
         assert_eq!(fig8().len(), 10);
+    }
+
+    #[test]
+    fn bergrid_covers_every_operating_constellation() {
+        let bs = operating_constellations();
+        assert!(!bs.is_empty(), "figures select no supported constellation");
+        assert!(bs.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped");
+        for &b in &bs {
+            assert!(b == 1 || (b % 2 == 0 && b <= 8), "unsupported b={b}");
+        }
+        let series = bergrid(64);
+        assert_eq!(series.len(), BERGRID_CONFIGS.len());
+        for s in &series {
+            assert_eq!(s.points.len(), bs.len() * BERGRID_SNRS_DB.len());
+            for (i, p) in s.points.iter().enumerate() {
+                assert_eq!(p.bits_per_symbol, bs[i / BERGRID_SNRS_DB.len()]);
+                assert_eq!(p.snr_db, BERGRID_SNRS_DB[i % BERGRID_SNRS_DB.len()]);
+            }
+        }
+    }
+
+    /// The published bergrid artefact must be exactly what the per-point
+    /// engine would have produced — the CRN grid changes the cost of the
+    /// sweep, never its counts. Diffs every grid count against an
+    /// independent `simulate_ber_par` run of the same `(seed, point)`.
+    #[test]
+    fn bergrid_counts_equal_per_point_engine_counts() {
+        use comimo_stbc::sim::{simulate_ber_par, SimConstellation};
+        let n_blocks = 384; // spans a partial shard to exercise chunking
+        let points = bergrid_points();
+        for (series, &(kind, _, mr)) in bergrid(n_blocks).iter().zip(&BERGRID_CONFIGS) {
+            let code = Ostbc::new(kind);
+            for (p, got) in points.iter().zip(&series.points) {
+                let cons = SimConstellation::new(p.bits_per_symbol);
+                let want =
+                    simulate_ber_par(EXPERIMENT_SEED, &code, &cons, mr, p.es, p.n0, n_blocks);
+                assert_eq!(
+                    (got.bits, got.errors),
+                    (want.bits, want.errors),
+                    "{kind:?} mr={mr} b={} n0={}",
+                    p.bits_per_symbol,
+                    p.n0
+                );
+            }
+        }
     }
 }

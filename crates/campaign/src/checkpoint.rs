@@ -2,12 +2,12 @@
 //! shards have completed, written atomically so a crash can never leave a
 //! torn file behind.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! ```text
 //! offset  size  field
 //!      0     4  magic  b"CMCK"
-//!      4     2  format version (little-endian u16, = 1)
+//!      4     2  format version (little-endian u16, = 2)
 //!      6     2  reserved (0)
 //!      8     4  payload length (LE u32)
 //!     12     4  CRC-32 (IEEE) of the payload bytes
@@ -15,12 +15,19 @@
 //! ```
 //!
 //! The payload is fixed-order little-endian: campaign seed, config
-//! fingerprint, total shard count, merged `bits`/`errors` counts, the
+//! fingerprint, total shard count, stream count, merged `bits`/`errors`
+//! counts **per stream** (a stream is one grid configuration of a CRN
+//! grid campaign; a classic single-point campaign has one stream), the
 //! done bitmap (one bit per shard), and the quarantine list. Every load
 //! re-derives the CRC, so truncation and bit flips are *detected* — the
 //! supervisor then recovers by restarting the campaign from scratch
 //! (sound, because shard results are pure functions of the seed) instead
 //! of trusting garbage counts.
+//!
+//! Version-1 images (single-stream, no stream-count field) decode to
+//! [`CheckpointError::UnsupportedVersion`]; the supervisor treats that
+//! like detected corruption and restarts from scratch, which reproduces
+//! the lost counts exactly.
 //!
 //! # Atomicity
 //!
@@ -31,13 +38,15 @@
 //! the file.
 
 use comimo_dsp::crc::crc32;
+use comimo_stbc::sim::BerResult;
 use std::io::Write;
 use std::path::Path;
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"CMCK";
-/// Current (and only) format version.
-pub const VERSION: u16 = 1;
+/// Current format version (version 1 lacked per-stream counts and is
+/// rejected as [`CheckpointError::UnsupportedVersion`]).
+pub const VERSION: u16 = 2;
 /// Header bytes before the payload.
 const HEADER_LEN: usize = 16;
 
@@ -99,11 +108,13 @@ pub struct Quarantined {
     pub attempts: u32,
 }
 
-/// The resumable state of a campaign: merged counts plus per-shard
-/// completion. Counts merge by addition (commutative and associative
-/// over `u64`), which is what makes the merged result independent of
-/// completion order — and therefore of thread count and of where a
-/// previous run was killed.
+/// The resumable state of a campaign: merged counts per stream plus
+/// per-shard completion. A *stream* is one independently counted result
+/// lane — one grid configuration of a CRN grid campaign; a classic
+/// single-point campaign has exactly one. Counts merge by addition
+/// (commutative and associative over `u64`), which is what makes the
+/// merged result independent of completion order — and therefore of
+/// thread count and of where a previous run was killed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
     /// Simulation seed the campaign derives its shard streams from.
@@ -115,10 +126,9 @@ pub struct Checkpoint {
     pub fingerprint: u64,
     /// Shards in the campaign's plan.
     pub total_shards: u64,
-    /// Bits simulated by the completed shards.
-    pub bits: u64,
-    /// Bit errors counted by the completed shards.
-    pub errors: u64,
+    /// Merged `bits`/`errors` of the completed shards, one entry per
+    /// stream (length is the campaign's stream count, ≥ 1).
+    pub counts: Vec<BerResult>,
     /// One bit per shard, set when the shard's counts are merged.
     done: Vec<u8>,
     /// Shards abandoned after bounded retries.
@@ -126,17 +136,27 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// A fresh checkpoint with no shard done.
+    /// A fresh single-stream checkpoint with no shard done.
     pub fn new(seed: u64, fingerprint: u64, total_shards: u64) -> Self {
+        Self::new_multi(seed, fingerprint, total_shards, 1)
+    }
+
+    /// A fresh checkpoint tracking `n_streams` independent count lanes.
+    pub fn new_multi(seed: u64, fingerprint: u64, total_shards: u64, n_streams: usize) -> Self {
+        assert!(n_streams >= 1, "a campaign needs at least one stream");
         Self {
             seed,
             fingerprint,
             total_shards,
-            bits: 0,
-            errors: 0,
+            counts: vec![BerResult { bits: 0, errors: 0 }; n_streams],
             done: vec![0u8; (total_shards as usize).div_ceil(8)],
             quarantined: Vec::new(),
         }
+    }
+
+    /// Number of independent count lanes this checkpoint tracks.
+    pub fn n_streams(&self) -> usize {
+        self.counts.len()
     }
 
     /// Whether `shard`'s counts are already merged.
@@ -150,15 +170,35 @@ impl Checkpoint {
         self.quarantined.iter().any(|q| q.shard == shard)
     }
 
-    /// Merges a completed shard's counts. Idempotence guard: merging a
-    /// shard twice would double-count, so a second merge panics — the
-    /// supervisor never offers a done shard for execution.
+    /// Merges a completed shard's counts on a single-stream checkpoint.
+    /// Idempotence guard: merging a shard twice would double-count, so a
+    /// second merge panics — the supervisor never offers a done shard for
+    /// execution.
     pub fn mark_done(&mut self, shard: u64, bits: u64, errors: u64) {
+        assert_eq!(
+            self.n_streams(),
+            1,
+            "multi-stream checkpoint needs mark_done_multi"
+        );
+        self.mark_done_multi(shard, &[BerResult { bits, errors }]);
+    }
+
+    /// Merges a completed shard's per-stream counts (one entry per
+    /// stream, in stream order). Same idempotence guard as
+    /// [`Checkpoint::mark_done`].
+    pub fn mark_done_multi(&mut self, shard: u64, counts: &[BerResult]) {
         assert!(shard < self.total_shards, "shard {shard} out of range");
         assert!(!self.is_done(shard), "shard {shard} merged twice");
+        assert_eq!(
+            counts.len(),
+            self.n_streams(),
+            "shard {shard} reported a wrong stream count"
+        );
         self.done[shard as usize / 8] |= 1 << (shard as usize % 8);
-        self.bits += bits;
-        self.errors += errors;
+        for (acc, c) in self.counts.iter_mut().zip(counts) {
+            acc.bits += c.bits;
+            acc.errors += c.errors;
+        }
     }
 
     /// Records a quarantined shard.
@@ -186,14 +226,19 @@ impl Checkpoint {
             .collect()
     }
 
-    /// Serialises to the version-1 image (header + CRC + payload).
+    /// Serialises to the version-2 image (header + CRC + payload).
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(44 + self.done.len() + 12 * self.quarantined.len());
+        let mut payload = Vec::with_capacity(
+            40 + 16 * self.counts.len() + self.done.len() + 12 * self.quarantined.len(),
+        );
         payload.extend_from_slice(&self.seed.to_le_bytes());
         payload.extend_from_slice(&self.fingerprint.to_le_bytes());
         payload.extend_from_slice(&self.total_shards.to_le_bytes());
-        payload.extend_from_slice(&self.bits.to_le_bytes());
-        payload.extend_from_slice(&self.errors.to_le_bytes());
+        payload.extend_from_slice(&(self.counts.len() as u32).to_le_bytes());
+        for c in &self.counts {
+            payload.extend_from_slice(&c.bits.to_le_bytes());
+            payload.extend_from_slice(&c.errors.to_le_bytes());
+        }
         payload.extend_from_slice(&(self.quarantined.len() as u32).to_le_bytes());
         payload.extend_from_slice(&(self.done.len() as u32).to_le_bytes());
         payload.extend_from_slice(&self.done);
@@ -211,7 +256,7 @@ impl Checkpoint {
         out
     }
 
-    /// Decodes a version-1 image, verifying magic, version, length and
+    /// Decodes a version-2 image, verifying magic, version, length and
     /// CRC before touching any field. Never panics on arbitrary bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
         if bytes.len() < HEADER_LEN {
@@ -224,7 +269,7 @@ impl Checkpoint {
         if version != VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
-        // the reserved field must be zero in version 1; anything else is
+        // the reserved field must be zero in version 2; anything else is
         // header corruption (the CRC only covers the payload)
         if bytes[6] != 0 || bytes[7] != 0 {
             return Err(CheckpointError::Malformed("nonzero reserved header field"));
@@ -252,8 +297,21 @@ impl Checkpoint {
         let seed = r.u64()?;
         let fingerprint = r.u64()?;
         let total_shards = r.u64()?;
-        let bits = r.u64()?;
-        let errors = r.u64()?;
+        let n_streams = r.u32()? as usize;
+        if n_streams == 0 {
+            return Err(CheckpointError::Malformed("zero streams"));
+        }
+        // every stream needs 16 payload bytes, so bound the allocation by
+        // what is actually present before trusting the count
+        if r.buf.len() < 16 * n_streams {
+            return Err(CheckpointError::Malformed("payload field truncated"));
+        }
+        let mut counts = Vec::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            let bits = r.u64()?;
+            let errors = r.u64()?;
+            counts.push(BerResult { bits, errors });
+        }
         let n_quarantined = r.u32()? as usize;
         let bitmap_len = r.u32()? as usize;
         if bitmap_len != (total_shards as usize).div_ceil(8) {
@@ -284,8 +342,7 @@ impl Checkpoint {
             seed,
             fingerprint,
             total_shards,
-            bits,
-            errors,
+            counts,
             done,
             quarantined,
         })
@@ -379,8 +436,91 @@ mod tests {
         assert_eq!(back.done_count(), 3);
         assert!(back.is_done(36) && !back.is_done(35));
         assert!(back.is_quarantined(7));
-        assert_eq!(back.bits, 250);
-        assert_eq!(back.errors, 4);
+        assert_eq!(
+            back.counts,
+            vec![BerResult {
+                bits: 250,
+                errors: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn roundtrip_multi_stream() {
+        let mut ck = Checkpoint::new_multi(7, 8, 10, 3);
+        assert_eq!(ck.n_streams(), 3);
+        ck.mark_done_multi(
+            2,
+            &[
+                BerResult {
+                    bits: 10,
+                    errors: 1,
+                },
+                BerResult {
+                    bits: 20,
+                    errors: 2,
+                },
+                BerResult {
+                    bits: 30,
+                    errors: 3,
+                },
+            ],
+        );
+        ck.mark_done_multi(
+            9,
+            &[
+                BerResult {
+                    bits: 10,
+                    errors: 0,
+                },
+                BerResult {
+                    bits: 20,
+                    errors: 0,
+                },
+                BerResult {
+                    bits: 30,
+                    errors: 4,
+                },
+            ],
+        );
+        let back = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(
+            back.counts,
+            vec![
+                BerResult {
+                    bits: 20,
+                    errors: 1
+                },
+                BerResult {
+                    bits: 40,
+                    errors: 2
+                },
+                BerResult {
+                    bits: 60,
+                    errors: 7
+                },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong stream count")]
+    fn stream_count_mismatch_is_refused() {
+        let mut ck = Checkpoint::new_multi(1, 2, 3, 2);
+        ck.mark_done_multi(0, &[BerResult { bits: 1, errors: 0 }]);
+    }
+
+    #[test]
+    fn version_1_images_are_rejected_as_unsupported() {
+        // a syntactically valid image stamped with the retired version 1
+        let ck = Checkpoint::new(1, 2, 3);
+        let mut image = ck.encode();
+        image[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&image),
+            Err(CheckpointError::UnsupportedVersion(1))
+        );
     }
 
     #[test]

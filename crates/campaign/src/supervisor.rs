@@ -115,8 +115,14 @@ pub struct CampaignReport {
     /// Complete or gracefully stopped.
     pub status: CampaignStatus,
     /// Merged counts over every completed shard (partial when stopped,
-    /// excludes quarantined shards).
+    /// excludes quarantined shards), summed across streams. For a
+    /// single-stream campaign this is *the* result; for a grid campaign
+    /// prefer [`CampaignReport::stream_counts`].
     pub counts: BerResult,
+    /// Merged counts per stream (one entry per grid configuration for a
+    /// grid campaign; a single entry equal to
+    /// [`CampaignReport::counts`] otherwise).
+    pub stream_counts: Vec<BerResult>,
     /// Shards in the plan.
     pub total_shards: u64,
     /// Shards whose counts are merged.
@@ -152,7 +158,7 @@ pub enum CampaignError {
     /// The checkpoint belongs to a different campaign.
     Mismatch {
         /// Which field disagreed (`"seed"`, `"fingerprint"`,
-        /// `"total_shards"`).
+        /// `"total_shards"`, `"n_streams"`).
         field: &'static str,
         /// Value this campaign expected.
         expected: u64,
@@ -251,7 +257,7 @@ where
 struct ShardOutcome {
     label: u64,
     /// `None` after `max_attempts` panics → quarantine.
-    result: Option<BerResult>,
+    result: Option<Vec<BerResult>>,
     attempts: u32,
 }
 
@@ -271,7 +277,28 @@ pub fn run_campaign<F>(
 where
     F: Fn(u64, usize) -> BerResult + Send + Sync,
 {
+    run_campaign_multi(cfg, shards, 1, |label, blocks| {
+        vec![run_shard(label, blocks)]
+    })
+}
+
+/// [`run_campaign`] for multi-stream shard functions: `run_shard` returns
+/// one [`BerResult`] per stream (one grid configuration each for a CRN
+/// grid campaign), and the checkpoint, resume validation and report all
+/// carry the per-stream counts. Everything else — panic isolation,
+/// retries, quarantine, atomic checkpoints, graceful stop, bit-identical
+/// resume — is the single-stream supervisor unchanged.
+pub fn run_campaign_multi<F>(
+    cfg: &CampaignConfig,
+    shards: &[(u64, usize)],
+    n_streams: usize,
+    run_shard: F,
+) -> Result<CampaignReport, CampaignError>
+where
+    F: Fn(u64, usize) -> Vec<BerResult> + Send + Sync,
+{
     assert!(cfg.max_attempts >= 1, "max_attempts must be at least 1");
+    assert!(n_streams >= 1, "a campaign needs at least one stream");
     for (i, &(label, _)) in shards.iter().enumerate() {
         assert_eq!(label, i as u64, "shard labels must be 0..n in order");
     }
@@ -283,22 +310,23 @@ where
     let mut state = match (&cfg.checkpoint, cfg.resume) {
         (Some(path), true) => match checkpoint::load(path) {
             Ok(ck) => {
-                validate(&ck, cfg, total)?;
+                validate(&ck, cfg, total, n_streams)?;
                 ck
             }
             Err(LoadError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-                Checkpoint::new(cfg.seed, cfg.fingerprint, total)
+                Checkpoint::new_multi(cfg.seed, cfg.fingerprint, total, n_streams)
             }
             Err(LoadError::Io(e)) => return Err(CampaignError::Io(e)),
             Err(LoadError::Codec(_)) => {
-                // detected corruption: discard and restart — shard
-                // results are pure functions of the seed, so a restart
-                // reproduces the lost counts exactly
+                // detected corruption (including retired format
+                // versions): discard and restart — shard results are
+                // pure functions of the seed, so a restart reproduces
+                // the lost counts exactly
                 recovered = true;
-                Checkpoint::new(cfg.seed, cfg.fingerprint, total)
+                Checkpoint::new_multi(cfg.seed, cfg.fingerprint, total, n_streams)
             }
         },
-        _ => Checkpoint::new(cfg.seed, cfg.fingerprint, total),
+        _ => Checkpoint::new_multi(cfg.seed, cfg.fingerprint, total, n_streams),
     };
     let resumed_shards = state.done_count();
 
@@ -346,7 +374,7 @@ where
         for o in par_map(chunk, cfg.serial, run_one) {
             match o.result {
                 Some(r) => {
-                    state.mark_done(o.label, r.bits, r.errors);
+                    state.mark_done_multi(o.label, &r);
                     if o.attempts > 1 {
                         retried_ok += 1;
                     }
@@ -361,10 +389,13 @@ where
         }
     }
 
-    let counts = BerResult {
-        bits: state.bits,
-        errors: state.errors,
-    };
+    let counts = state
+        .counts
+        .iter()
+        .fold(BerResult { bits: 0, errors: 0 }, |acc, c| BerResult {
+            bits: acc.bits + c.bits,
+            errors: acc.errors + c.errors,
+        });
     Ok(CampaignReport {
         status: if stopped {
             CampaignStatus::Stopped
@@ -372,6 +403,7 @@ where
             CampaignStatus::Complete
         },
         counts,
+        stream_counts: state.counts.clone(),
         total_shards: total,
         completed_shards: state.done_count(),
         quarantined: state.quarantined.clone(),
@@ -383,11 +415,17 @@ where
     })
 }
 
-fn validate(ck: &Checkpoint, cfg: &CampaignConfig, total: u64) -> Result<(), CampaignError> {
+fn validate(
+    ck: &Checkpoint,
+    cfg: &CampaignConfig,
+    total: u64,
+    n_streams: usize,
+) -> Result<(), CampaignError> {
     let checks = [
         ("seed", cfg.seed, ck.seed),
         ("fingerprint", cfg.fingerprint, ck.fingerprint),
         ("total_shards", total, ck.total_shards),
+        ("n_streams", n_streams as u64, ck.n_streams() as u64),
     ];
     for (field, expected, found) in checks {
         if expected != found {

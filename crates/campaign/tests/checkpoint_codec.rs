@@ -47,6 +47,32 @@ proptest! {
         prop_assert_eq!(back, ck);
     }
 
+    /// encode → decode is the identity for multi-stream checkpoints too
+    /// (the version-2 per-stream count lanes).
+    #[test]
+    fn prop_roundtrip_multi_stream(
+        seed in any::<u64>(),
+        total in 1u64..200,
+        n_streams in 1usize..9,
+        done in proptest::collection::vec(any::<u64>(), 0..20),
+    ) {
+        let mut ck = Checkpoint::new_multi(seed, 1, total, n_streams);
+        for &d in &done {
+            let d = d % total;
+            if !ck.is_done(d) {
+                let counts: Vec<_> = (0..n_streams)
+                    .map(|s| comimo_stbc::sim::BerResult {
+                        bits: 1024,
+                        errors: (d + s as u64) % 5,
+                    })
+                    .collect();
+                ck.mark_done_multi(d, &counts);
+            }
+        }
+        let back = Checkpoint::decode(&ck.encode()).expect("roundtrip decode");
+        prop_assert_eq!(back, ck);
+    }
+
     /// Any truncation decodes to a clean error (and never panics).
     #[test]
     fn prop_truncation_errors_cleanly(

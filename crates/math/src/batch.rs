@@ -13,13 +13,21 @@
 //!
 //! Draw-order contracts (each is pinned by a test):
 //!
+//! * [`fill_u64`] consumes one raw keystream `u64` per sample, identical
+//!   draw-for-draw to repeated `rng.gen::<u64>()`;
 //! * [`fill_uniform_f64`] consumes one `u64` per sample, **identical
 //!   draw-for-draw to repeated `rng.gen::<f64>()`**;
 //! * [`fill_range_u32`] consumes one `u64` per sample, identical
-//!   draw-for-draw to repeated `rng.gen_range(0..span)`;
+//!   draw-for-draw to repeated `rng.gen_range(0..span)` — it *is*
+//!   [`fill_u64`] followed by [`map_range_u32`], by construction;
 //! * [`normal_fill`] consumes exactly `2·⌈len/2⌉` uniforms;
 //! * [`complex_gaussian_fill`] consumes exactly `2·len` uniforms (one
 //!   Box–Muller pair per complex sample).
+//!
+//! The per-element transforms (word → uniform, Box–Muller) execute through
+//! the runtime-dispatched SIMD tier of [`crate::simd`]; every tier is
+//! bit-identical to the scalar kernels in this module, so dispatch never
+//! changes a drawn sample, only throughput.
 //!
 //! The batch normals are *not* draw-compatible with the scalar polar
 //! sampler — they are a different (equally exact) factorisation of the
@@ -44,8 +52,12 @@ const CHUNK: usize = 128;
 /// atanh series `ln m = 2s·Σ s²ᵏ/(2k+1)` with `s = (m−1)/(m+1)`,
 /// `|s| ≤ √2−1 ≈ 0.172` — truncation after `s¹⁵` leaves ~1e-14 absolute
 /// error, far below anything a Monte-Carlo moment can resolve.
+///
+/// This scalar kernel is the **pinned oracle** for the SIMD tiers in
+/// [`crate::simd`]: every lane implementation must (and does — the tests
+/// assert it) reproduce it bit for bit.
 #[inline(always)]
-fn fast_ln(x: f64) -> f64 {
+pub fn fast_ln(x: f64) -> f64 {
     debug_assert!(x > 0.0 && x.is_normal());
     let bits = x.to_bits();
     let mut e = ((bits >> 52) as i32 - 1023) as f64;
@@ -75,8 +87,11 @@ fn fast_ln(x: f64) -> f64 {
 /// `cos(x + kπ) = (−1)ᵏ cos x`. No swap, no data-dependent branch, no
 /// table-walking reduction like libm needs for arbitrary angles; the two
 /// Taylor chains run in parallel on independent units.
+///
+/// Like [`fast_ln`], this is the pinned scalar oracle the [`crate::simd`]
+/// lane kernels are tested bit-for-bit against.
 #[inline(always)]
-fn fast_sincos_tau(t: f64) -> (f64, f64) {
+pub fn fast_sincos_tau(t: f64) -> (f64, f64) {
     debug_assert!((0.0..1.0).contains(&t));
     // truncation == floor here: 2t + ½ ≥ ½ > 0; k ∈ {0, 1, 2}
     let k = (2.0 * t + 0.5) as i32;
@@ -108,48 +123,77 @@ fn fast_sincos_tau(t: f64) -> (f64, f64) {
     (sign * ps, sign * pc)
 }
 
-/// Fills `out` with i.i.d. uniforms in `[0, 1)` (53-bit precision), pulling
-/// whole blocks of ChaCha output through [`RngCore::fill_bytes`] instead of
-/// one `gen_range` call per sample.
+/// Fills `out` with raw keystream words, pulling whole blocks of ChaCha
+/// output through [`RngCore::fill_bytes`] (8·len bytes — always a
+/// whole-word multiple, so the generator lands at exactly the same stream
+/// position as `len` calls to `rng.gen::<u64>()`, with the same values).
 ///
-/// Draw-for-draw identical to `for x in out { *x = rng.gen::<f64>() }`.
-pub fn fill_uniform_f64<R: RngCore + ?Sized>(rng: &mut R, out: &mut [f64]) {
+/// This is the single point where the batched samplers touch the
+/// generator: uniforms, range draws and normals are all deterministic
+/// transforms of these words, which is what lets the grid engine draw one
+/// shared word set and replay it across many configurations (common random
+/// numbers) without any stream divergence.
+pub fn fill_u64<R: RngCore + ?Sized>(rng: &mut R, out: &mut [u64]) {
     let mut bytes = [0u8; 8 * CHUNK];
     for chunk in out.chunks_mut(CHUNK) {
         let raw = &mut bytes[..8 * chunk.len()];
         rng.fill_bytes(raw);
         for (x, b) in chunk.iter_mut().zip(raw.chunks_exact(8)) {
-            let w = u64::from_le_bytes(b.try_into().expect("8-byte chunk"));
-            *x = (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            *x = u64::from_le_bytes(b.try_into().expect("8-byte chunk"));
         }
     }
 }
 
-/// Fills `out` with i.i.d. uniforms over `0..span`, one `u64` per sample
-/// via the same multiply-shift mapping as the scalar
-/// `rng.gen_range(0..span)` — draw-for-draw identical to it.
+/// Maps raw keystream words to uniforms over `0..span` with the same
+/// multiply-shift mapping as the scalar `rng.gen_range(0..span)`.
+///
+/// # Panics
+/// If `span == 0` or the slice lengths differ.
+pub fn map_range_u32(words: &[u64], span: u32, out: &mut [u32]) {
+    assert!(span > 0, "cannot sample from an empty range");
+    assert_eq!(words.len(), out.len());
+    for (x, &w) in out.iter_mut().zip(words) {
+        *x = ((w as u128 * span as u128) >> 64) as u32;
+    }
+}
+
+/// Fills `out` with i.i.d. uniforms in `[0, 1)` (53-bit precision):
+/// [`fill_u64`] words pushed through the dispatched
+/// [`crate::simd::uniform_from_words`] conversion.
+///
+/// Draw-for-draw identical to `for x in out { *x = rng.gen::<f64>() }`.
+pub fn fill_uniform_f64<R: RngCore + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    let mut words = [0u64; CHUNK];
+    for chunk in out.chunks_mut(CHUNK) {
+        let w = &mut words[..chunk.len()];
+        fill_u64(rng, w);
+        crate::simd::uniform_from_words(w, chunk);
+    }
+}
+
+/// Fills `out` with i.i.d. uniforms over `0..span`: [`fill_u64`] +
+/// [`map_range_u32`], chunk by chunk — draw-for-draw identical to repeated
+/// `rng.gen_range(0..span)`.
 ///
 /// # Panics
 /// If `span == 0`.
 pub fn fill_range_u32<R: RngCore + ?Sized>(rng: &mut R, span: u32, out: &mut [u32]) {
     assert!(span > 0, "cannot sample from an empty range");
-    let mut bytes = [0u8; 8 * CHUNK];
+    let mut words = [0u64; CHUNK];
     for chunk in out.chunks_mut(CHUNK) {
-        let raw = &mut bytes[..8 * chunk.len()];
-        rng.fill_bytes(raw);
-        for (x, b) in chunk.iter_mut().zip(raw.chunks_exact(8)) {
-            let w = u64::from_le_bytes(b.try_into().expect("8-byte chunk"));
-            *x = ((w as u128 * span as u128) >> 64) as u32;
-        }
+        let w = &mut words[..chunk.len()];
+        fill_u64(rng, w);
+        map_range_u32(w, span, chunk);
     }
 }
 
 /// One Box–Muller pair from two uniforms: `u1 ∈ [0,1)` maps through
 /// `1 − u1 ∈ (0, 1]` so the log argument is never zero and no rejection
 /// branch is needed. Built on the inline polynomial kernels ([`fast_ln`],
-/// [`fast_sincos_tau`]) — no libm call in the loop body.
+/// [`fast_sincos_tau`]) — no libm call in the loop body. This is the
+/// scalar reference the [`crate::simd`] lane transforms reproduce bitwise.
 #[inline]
-fn box_muller(u1: f64, u2: f64) -> (f64, f64) {
+pub(crate) fn box_muller(u1: f64, u2: f64) -> (f64, f64) {
     let r = (-2.0 * fast_ln(1.0 - u1)).sqrt();
     let (s, c) = fast_sincos_tau(u2);
     (r * c, r * s)
@@ -168,19 +212,27 @@ fn box_muller(u1: f64, u2: f64) -> (f64, f64) {
 pub fn normal_fill<R: RngCore + ?Sized>(rng: &mut R, out: &mut [f64]) {
     let mut u1 = [0.0f64; CHUNK / 2];
     let mut u2 = [0.0f64; CHUNK / 2];
+    let mut z0 = [0.0f64; CHUNK / 2];
+    let mut z1 = [0.0f64; CHUNK / 2];
     for chunk in out.chunks_mut(CHUNK) {
         let pairs = chunk.len().div_ceil(2);
         fill_uniform_f64(rng, &mut u1[..pairs]);
         fill_uniform_f64(rng, &mut u2[..pairs]);
+        // transform planar through the SIMD tier, then interleave pairs
+        crate::simd::box_muller_slice(
+            &u1[..pairs],
+            &u2[..pairs],
+            1.0,
+            &mut z0[..pairs],
+            &mut z1[..pairs],
+        );
         let whole = chunk.len() / 2;
         for i in 0..whole {
-            let (z0, z1) = box_muller(u1[i], u2[i]);
-            chunk[2 * i] = z0;
-            chunk[2 * i + 1] = z1;
+            chunk[2 * i] = z0[i];
+            chunk[2 * i + 1] = z1[i];
         }
         if pairs > whole {
-            let (z0, _) = box_muller(u1[whole], u2[whole]);
-            chunk[2 * whole] = z0;
+            chunk[2 * whole] = z0[whole];
         }
     }
 }
@@ -217,11 +269,7 @@ pub fn complex_gaussian_fill<R: RngCore + ?Sized>(
         fill_uniform_f64(rng, &mut u2[..n]);
         let re_c = &mut re[done..done + n];
         let im_c = &mut im[done..done + n];
-        for i in 0..n {
-            let (z0, z1) = box_muller(u1[i], u2[i]);
-            re_c[i] = sigma * z0;
-            im_c[i] = sigma * z1;
-        }
+        crate::simd::box_muller_slice(&u1[..n], &u2[..n], sigma, re_c, im_c);
         done += n;
     }
 }
@@ -260,6 +308,35 @@ mod tests {
             assert_eq!(x, y, "sample {i} diverged");
         }
         // and the generators end in the same stream position
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn u64_fill_matches_scalar_gen_draw_for_draw() {
+        let mut a = seeded(44);
+        let mut b = seeded(44);
+        let mut bulk = vec![0u64; 333];
+        fill_u64(&mut a, &mut bulk);
+        for (i, &x) in bulk.iter().enumerate() {
+            assert_eq!(x, b.gen::<u64>(), "word {i} diverged");
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// `fill_range_u32` must stay `fill_u64` + `map_range_u32` — the grid
+    /// engine draws the words once and maps them per constellation, and
+    /// that only matches the per-point engine if this decomposition holds.
+    #[test]
+    fn range_fill_is_word_fill_plus_map() {
+        let mut a = seeded(45);
+        let mut b = seeded(45);
+        let mut direct = vec![0u32; 500];
+        fill_range_u32(&mut a, 17, &mut direct);
+        let mut words = vec![0u64; 500];
+        fill_u64(&mut b, &mut words);
+        let mut mapped = vec![0u32; 500];
+        map_range_u32(&words, 17, &mut mapped);
+        assert_eq!(direct, mapped);
         assert_eq!(a.next_u64(), b.next_u64());
     }
 

@@ -17,7 +17,8 @@
 //! * decibel conversions ([`db`]) for the paper's constants
 //!   (`Ml = 40 dB`, `σ² = −174 dBm/Hz`, …);
 //! * seeded random sampling ([`rng`]) for Monte-Carlo cross-validation and
-//!   the testbed simulator, with bulk batched fillers ([`batch`]) for the
+//!   the testbed simulator, with bulk batched fillers ([`batch`]) riding a
+//!   runtime-dispatched explicit-SIMD kernel tier ([`simd`]) for the
 //!   Monte-Carlo hot paths; and
 //! * descriptive statistics ([`stats`]) for experiment reporting.
 //!
@@ -30,6 +31,7 @@ pub mod db;
 pub mod quad;
 pub mod rng;
 pub mod roots;
+pub mod simd;
 pub mod special;
 pub mod stats;
 

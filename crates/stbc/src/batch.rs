@@ -1,4 +1,4 @@
-//! Batched structure-of-arrays Monte-Carlo engine for OSTBC BER.
+//! Batched per-point Monte-Carlo engine for OSTBC BER.
 //!
 //! [`crate::sim::simulate_ber_with`] is the draw-order *oracle*: one block
 //! at a time, matrices in row-major `CMatrix` form, the generic
@@ -6,14 +6,14 @@
 //! block pays `fill_from_fn` index arithmetic, per-coefficient polar
 //! rejection sampling, a gram build and a pivoted solve.
 //!
-//! This module is the production engine. A [`BatchWorkspace`] draws the
-//! channel matrices, symbol indices and noise for a whole chunk of
-//! [`BATCH_BLOCKS`] blocks in three bulk RNG calls
-//! ([`complex_gaussian_fill`] / [`fill_range_u32`]), then runs
-//! encode → channel-apply → decode → slice as tight loops over contiguous
-//! **planar** buffers (split re/im, block-minor layout `term*n + block`) so
-//! the compiler can autovectorize every stage. There is no `dyn` dispatch
-//! and no per-sample function call in the hot loops.
+//! The production pipeline lives in [`crate::grid`]: a lane-parallel SoA
+//! engine that simulates an entire SNR × constellation grid from one
+//! shared, configuration-independent draw stream (common random numbers).
+//! [`BatchWorkspace`] is that engine applied to a **one-point grid** — a
+//! thin wrapper kept as the per-point API and as the anchor of the CRN
+//! contract: because the per-point engine *is* the grid engine with one
+//! configuration, `simulate_ber_grid` results are bit-identical to
+//! per-point runs by construction, not by coincidence.
 //!
 //! The decoder exploits what `decode::tests::gram_is_scaled_identity_for_
 //! orthogonal_designs` proves: for orthogonal designs the equivalent real
@@ -37,17 +37,16 @@
 //! [`simulate_ber_batch`] replays [`shard_plan`] serially with one derived
 //! stream per shard — exactly the decomposition `simulate_ber_par` hands
 //! to its thread pool — and each shard consumes its stream in a fixed
-//! order (channel fill, index fill, noise fill, per chunk). The result is
-//! therefore a pure function of `(seed, n_blocks)`: bit-identical across
-//! thread counts and with `--no-default-features`. The batch draw order
-//! legitimately differs from the scalar oracle's (bulk Box–Muller vs
-//! per-coefficient polar rejection), so the two engines agree
-//! statistically, not bit-for-bit.
+//! order (channel fill, raw symbol words, raw unit-σ noise, per chunk).
+//! The result is therefore a pure function of `(seed, n_blocks)`:
+//! bit-identical across thread counts, across SIMD dispatch tiers, and
+//! with `--no-default-features`. The batch draw order legitimately differs
+//! from the scalar oracle's (bulk Box–Muller vs per-coefficient polar
+//! rejection), so the two engines agree statistically, not bit-for-bit.
 
 use crate::design::Ostbc;
+use crate::grid::{GridPoint, GridWorkspace};
 use crate::sim::{shard_plan, BerResult, SimConstellation};
-use comimo_math::batch::{complex_gaussian_fill, fill_range_u32};
-use comimo_math::complex::Complex;
 use rand::RngCore;
 
 /// Blocks simulated per bulk draw. Fixed — never derived from thread count
@@ -55,137 +54,41 @@ use rand::RngCore;
 /// the engine's deterministic contract.
 pub const BATCH_BLOCKS: usize = 256;
 
-/// One nonzero linear-dispersion coefficient, pre-resolved to a flat
-/// buffer offset so the hot loops never re-derive tensor indices.
-#[derive(Debug, Clone, Copy)]
-struct Term {
-    /// Which plane (symbol `k` for encode, antenna `i` for decode).
-    plane: usize,
-    re: f64,
-    im: f64,
-}
-
-/// Preallocated SoA state for the batched engine: precomputed sparse
-/// encode/decode term lists for one code, planar sample buffers for
-/// [`BATCH_BLOCKS`] blocks, and the constellation tables. Steady-state
-/// simulation through one workspace is allocation-free.
+/// Preallocated per-point engine state: a one-configuration
+/// [`GridWorkspace`]. Steady-state simulation through one workspace is
+/// allocation-free; `es`/`n0` are re-aimed per [`BatchWorkspace::simulate`]
+/// call without reallocating.
 #[derive(Debug, Clone)]
 pub struct BatchWorkspace {
-    mt: usize,
-    mr: usize,
-    t: usize,
-    k: usize,
-    m: u32,
-    bits_per_symbol: u32,
-    cons: SimConstellation,
-    /// Per `(slot·mt + ant)`: nonzero coefficients of `s_k` / `s_k*`.
-    enc_a: Vec<Vec<Term>>,
-    enc_b: Vec<Vec<Term>>,
-    /// Per `(slot·k + sym)`: nonzero coefficients over antennas.
-    dec_a: Vec<Vec<Term>>,
-    dec_b: Vec<Vec<Term>>,
-    /// Planar constellation tables (`pts_re[i] + i·pts_im[i] = map(i)`).
-    pts_re: Vec<f64>,
-    pts_im: Vec<f64>,
-    // planar sample buffers, block-minor: index = plane*n + block
-    h_re: Vec<f64>,
-    h_im: Vec<f64>,
-    x_re: Vec<f64>,
-    x_im: Vec<f64>,
-    y_re: Vec<f64>,
-    y_im: Vec<f64>,
-    s_re: Vec<f64>,
-    s_im: Vec<f64>,
-    est_re: Vec<f64>,
-    est_im: Vec<f64>,
-    gp: Vec<f64>,
-    gm: Vec<f64>,
-    c_re: Vec<f64>,
-    c_im: Vec<f64>,
-    d_re: Vec<f64>,
-    d_im: Vec<f64>,
-    idx: Vec<u32>,
+    grid: GridWorkspace,
+    out: [BerResult; 1],
 }
 
 impl BatchWorkspace {
     /// Builds the workspace for `code` × `constellation` with `mr` receive
-    /// antennas: walks the linear-dispersion tensors once, keeping only
-    /// nonzero terms (the designs are sparse — Alamouti has one term per
-    /// entry), and allocates every buffer at [`BATCH_BLOCKS`] capacity.
+    /// antennas.
     pub fn new(code: &Ostbc, constellation: &SimConstellation, mr: usize) -> Self {
-        assert!(mr >= 1);
-        let (mt, t, k) = (code.n_tx(), code.n_slots(), code.n_symbols());
-        let n = BATCH_BLOCKS;
-        let mut enc_a = vec![Vec::new(); t * mt];
-        let mut enc_b = vec![Vec::new(); t * mt];
-        let mut dec_a = vec![Vec::new(); t * k];
-        let mut dec_b = vec![Vec::new(); t * k];
-        for slot in 0..t {
-            for ant in 0..mt {
-                for sym in 0..k {
-                    let a = code.a_coef(slot, ant, sym);
-                    let b = code.b_coef(slot, ant, sym);
-                    if a != Complex::zero() {
-                        enc_a[slot * mt + ant].push(Term {
-                            plane: sym,
-                            re: a.re,
-                            im: a.im,
-                        });
-                        dec_a[slot * k + sym].push(Term {
-                            plane: ant,
-                            re: a.re,
-                            im: a.im,
-                        });
-                    }
-                    if b != Complex::zero() {
-                        enc_b[slot * mt + ant].push(Term {
-                            plane: sym,
-                            re: b.re,
-                            im: b.im,
-                        });
-                        dec_b[slot * k + sym].push(Term {
-                            plane: ant,
-                            re: b.re,
-                            im: b.im,
-                        });
-                    }
-                }
-            }
-        }
-        let m = constellation.size() as u32;
-        let pts_re: Vec<f64> = (0..m).map(|i| constellation.map(i).re).collect();
-        let pts_im: Vec<f64> = (0..m).map(|i| constellation.map(i).im).collect();
-        Self {
-            mt,
-            mr,
-            t,
-            k,
-            m,
+        Self::with_dispatch(code, constellation, mr, None)
+    }
+
+    /// [`BatchWorkspace::new`] with the SIMD dispatch tier pinned instead
+    /// of following [`comimo_math::simd::active`]. Results are
+    /// bit-identical across tiers; this exists for tests and benches.
+    pub fn with_dispatch(
+        code: &Ostbc,
+        constellation: &SimConstellation,
+        mr: usize,
+        dispatch: Option<comimo_math::simd::Dispatch>,
+    ) -> Self {
+        // the placeholder (es, n0) is retargeted on every simulate() call
+        let point = [GridPoint {
             bits_per_symbol: constellation.bits_per_symbol(),
-            cons: constellation.clone(),
-            enc_a,
-            enc_b,
-            dec_a,
-            dec_b,
-            pts_re,
-            pts_im,
-            h_re: vec![0.0; mr * mt * n],
-            h_im: vec![0.0; mr * mt * n],
-            x_re: vec![0.0; t * mt * n],
-            x_im: vec![0.0; t * mt * n],
-            y_re: vec![0.0; t * mr * n],
-            y_im: vec![0.0; t * mr * n],
-            s_re: vec![0.0; k * n],
-            s_im: vec![0.0; k * n],
-            est_re: vec![0.0; k * n],
-            est_im: vec![0.0; k * n],
-            gp: vec![0.0; k * n],
-            gm: vec![0.0; k * n],
-            c_re: vec![0.0; n],
-            c_im: vec![0.0; n],
-            d_re: vec![0.0; n],
-            d_im: vec![0.0; n],
-            idx: vec![0; k * n],
+            es: 1.0,
+            n0: 1.0,
+        }];
+        Self {
+            grid: GridWorkspace::with_dispatch(code, &point, mr, dispatch),
+            out: [BerResult { bits: 0, errors: 0 }],
         }
     }
 
@@ -194,7 +97,8 @@ impl BatchWorkspace {
     /// [`crate::sim::simulate_ber_with`] (per-symbol energy `es` split
     /// over `mt` antennas, complex noise variance `n0`). The chunk
     /// decomposition and per-chunk draw order depend only on `n_blocks`,
-    /// so the stream consumption is reproducible.
+    /// so the stream consumption is reproducible — and identical to any
+    /// grid containing this `(constellation, es, n0)` point.
     pub fn simulate(
         &mut self,
         rng: &mut (impl RngCore + ?Sized),
@@ -202,177 +106,9 @@ impl BatchWorkspace {
         n0: f64,
         n_blocks: usize,
     ) -> BerResult {
-        assert!(es > 0.0 && n0 > 0.0);
-        let amp = (es / self.mt as f64).sqrt();
-        let inv_amp = 1.0 / amp;
-        let mut errors = 0u64;
-        let mut remaining = n_blocks;
-        while remaining > 0 {
-            let n = remaining.min(BATCH_BLOCKS);
-            errors += self.run_chunk(rng, amp, inv_amp, n0, n);
-            remaining -= n;
-        }
-        BerResult {
-            bits: (n_blocks * self.k) as u64 * u64::from(self.bits_per_symbol),
-            errors,
-        }
-    }
-
-    /// One chunk of `n ≤ BATCH_BLOCKS` blocks: three bulk draws, then the
-    /// SoA pipeline. Returns the bit-error count.
-    fn run_chunk(
-        &mut self,
-        rng: &mut (impl RngCore + ?Sized),
-        amp: f64,
-        inv_amp: f64,
-        n0: f64,
-        n: usize,
-    ) -> u64 {
-        let (mt, mr, t, k) = (self.mt, self.mr, self.t, self.k);
-        // -- bulk draws, in the engine's fixed order ---------------------
-        // 1. channel: h[(j·mt+i)·n + b] ~ CN(0, 1)
-        complex_gaussian_fill(
-            rng,
-            1.0,
-            &mut self.h_re[..mr * mt * n],
-            &mut self.h_im[..mr * mt * n],
-        );
-        // 2. symbol indices: idx[k·n + b] ~ U{0..M}
-        fill_range_u32(rng, self.m, &mut self.idx[..k * n]);
-        // 3. noise, written straight into y — the channel term accumulates
-        //    on top, saving a separate add pass
-        complex_gaussian_fill(
-            rng,
-            n0,
-            &mut self.y_re[..t * mr * n],
-            &mut self.y_im[..t * mr * n],
-        );
-        // -- gather symbols ----------------------------------------------
-        for sym in 0..k {
-            let idx = &self.idx[sym * n..][..n];
-            let s_re = &mut self.s_re[sym * n..][..n];
-            let s_im = &mut self.s_im[sym * n..][..n];
-            for b in 0..n {
-                s_re[b] = self.pts_re[idx[b] as usize];
-                s_im[b] = self.pts_im[idx[b] as usize];
-            }
-        }
-        // -- encode: x = amp·(Σ_k a·s_k + b·s_k*) ------------------------
-        for ti in 0..t * mt {
-            let x_re = &mut self.x_re[ti * n..][..n];
-            let x_im = &mut self.x_im[ti * n..][..n];
-            x_re.fill(0.0);
-            x_im.fill(0.0);
-            for term in &self.enc_a[ti] {
-                let (ar, ai) = (amp * term.re, amp * term.im);
-                let s_re = &self.s_re[term.plane * n..][..n];
-                let s_im = &self.s_im[term.plane * n..][..n];
-                for b in 0..n {
-                    x_re[b] += ar * s_re[b] - ai * s_im[b];
-                    x_im[b] += ar * s_im[b] + ai * s_re[b];
-                }
-            }
-            for term in &self.enc_b[ti] {
-                // coefficient of s*: conjugate flips the sign of s_im
-                let (br, bi) = (amp * term.re, amp * term.im);
-                let s_re = &self.s_re[term.plane * n..][..n];
-                let s_im = &self.s_im[term.plane * n..][..n];
-                for b in 0..n {
-                    x_re[b] += br * s_re[b] + bi * s_im[b];
-                    x_im[b] += bi * s_re[b] - br * s_im[b];
-                }
-            }
-        }
-        // -- channel apply: y[τ,j] += Σ_i x[τ,i]·h[j,i] ------------------
-        for slot in 0..t {
-            for j in 0..mr {
-                let y_re = &mut self.y_re[(slot * mr + j) * n..][..n];
-                let y_im = &mut self.y_im[(slot * mr + j) * n..][..n];
-                for i in 0..mt {
-                    let x_re = &self.x_re[(slot * mt + i) * n..][..n];
-                    let x_im = &self.x_im[(slot * mt + i) * n..][..n];
-                    let h_re = &self.h_re[(j * mt + i) * n..][..n];
-                    let h_im = &self.h_im[(j * mt + i) * n..][..n];
-                    for b in 0..n {
-                        y_re[b] += x_re[b] * h_re[b] - x_im[b] * h_im[b];
-                        y_im[b] += x_re[b] * h_im[b] + x_im[b] * h_re[b];
-                    }
-                }
-            }
-        }
-        // -- decode: matched filter per (slot, symbol, rx) ---------------
-        self.est_re[..k * n].fill(0.0);
-        self.est_im[..k * n].fill(0.0);
-        self.gp[..k * n].fill(0.0);
-        self.gm[..k * n].fill(0.0);
-        for slot in 0..t {
-            for sym in 0..k {
-                let a_terms = &self.dec_a[slot * k + sym];
-                let b_terms = &self.dec_b[slot * k + sym];
-                if a_terms.is_empty() && b_terms.is_empty() {
-                    continue;
-                }
-                for j in 0..mr {
-                    // c = Σ_i a·h[j,i], d = Σ_i b·h[j,i]
-                    let c_re = &mut self.c_re[..n];
-                    let c_im = &mut self.c_im[..n];
-                    let d_re = &mut self.d_re[..n];
-                    let d_im = &mut self.d_im[..n];
-                    c_re.fill(0.0);
-                    c_im.fill(0.0);
-                    d_re.fill(0.0);
-                    d_im.fill(0.0);
-                    for term in a_terms {
-                        let h_re = &self.h_re[(j * mt + term.plane) * n..][..n];
-                        let h_im = &self.h_im[(j * mt + term.plane) * n..][..n];
-                        for b in 0..n {
-                            c_re[b] += term.re * h_re[b] - term.im * h_im[b];
-                            c_im[b] += term.re * h_im[b] + term.im * h_re[b];
-                        }
-                    }
-                    for term in b_terms {
-                        let h_re = &self.h_re[(j * mt + term.plane) * n..][..n];
-                        let h_im = &self.h_im[(j * mt + term.plane) * n..][..n];
-                        for b in 0..n {
-                            d_re[b] += term.re * h_re[b] - term.im * h_im[b];
-                            d_im[b] += term.re * h_im[b] + term.im * h_re[b];
-                        }
-                    }
-                    let y_re = &self.y_re[(slot * mr + j) * n..][..n];
-                    let y_im = &self.y_im[(slot * mr + j) * n..][..n];
-                    let est_re = &mut self.est_re[sym * n..][..n];
-                    let est_im = &mut self.est_im[sym * n..][..n];
-                    let gp = &mut self.gp[sym * n..][..n];
-                    let gm = &mut self.gm[sym * n..][..n];
-                    for b in 0..n {
-                        let p_re = c_re[b] + d_re[b];
-                        let p_im = c_im[b] + d_im[b];
-                        let m_re = c_re[b] - d_re[b];
-                        let m_im = c_im[b] - d_im[b];
-                        // Re(conj(p)·y) and Im(conj(m)·y)
-                        est_re[b] += p_re * y_re[b] + p_im * y_im[b];
-                        est_im[b] += m_re * y_im[b] - m_im * y_re[b];
-                        gp[b] += p_re * p_re + p_im * p_im;
-                        gm[b] += m_re * m_re + m_im * m_im;
-                    }
-                }
-            }
-        }
-        // -- normalise, slice, count -------------------------------------
-        let mut errors = 0u64;
-        for sym in 0..k {
-            let est_re = &self.est_re[sym * n..][..n];
-            let est_im = &self.est_im[sym * n..][..n];
-            let gp = &self.gp[sym * n..][..n];
-            let gm = &self.gm[sym * n..][..n];
-            let idx = &self.idx[sym * n..][..n];
-            for b in 0..n {
-                let e = Complex::new(est_re[b] / gp[b] * inv_amp, est_im[b] / gm[b] * inv_amp);
-                let hat = self.cons.slice_fast(e);
-                errors += u64::from((hat ^ idx[b]).count_ones());
-            }
-        }
-        errors
+        self.grid.retarget_single(es, n0);
+        self.grid.simulate_into(rng, n_blocks, &mut self.out);
+        self.out[0]
     }
 }
 
@@ -409,6 +145,7 @@ mod tests {
     use crate::design::StbcKind;
     use crate::sim::simulate_ber;
     use comimo_math::rng::seeded;
+    use comimo_math::simd::Dispatch;
 
     fn all_kinds() -> Vec<StbcKind> {
         vec![
@@ -434,14 +171,18 @@ mod tests {
 
     #[test]
     fn workspace_reuse_matches_fresh_workspace() {
-        // chunk boundaries and buffer reuse must not leak state between
-        // calls: one workspace replaying the shards == fresh ones
+        // chunk boundaries, buffer reuse and es/n0 retargeting must not
+        // leak state between calls: one workspace replaying the shards
+        // (with an interleaved off-point call) == fresh ones
         let code = Ostbc::new(StbcKind::H4);
         let cons = SimConstellation::new(2);
         let via_fn = simulate_ber_batch(77, &code, &cons, 2, 6.0, 1.0, 2500);
         let mut total = BerResult { bits: 0, errors: 0 };
+        let mut ws = BatchWorkspace::new(&code, &cons, 2);
         for (label, blocks) in shard_plan(2500) {
-            let mut ws = BatchWorkspace::new(&code, &cons, 2);
+            // poison the retarget state with a different operating point
+            let mut scratch = comimo_math::rng::seeded(1);
+            ws.simulate(&mut scratch, 0.25, 3.0, 16);
             let mut rng = comimo_math::rng::derive(77, label);
             let r = ws.simulate(&mut rng, 6.0, 1.0, blocks);
             total.bits += r.bits;
@@ -470,11 +211,13 @@ mod tests {
 
     /// The cross-engine agreement test the ISSUE asks for: scalar oracle
     /// and batch engine measure the same BER within binomial confidence
-    /// bounds at fixed seeds, for every design. The draws differ (polar
-    /// vs Box–Muller order), so the comparison is statistical: with
-    /// n bits and true error rate p, each measured rate lies within
-    /// ~4·√(p(1−p)/n) of p with overwhelming probability, so the two
-    /// measurements differ by at most twice that.
+    /// bounds at fixed seeds, for every design — on the native dispatch
+    /// path AND the forced-scalar fallback (which must also be
+    /// bit-identical to native, checked here end to end). The draws differ
+    /// (polar vs Box–Muller order), so the oracle comparison is
+    /// statistical: with n bits and true error rate p, each measured rate
+    /// lies within ~4·√(p(1−p)/n) of p with overwhelming probability, so
+    /// the two measurements differ by at most twice that.
     #[test]
     fn batch_agrees_with_scalar_oracle_within_binomial_bounds() {
         for kind in all_kinds() {
@@ -497,6 +240,17 @@ mod tests {
                 scalar.ber(),
                 batch.ber()
             );
+            // the forced-scalar dispatch path is the same engine
+            // bit-for-bit, so it inherits the oracle agreement verbatim
+            let mut ws = BatchWorkspace::with_dispatch(&code, &cons, mr, Some(Dispatch::Scalar));
+            let mut forced = BerResult { bits: 0, errors: 0 };
+            for (label, blocks) in shard_plan(n_blocks) {
+                let mut rng = comimo_math::rng::derive(42, label);
+                let r = ws.simulate(&mut rng, es, n0, blocks);
+                forced.bits += r.bits;
+                forced.errors += r.errors;
+            }
+            assert_eq!(forced, batch, "{kind:?}: forced-scalar dispatch diverged");
         }
     }
 

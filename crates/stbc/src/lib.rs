@@ -30,6 +30,7 @@
 pub mod batch;
 pub mod decode;
 pub mod design;
+pub mod grid;
 pub mod multiplex;
 pub mod sim;
 

@@ -148,7 +148,7 @@ fn gray_decode(mut g: u32) -> u32 {
 }
 
 /// Result of a Monte-Carlo BER run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BerResult {
     /// Bits simulated.
     pub bits: u64,
