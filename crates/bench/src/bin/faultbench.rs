@@ -11,8 +11,7 @@
 //!       prints only the deterministic fault trace at λ = 1 — CI diffs
 //!       this output across thread counts and feature configs.
 
-use comimo_bench::tables::render_table;
-use comimo_bench::EXPERIMENT_SEED;
+use comimo_bench::{emit_text_artifact, lambda_sweep_section, EXPERIMENT_SEED, FAULT_LAMBDAS};
 use comimo_chaos::{run_events, ChaosConfig, InvariantRegistry};
 use comimo_faults::{
     build_schedule, run_interweave_scenario, run_overlay_scenario, run_recruitment_scenario,
@@ -20,7 +19,6 @@ use comimo_faults::{
 };
 
 const HORIZON_S: f64 = 200.0;
-const LAMBDAS: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 4.0];
 
 fn scenario(lambda: f64) -> ScenarioConfig {
     let faults = if lambda == 0.0 {
@@ -107,7 +105,7 @@ fn main() {
     ];
     // every slot of every lambda checked against the shared registry at
     // the paper's true bounds, before any table is rendered
-    for lambda in LAMBDAS {
+    for lambda in FAULT_LAMBDAS {
         assert_registry_invariants(lambda);
     }
 
@@ -131,39 +129,29 @@ fn main() {
             run_interweave_scenario,
         ),
     ] {
-        out.push_str(&format!("{name}\n"));
-        let mut rows = Vec::new();
-        for lambda in LAMBDAS {
+        out.push_str(&lambda_sweep_section(name, &headers, |lambda| {
             let report = run(&scenario(lambda));
             assert_invariant(&report);
-            rows.push(row(lambda, &report));
-        }
-        out.push_str(&render_table(&headers, &rows));
-        out.push('\n');
+            row(lambda, &report)
+        }));
     }
 
-    out.push_str("Cluster recruitment under lossy broadcast + head death\n");
-    let mut rows = Vec::new();
-    for lambda in LAMBDAS {
-        let r = run_recruitment_scenario(&scenario(lambda))
-            .expect("recruitment completes under the benchmark fault schedule");
-        rows.push(vec![
-            format!("{lambda:.1}"),
-            format!("{}", r.joined),
-            format!("{}", r.abandoned),
-            format!("{}", r.frames_sent),
-            format!("{}", r.head_reelections),
-        ]);
-    }
-    out.push_str(&render_table(
+    out.push_str(&lambda_sweep_section(
+        "Cluster recruitment under lossy broadcast + head death",
         &["lambda", "joined", "abandoned", "frames", "re-elections"],
-        &rows,
+        |lambda| {
+            let r = run_recruitment_scenario(&scenario(lambda))
+                .expect("recruitment completes under the benchmark fault schedule");
+            vec![
+                format!("{lambda:.1}"),
+                format!("{}", r.joined),
+                format!("{}", r.abandoned),
+                format!("{}", r.frames_sent),
+                format!("{}", r.head_reelections),
+            ]
+        },
     ));
-    out.push_str("\nInvariant held: interference at primary receivers stayed under the noise floor in every transmitting slot.\n");
+    out.push_str("Invariant held: interference at primary receivers stayed under the noise floor in every transmitting slot.\n");
 
-    print!("{out}");
-    if std::path::Path::new("results").is_dir() {
-        std::fs::write("results/faultbench.txt", &out).expect("write results/faultbench.txt");
-        eprintln!("wrote results/faultbench.txt");
-    }
+    emit_text_artifact("faultbench.txt", &out);
 }

@@ -18,6 +18,8 @@ struct Report {
     table4: comimo_testbed::experiments::underlay_image::UnderlayImageResult,
     fig8: Vec<comimo_testbed::experiments::beam_scan::BeamScanPoint>,
     bergrid: Vec<comimo_bench::BerGridSeries>,
+    sensing_sweep: Vec<comimo_bench::SenseSweepRow>,
+    sensing_roc: Vec<comimo_sensing::RocPoint>,
 }
 
 fn main() {
@@ -39,6 +41,11 @@ fn main() {
         table4: comimo_bench::table4(t4_packets.or(Some(100))),
         fig8: comimo_bench::fig8(),
         bergrid: comimo_bench::bergrid(20_000),
+        sensing_sweep: comimo_bench::FAULT_LAMBDAS
+            .iter()
+            .map(|&l| comimo_bench::sense_sweep(l))
+            .collect(),
+        sensing_roc: comimo_bench::sensing_roc(),
     };
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");

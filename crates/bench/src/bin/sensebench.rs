@@ -1,0 +1,239 @@
+//! Cooperative-sensing fault benchmark: sweeps the reporter-fault
+//! multiplier λ and reports the achieved fused Pd/Pfa, which rung of the
+//! fusion degradation ladder the cluster head used, and the
+//! report-transport accounting — then (in `--roc` mode) runs the
+//! checkpointable Pd/Pfa ROC campaign behind the kill-and-resume CI job.
+//!
+//! Usage:
+//!   `cargo run --release -p comimo-bench --bin sensebench`
+//!       prints the degradation table (and writes `results/sensebench.txt`
+//!       when run from the repo root with a `results/` directory); the
+//!       output is a pure function of the seed — CI diffs it across
+//!       thread counts;
+//!   `cargo run --release -p comimo-bench --bin sensebench -- --roc [options]`
+//!       runs the ROC campaign ([`comimo_sensing::run_roc_campaign`]) on
+//!       the supervisor and prints one `counts` line per grid point —
+//!       pure functions of `(spec, seed)`, diffed by CI between a
+//!       SIGKILLed-then-resumed run and a clean one.
+//!
+//! `--roc` options:
+//! ```text
+//! --trials N        fused trials per hypothesis per point per shard (default 400)
+//! --shards N        shards in the campaign                (default 24)
+//! --checkpoint P    checkpoint path (enables crash-resume)
+//! --resume          load an existing checkpoint instead of starting fresh
+//! --chunk N         shards per checkpoint commit          (default 2)
+//! --seed S          campaign seed                         (default 2013)
+//! --serial          force serial shard execution
+//! ```
+//!
+//! Exit status: 0 complete, 3 stopped gracefully (resumable), 2 on usage
+//! errors.
+
+use comimo_bench::{
+    emit_text_artifact, lambda_sweep_section, sense_sweep, EXPERIMENT_SEED, SENSE_HORIZON_S,
+    SENSE_LOSS_PROB, SENSE_REPORTERS, SENSE_SNR_DB,
+};
+use comimo_campaign::{install_sigint_stop, CampaignConfig, CampaignStatus};
+use comimo_sensing::{run_roc_campaign, RocGridSpec};
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!(
+        "usage: sensebench [--roc [--trials N] [--shards N] [--checkpoint PATH] [--resume] \
+         [--chunk N] [--seed S] [--serial]]"
+    );
+    std::process::exit(2);
+}
+
+struct RocArgs {
+    trials: u64,
+    shards: u64,
+    checkpoint: Option<String>,
+    resume: bool,
+    chunk: usize,
+    seed: u64,
+    serial: bool,
+}
+
+fn parse_roc_args(args: &[String]) -> RocArgs {
+    let mut a = RocArgs {
+        trials: 400,
+        shards: 24,
+        checkpoint: None,
+        resume: false,
+        chunk: 2,
+        seed: EXPERIMENT_SEED,
+        serial: false,
+    };
+    let mut it = args.iter();
+    let value = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+            .clone()
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trials" => {
+                a.trials = value(&mut it, "--trials")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--trials must be an integer"))
+            }
+            "--shards" => {
+                a.shards = value(&mut it, "--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--shards must be an integer"))
+            }
+            "--checkpoint" => a.checkpoint = Some(value(&mut it, "--checkpoint")),
+            "--resume" => a.resume = true,
+            "--chunk" => {
+                a.chunk = value(&mut it, "--chunk")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--chunk must be an integer"))
+            }
+            "--seed" => {
+                a.seed = value(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be an integer"))
+            }
+            "--serial" => a.serial = true,
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if a.trials == 0 || a.shards == 0 {
+        usage("--trials and --shards must be positive");
+    }
+    a
+}
+
+fn roc_mode(args: &[String]) {
+    let args = parse_roc_args(args);
+    // first Ctrl-C = graceful stop at the next chunk boundary
+    install_sigint_stop();
+
+    let spec = RocGridSpec {
+        trials_per_shard: args.trials,
+        n_shards: args.shards,
+        ..RocGridSpec::paper()
+    };
+    let mut cfg = CampaignConfig::new(args.seed, 0x50C0);
+    cfg.checkpoint = args.checkpoint.as_ref().map(|p| p.into());
+    cfg.resume = args.resume;
+    cfg.checkpoint_every_shards = args.chunk.max(1);
+    cfg.serial = args.serial;
+
+    let (report, roc) = match run_roc_campaign(&spec, &cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("hint: pass a fresh --checkpoint path or drop --resume");
+            std::process::exit(1);
+        }
+    };
+
+    if report.resumed_shards > 0 {
+        println!(
+            "resumed from checkpoint: {}/{} shards already done",
+            report.resumed_shards, report.total_shards
+        );
+    }
+    if report.recovered_from_corruption {
+        println!("corrupt checkpoint detected and discarded; restarted from scratch");
+    }
+    if !report.quarantined.is_empty() {
+        let labels: Vec<u64> = report.quarantined.iter().map(|q| q.shard).collect();
+        println!(
+            "quarantined {} shard(s) after {} attempts each: {labels:?}",
+            report.quarantined.len(),
+            cfg.max_attempts
+        );
+    }
+    match report.status {
+        CampaignStatus::Complete => {
+            // pure functions of (spec, seed) — CI diffs these lines
+            // between a SIGKILLed-then-resumed run and a clean one, and
+            // across thread counts
+            for (pi, p) in roc.iter().enumerate() {
+                println!(
+                    "counts point={pi} snr_db={} k_frac={} k={} seed={} trials={} \
+                     detections={} false_alarms={}",
+                    p.snr_db, p.k_frac, p.k, args.seed, p.trials, p.detections, p.false_alarms
+                );
+            }
+            println!(
+                "complete: {} grid points, {}/{} shards, {} quarantined",
+                roc.len(),
+                report.completed_shards,
+                report.total_shards,
+                report.quarantined.len()
+            );
+        }
+        CampaignStatus::Stopped => {
+            println!(
+                "stopped gracefully at {}/{} shards — resume with --resume",
+                report.completed_shards, report.total_shards
+            );
+            std::process::exit(3);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--roc") {
+        roc_mode(&args[1..]);
+        return;
+    }
+    if !args.is_empty() {
+        usage("flags other than --roc belong after --roc");
+    }
+
+    let headers = [
+        "lambda",
+        "faults",
+        "busy/idle",
+        "Pd",
+        "Pfa",
+        "cfg/or/local",
+        "frames",
+        "dup",
+        "stale",
+        "missing",
+    ];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Cooperative sensing degradation sweep ({SENSE_HORIZON_S} s horizon, seed \
+         {EXPERIMENT_SEED}, 1 s slots, {SENSE_REPORTERS} reporters, {SENSE_SNR_DB} dB SNR, \
+         {SENSE_LOSS_PROB} report loss)\nreporter faults at lambda x nominal rates: \
+         stuck-at-H0, stuck-at-H1, silent death, delayed reports\n\n"
+    ));
+    out.push_str(&lambda_sweep_section(
+        "Fused decisions vs the Markov ON/OFF primary (k-out-of-N head, OR and \
+         head-local fallbacks)",
+        &headers,
+        |lambda| {
+            let r = sense_sweep(lambda);
+            vec![
+                format!("{lambda:.1}"),
+                format!("{}", r.fault_events),
+                format!("{}/{}", r.busy_slots, r.idle_slots),
+                format!("{:.3}", r.pd()),
+                format!("{:.3}", r.pfa()),
+                format!(
+                    "{}/{}/{}",
+                    r.used_configured, r.used_or_fallback, r.used_head_local
+                ),
+                format!("{}", r.frames_sent),
+                format!("{}", r.duplicates),
+                format!("{}", r.stale),
+                format!("{}", r.missing),
+            ]
+        },
+    ));
+    out.push_str(
+        "Invariant held: every fused decision carried quorum evidence or was explicitly \
+         degraded to a wider rung.\n",
+    );
+
+    emit_text_artifact("sensebench.txt", &out);
+}

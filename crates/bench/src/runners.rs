@@ -8,11 +8,16 @@
 //! its index and message after the rest of the sweep has finished —
 //! instead of a bare unwind that throws the whole artefact away.
 
-use comimo_campaign::{supervised_map_strict, SuperviseConfig};
+use comimo_campaign::{supervised_map_strict, CampaignConfig, CampaignStatus, SuperviseConfig};
 use comimo_core::interweave::{run_table1, InterweaveConfig, InterweaveTrial};
 use comimo_core::overlay::{Overlay, OverlayAnalysis, OverlayConfig};
 use comimo_core::underlay::{Underlay, UnderlayAnalysis, UnderlayConfig};
 use comimo_energy::model::EnergyModel;
+use comimo_faults::sensing::{build_reporter_schedule, ReporterFaultConfig, ReporterTimeline};
+use comimo_math::rng::derive;
+use comimo_sensing::{
+    run_roc_campaign, run_round, MarkovOnOff, RocGridSpec, RocPoint, RuleUsed, SensingRound,
+};
 use comimo_stbc::design::{Ostbc, StbcKind};
 use comimo_stbc::grid::{simulate_ber_grid_par, GridPoint};
 use comimo_testbed::experiments::beam_scan::{self, BeamScanConfig, BeamScanPoint};
@@ -263,6 +268,182 @@ pub fn bergrid(n_blocks: usize) -> Vec<BerGridSeries> {
     )
 }
 
+/// The fault-rate multipliers every degradation benchmark sweeps
+/// (`faultbench`, `sensebench`): nominal taxonomy rates × λ.
+pub const FAULT_LAMBDAS: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 4.0];
+
+/// Renders one λ-sweep section of a degradation benchmark: the section
+/// title, then a table with one row per [`FAULT_LAMBDAS`] entry.
+pub fn lambda_sweep_section(
+    title: &str,
+    headers: &[&str],
+    mut row_of: impl FnMut(f64) -> Vec<String>,
+) -> String {
+    let rows: Vec<Vec<String>> = FAULT_LAMBDAS.iter().map(|&l| row_of(l)).collect();
+    format!("{title}\n{}\n", crate::tables::render_table(headers, &rows))
+}
+
+/// Prints a finished benchmark text artefact and mirrors it to
+/// `results/<name>` when run from the repo root.
+pub fn emit_text_artifact(name: &str, out: &str) {
+    print!("{out}");
+    if std::path::Path::new("results").is_dir() {
+        let path = format!("results/{name}");
+        std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Horizon of the sensing degradation sweep (1 s slots — one fused
+/// decision each).
+pub const SENSE_HORIZON_S: f64 = 600.0;
+/// Reporters per fused decision in the sensing sweep.
+pub const SENSE_REPORTERS: usize = 6;
+/// Per-reporter SNR of the primary signal on a busy slot (dB).
+pub const SENSE_SNR_DB: f64 = 0.0;
+/// Intra-cluster report-loss probability (exercises the retry path).
+pub const SENSE_LOSS_PROB: f64 = 0.1;
+/// Salt of the cluster head's own detector stream — the head is not a
+/// reporter; its local decision is the degradation ladder's last rung.
+const SENSE_HEAD_SALT: u64 = 0x5EA5_E000_0004;
+
+/// One λ point of the cooperative-sensing degradation sweep: achieved
+/// fused detection/false-alarm performance, which rung of the fusion
+/// ladder the head used, and the report-transport accounting.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SenseSweepRow {
+    /// Fault-rate multiplier on the nominal reporter-fault taxonomy.
+    pub lambda: f64,
+    /// Reporter-fault events in the derived schedule.
+    pub fault_events: usize,
+    /// Slots whose ground-truth primary state was busy.
+    pub busy_slots: u64,
+    /// Slots whose ground-truth primary state was idle.
+    pub idle_slots: u64,
+    /// Fused busy verdicts on busy slots.
+    pub detections: u64,
+    /// Fused busy verdicts on idle slots.
+    pub false_alarms: u64,
+    /// Slots fused with the configured k-out-of-N rule.
+    pub used_configured: u64,
+    /// Slots degraded to the OR fallback (quorum below the floor).
+    pub used_or_fallback: u64,
+    /// Slots degraded to head-local sensing (no reports at all).
+    pub used_head_local: u64,
+    /// Report frames on the air (retries included).
+    pub frames_sent: u64,
+    /// Deduplicated lost-ack retransmissions.
+    pub duplicates: u64,
+    /// Post-deadline arrivals, dropped.
+    pub stale: u64,
+    /// Live-reporter reports that never made it.
+    pub missing: u64,
+}
+
+impl SenseSweepRow {
+    /// Achieved fused detection probability.
+    pub fn pd(&self) -> f64 {
+        if self.busy_slots == 0 {
+            0.0
+        } else {
+            self.detections as f64 / self.busy_slots as f64
+        }
+    }
+
+    /// Achieved fused false-alarm probability.
+    pub fn pfa(&self) -> f64 {
+        if self.idle_slots == 0 {
+            0.0
+        } else {
+            self.false_alarms as f64 / self.idle_slots as f64
+        }
+    }
+}
+
+/// One λ point of the sensing sweep: [`SENSE_HORIZON_S`] slotted fused
+/// decisions against the Markov ON/OFF primary, reporters faulted by
+/// their `derive(seed, unit)` schedule at λ × nominal rates, reports
+/// crossing the lossy intra-cluster channel. A pure function of
+/// `(lambda, EXPERIMENT_SEED)` at any thread count.
+pub fn sense_sweep(lambda: f64) -> SenseSweepRow {
+    let label = format!("sense λ={lambda}");
+    supervised_run(&label, || {
+        let fcfg = if lambda == 0.0 {
+            ReporterFaultConfig::disabled(SENSE_HORIZON_S)
+        } else {
+            ReporterFaultConfig::nominal(SENSE_HORIZON_S).scaled(lambda)
+        };
+        let schedule = build_reporter_schedule(&fcfg, SENSE_REPORTERS, EXPERIMENT_SEED);
+        let tl = ReporterTimeline::from_schedule(&schedule);
+        let snr = comimo_math::db::db_to_lin(SENSE_SNR_DB);
+        let mut cfg = SensingRound::paper(snr);
+        cfg.transport.loss_prob = SENSE_LOSS_PROB;
+        let det = cfg.detector;
+        let n_slots = SENSE_HORIZON_S as usize;
+        let truth = MarkovOnOff::paper().sample_states(EXPERIMENT_SEED, 0, n_slots);
+        let mut row = SenseSweepRow {
+            lambda,
+            fault_events: schedule.len(),
+            busy_slots: 0,
+            idle_slots: 0,
+            detections: 0,
+            false_alarms: 0,
+            used_configured: 0,
+            used_or_fallback: 0,
+            used_head_local: 0,
+            frames_sent: 0,
+            duplicates: 0,
+            stale: 0,
+            missing: 0,
+        };
+        for (slot, &busy) in truth.iter().enumerate() {
+            let t = slot as f64;
+            let states: Vec<_> = (0..SENSE_REPORTERS).map(|r| tl.state_at(t, r)).collect();
+            let mut head_rng = derive(EXPERIMENT_SEED, SENSE_HEAD_SALT ^ slot as u64);
+            let head_snr = if busy { snr } else { 0.0 };
+            let head_local = det.decide(det.sample_statistic(&mut head_rng, head_snr));
+            let out = run_round(
+                &cfg,
+                busy,
+                &states,
+                head_local,
+                EXPERIMENT_SEED,
+                slot as u64,
+            );
+            if busy {
+                row.busy_slots += 1;
+                row.detections += u64::from(out.decision.busy);
+            } else {
+                row.idle_slots += 1;
+                row.false_alarms += u64::from(out.decision.busy);
+            }
+            match out.decision.rule_used {
+                RuleUsed::Configured => row.used_configured += 1,
+                RuleUsed::OrFallback => row.used_or_fallback += 1,
+                RuleUsed::HeadLocal => row.used_head_local += 1,
+            }
+            row.frames_sent += out.frames_sent;
+            row.duplicates += out.duplicates;
+            row.stale += out.stale;
+            row.missing += out.missing as u64;
+        }
+        row
+    })
+}
+
+/// The fault-free fused ROC behind the report's sensing section: the
+/// paper grid ([`RocGridSpec::paper`]) on the campaign supervisor, no
+/// checkpoint. Counts are pure functions of [`EXPERIMENT_SEED`].
+pub fn sensing_roc() -> Vec<RocPoint> {
+    let (report, roc) = run_roc_campaign(
+        &RocGridSpec::paper(),
+        &CampaignConfig::new(EXPERIMENT_SEED, 0x50C0),
+    )
+    .expect("the fault-free ROC campaign completes");
+    assert_eq!(report.status, CampaignStatus::Complete);
+    roc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,5 +524,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn lambda_sweep_section_renders_title_then_one_row_per_lambda() {
+        let s = lambda_sweep_section("T", &["lambda"], |l| vec![format!("{l:.1}")]);
+        assert!(s.starts_with("T\n| lambda"));
+        assert!(s.ends_with("|\n\n"), "section ends with a blank line");
+        // title + header + rule + rows + trailing blank line
+        assert_eq!(s.matches('\n').count(), 4 + FAULT_LAMBDAS.len());
+        assert!(s.contains("| 0.0") && s.contains("| 4.0"));
+    }
+
+    /// Fault-free λ = 0 stays on the configured fusion rung with
+    /// near-perfect fused detection; a hot λ exhausts the roster and
+    /// walks the ladder down to head-local sensing. The sweep is a pure
+    /// function of `(λ, seed)` — the property CI leans on when it diffs
+    /// sensebench output across thread counts.
+    #[test]
+    fn sense_sweep_degrades_deterministically() {
+        let clean = sense_sweep(0.0);
+        assert_eq!(clean.fault_events, 0);
+        assert_eq!(clean.busy_slots + clean.idle_slots, SENSE_HORIZON_S as u64);
+        assert_eq!(clean.used_configured, SENSE_HORIZON_S as u64);
+        assert_eq!(clean.used_head_local, 0);
+        assert!(
+            clean.pd() > 0.9,
+            "fused majority Pd at 0 dB: {}",
+            clean.pd()
+        );
+        assert!(clean.pfa() < 0.05, "fused majority Pfa: {}", clean.pfa());
+        let hot = sense_sweep(4.0);
+        assert!(hot.fault_events > 0);
+        assert!(hot.used_head_local > 0, "deaths must reach the last rung");
+        assert_eq!(hot, sense_sweep(4.0), "pure function of (λ, seed)");
     }
 }

@@ -16,7 +16,9 @@ use comimo_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Artifact schema version; bump on any incompatible change.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// v2: [`InvariantBounds`] gained the sensing bounds
+/// (`missed_detect_budget`, `fusion_quorum_min`).
+pub const ARTIFACT_VERSION: u32 = 2;
 
 /// One fault event in serialized form (`SimTime` itself carries no serde;
 /// nanoseconds are its exact representation).

@@ -7,6 +7,7 @@
 //! chaos explore [--seed N] [--runs N] [--start-run N] [--horizon SECS]
 //!               [--lambda-min F] [--lambda-max F]
 //!               [--epa-floor-db F] [--null-residual-max F] [--overdraw-max F]
+//!               [--missed-budget N] [--fusion-quorum-min N]
 //!               [--out DIR] [--serial] [--no-shrink]
 //!     run a deterministic sweep; write one replayable JSON artifact per
 //!     violating run into DIR (default chaos-artifacts/).
@@ -76,6 +77,12 @@ fn bounds_from(args: &[String]) -> InvariantBounds {
     }
     if let Some(v) = flag(args, "--overdraw-max") {
         b.overdraw_max = v;
+    }
+    if let Some(v) = flag(args, "--missed-budget") {
+        b.missed_detect_budget = v;
+    }
+    if let Some(v) = flag(args, "--fusion-quorum-min") {
+        b.fusion_quorum_min = v;
     }
     b
 }

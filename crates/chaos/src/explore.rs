@@ -331,6 +331,62 @@ mod tests {
     }
 
     #[test]
+    fn weakened_missed_budget_is_found_and_shrunk() {
+        // a zero missed-detection budget turns the (legitimate, within
+        // paper budget) one-slot miss after a mid-slot PU return into a
+        // violation — the explorer must find one and ddmin must strip
+        // the schedule down to the lone PuReturn that causes it
+        let cfg = ExploreConfig {
+            runs: 8,
+            horizon_s: 120.0,
+            lambda_min: 2.0,
+            lambda_max: 4.0,
+            bounds: InvariantBounds {
+                missed_detect_budget: 0,
+                ..InvariantBounds::paper()
+            },
+            serial: true,
+            ..ExploreConfig::new(2013)
+        };
+        let report = explore(&cfg);
+        assert!(
+            !report.findings.is_empty(),
+            "λ ∈ [2,4] over 120 s must land a PU return inside a radiating slot"
+        );
+        let mut saw_single_pu_return = false;
+        for f in &report.findings {
+            assert_eq!(f.invariant, crate::invariant::INV_MISSED_DETECT_BUDGET);
+            assert!(!f.minimized.is_empty(), "a fault is required to violate");
+            assert!(f.minimized.len() <= f.schedule_len);
+            assert!(f.shrink_probes > 0);
+            if f.minimized.len() == 1
+                && matches!(
+                    f.minimized[0].kind,
+                    comimo_faults::FaultKind::PuReturn { .. }
+                )
+            {
+                saw_single_pu_return = true;
+            }
+            // the minimized trace must replay to the identical violation
+            let wcfg = ChaosConfig::paper(f.run_seed, cfg.horizon_s);
+            let reg = InvariantRegistry::with_bounds(cfg.bounds);
+            let replay = crate::world::run_events(&wcfg, &f.minimized, &reg, true);
+            let v = replay
+                .violations
+                .iter()
+                .find(|v| v.invariant == f.invariant)
+                .expect("minimized trace still fires");
+            assert_eq!(v.at_ns, f.at_ns);
+            assert_eq!(v.observed.to_bits(), f.observed.to_bits());
+            assert_eq!(v.detail, f.detail);
+        }
+        assert!(
+            saw_single_pu_return,
+            "at least one finding shrinks to a lone PuReturn event"
+        );
+    }
+
+    #[test]
     fn serial_and_pooled_sweeps_agree() {
         let serial = ExploreConfig {
             runs: 6,

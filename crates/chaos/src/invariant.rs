@@ -11,6 +11,8 @@
 //! | `INV-DEGRADE-POWER`| Sec. 3 energy budget | overlay degradation never claims feasibility past the budget; infeasible bursts fall back to the direct link |
 //! | `INV-EVENTQ-TIME`  | discrete-event engine contract | simulation time is monotone non-decreasing across event pops |
 //! | `INV-CKPT-COUNTS`  | campaign determinism contract | a completed campaign's merged counts equal the seed-derived oracle |
+//! | `INV-MISSED-DETECT-BUDGET` | cooperative-sensing contract | the cluster never radiates into an active primary for more consecutive slots than the budget |
+//! | `INV-FUSION-QUORUM` | decision-fusion degradation ladder | every non-head-local fused decision rests on at least its own quorum of arrived reports |
 //!
 //! Checks are driven by [`Observation`]s the chaos world emits — one per
 //! simulated slot, event pop, or campaign completion — and produce
@@ -30,6 +32,12 @@ pub const INV_DEGRADE_POWER: &str = "INV-DEGRADE-POWER";
 pub const INV_EVENTQ_TIME: &str = "INV-EVENTQ-TIME";
 /// Stable identifier: campaign counts equal the deterministic oracle.
 pub const INV_CKPT_COUNTS: &str = "INV-CKPT-COUNTS";
+/// Stable identifier: consecutive missed-detection slots stay within the
+/// sensing budget.
+pub const INV_MISSED_DETECT_BUDGET: &str = "INV-MISSED-DETECT-BUDGET";
+/// Stable identifier: fused decisions carry their quorum's worth of
+/// arrived reports.
+pub const INV_FUSION_QUORUM: &str = "INV-FUSION-QUORUM";
 
 /// One fact the chaos world observed; the registry fans each observation
 /// out to every invariant.
@@ -75,6 +83,26 @@ pub enum Observation {
         /// primary link.
         fallback_direct: bool,
     },
+    /// One cooperative-sensing slot's missed-detection accounting.
+    SensingSlot {
+        /// Slot midpoint (ns) — when the miss is charged.
+        at_ns: u64,
+        /// Consecutive slots (this one included) the cluster radiated
+        /// into a primary that returned mid-slot; 0 on a clean slot.
+        missed_streak: u32,
+    },
+    /// One fused spectrum decision with its quorum evidence.
+    FusionDecision {
+        /// Slot start (ns) — when sensing reports were fused.
+        at_ns: u64,
+        /// Reports that arrived and were fused.
+        reports_used: usize,
+        /// Busy votes the deciding rung required.
+        quorum: usize,
+        /// Whether the head-local rung decided (no reports arrived, or no
+        /// sensing ran at all) — exempt from quorum accounting.
+        head_local: bool,
+    },
     /// One event-queue pop: the clock before and after.
     EventPop {
         /// Clock before the pop (ns).
@@ -104,6 +132,8 @@ impl Observation {
             Self::UnderlaySlot { at_ns, .. }
             | Self::InterweaveSlot { at_ns, .. }
             | Self::OverlaySlot { at_ns, .. }
+            | Self::SensingSlot { at_ns, .. }
+            | Self::FusionDecision { at_ns, .. }
             | Self::CampaignCounts { at_ns, .. } => *at_ns,
             Self::EventPop { now_ns, .. } => *now_ns,
         }
@@ -140,6 +170,15 @@ pub struct InvariantBounds {
     /// Maximum `e_su_required / e_budget` a feasible overlay burst may
     /// report. Paper: 1 (+1e-9 for the k = 0 equality case).
     pub overdraw_max: f64,
+    /// Maximum consecutive slots the cluster may radiate into a primary
+    /// that returned mid-slot. Paper: 1 — slotted sensing catches a
+    /// return at the next boundary and the post-miss back-off slot keeps
+    /// the streak from ever reaching 2.
+    pub missed_detect_budget: u32,
+    /// Minimum quorum a non-head-local fused decision may rest on.
+    /// Paper: 1 — the degradation ladder re-derives `k` from what
+    /// arrived, so every fused rung keeps at least an OR quorum.
+    pub fusion_quorum_min: usize,
 }
 
 impl InvariantBounds {
@@ -149,6 +188,8 @@ impl InvariantBounds {
             epa_margin_floor_db: 0.0,
             null_residual_max: 1e-6,
             overdraw_max: 1.0 + 1e-9,
+            missed_detect_budget: 1,
+            fusion_quorum_min: 1,
         }
     }
 }
@@ -174,7 +215,7 @@ pub trait Invariant: Send + Sync {
 }
 
 // ---------------------------------------------------------------------
-// The five paper invariants
+// The seven paper invariants
 // ---------------------------------------------------------------------
 
 struct EpaCeiling {
@@ -421,6 +462,113 @@ impl Invariant for CkptCounts {
     }
 }
 
+struct MissedDetectBudget {
+    budget: u32,
+}
+
+impl Invariant for MissedDetectBudget {
+    fn id(&self) -> &'static str {
+        INV_MISSED_DETECT_BUDGET
+    }
+    fn paper_ref(&self) -> &'static str {
+        "cooperative-sensing contract: a returning primary is detected within one slot, \
+         then a back-off slot re-senses before radiating again"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-sensing run_round fusion ladder; chaos-world sensing stage and post-miss back-off"
+    }
+    fn bound_text(&self) -> String {
+        format!("missed-detection streak ≤ {} slot(s)", self.budget)
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        let Observation::SensingSlot {
+            at_ns,
+            missed_streak,
+        } = obs
+        else {
+            return None;
+        };
+        if *missed_streak > self.budget {
+            return Some(Violation {
+                invariant: INV_MISSED_DETECT_BUDGET,
+                at_ns: *at_ns,
+                observed: f64::from(*missed_streak),
+                bound: f64::from(self.budget),
+                detail: format!(
+                    "cluster radiated into an active primary for {missed_streak} consecutive \
+                     slot(s), budget {}",
+                    self.budget
+                ),
+            });
+        }
+        None
+    }
+}
+
+struct FusionQuorum {
+    min_quorum: usize,
+}
+
+impl Invariant for FusionQuorum {
+    fn id(&self) -> &'static str {
+        INV_FUSION_QUORUM
+    }
+    fn paper_ref(&self) -> &'static str {
+        "decision-fusion degradation ladder: k re-derived from arrived reports, \
+         OR fallback below min_quorum, head-local at zero"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-sensing fuse / quorum_of; comimo-net report transport accounting"
+    }
+    fn bound_text(&self) -> String {
+        format!(
+            "non-head-local decisions: reports_used ≥ quorum ≥ {}",
+            self.min_quorum
+        )
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        let Observation::FusionDecision {
+            at_ns,
+            reports_used,
+            quorum,
+            head_local,
+        } = obs
+        else {
+            return None;
+        };
+        if *head_local {
+            // the head deciding alone fuses nothing; quorum accounting
+            // does not apply
+            return None;
+        }
+        if reports_used < quorum {
+            return Some(Violation {
+                invariant: INV_FUSION_QUORUM,
+                at_ns: *at_ns,
+                observed: *reports_used as f64,
+                bound: *quorum as f64,
+                detail: format!(
+                    "fused a decision over {reports_used} arrived report(s) against a quorum \
+                     of {quorum}"
+                ),
+            });
+        }
+        if *quorum < self.min_quorum {
+            return Some(Violation {
+                invariant: INV_FUSION_QUORUM,
+                at_ns: *at_ns,
+                observed: *quorum as f64,
+                bound: self.min_quorum as f64,
+                detail: format!(
+                    "a fused rung decided with quorum {quorum} < configured minimum {}",
+                    self.min_quorum
+                ),
+            });
+        }
+        None
+    }
+}
+
 // ---------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------
@@ -439,12 +587,12 @@ impl InvariantRegistry {
         }
     }
 
-    /// The five paper invariants at their true bounds.
+    /// The seven paper invariants at their true bounds.
     pub fn paper() -> Self {
         Self::with_bounds(InvariantBounds::paper())
     }
 
-    /// The five paper invariants at explicit (possibly weakened) bounds.
+    /// The seven paper invariants at explicit (possibly weakened) bounds.
     pub fn with_bounds(b: InvariantBounds) -> Self {
         let mut reg = Self::empty();
         reg.register(Box::new(EpaCeiling {
@@ -458,6 +606,12 @@ impl InvariantRegistry {
         }));
         reg.register(Box::new(EventqTime));
         reg.register(Box::new(CkptCounts));
+        reg.register(Box::new(MissedDetectBudget {
+            budget: b.missed_detect_budget,
+        }));
+        reg.register(Box::new(FusionQuorum {
+            min_quorum: b.fusion_quorum_min,
+        }));
         reg
     }
 
@@ -526,15 +680,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn paper_registry_has_the_five_stable_ids() {
+    fn paper_registry_has_the_seven_stable_ids() {
         let reg = InvariantRegistry::paper();
-        assert_eq!(reg.len(), 5);
+        assert_eq!(reg.len(), 7);
         for id in [
             INV_EPA_CEILING,
             INV_NULL_DEPTH,
             INV_DEGRADE_POWER,
             INV_EVENTQ_TIME,
             INV_CKPT_COUNTS,
+            INV_MISSED_DETECT_BUDGET,
+            INV_FUSION_QUORUM,
         ] {
             let inv = reg.get(id).unwrap_or_else(|| panic!("missing {id}"));
             assert_eq!(inv.id(), id);
@@ -567,7 +723,7 @@ mod tests {
             },
             &mut v,
         );
-        assert_eq!(checks, 5, "every slot consults every invariant");
+        assert_eq!(checks, 7, "every slot consults every invariant");
         assert!(v.is_empty());
         // transmitting below the floor: violation
         reg.check(
@@ -728,11 +884,88 @@ mod tests {
     }
 
     #[test]
+    fn missed_detect_budget_fires_above_the_streak_bound() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        // a single missed slot is within the paper budget of 1
+        reg.check(
+            &Observation::SensingSlot {
+                at_ns: 3,
+                missed_streak: 1,
+            },
+            &mut v,
+        );
+        assert!(v.is_empty());
+        reg.check(
+            &Observation::SensingSlot {
+                at_ns: 4,
+                missed_streak: 2,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, INV_MISSED_DETECT_BUDGET);
+        assert_eq!(v[0].observed, 2.0);
+        assert_eq!(v[0].bound, 1.0);
+    }
+
+    #[test]
+    fn fusion_quorum_fires_on_thin_evidence_but_exempts_head_local() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        // a healthy majority decision holds
+        reg.check(
+            &Observation::FusionDecision {
+                at_ns: 1,
+                reports_used: 5,
+                quorum: 3,
+                head_local: true,
+            },
+            &mut v,
+        );
+        reg.check(
+            &Observation::FusionDecision {
+                at_ns: 2,
+                reports_used: 5,
+                quorum: 3,
+                head_local: false,
+            },
+            &mut v,
+        );
+        assert!(v.is_empty());
+        // fewer arrived reports than the quorum demands: structural breach
+        reg.check(
+            &Observation::FusionDecision {
+                at_ns: 3,
+                reports_used: 2,
+                quorum: 3,
+                head_local: false,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, INV_FUSION_QUORUM);
+        // head-local decisions are exempt even with zero reports
+        reg.check(
+            &Observation::FusionDecision {
+                at_ns: 4,
+                reports_used: 0,
+                quorum: 0,
+                head_local: true,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
     fn weakened_bounds_strengthen_the_checks() {
         let weak = InvariantRegistry::with_bounds(InvariantBounds {
             epa_margin_floor_db: 3.0,
             null_residual_max: -1.0,
             overdraw_max: 0.5,
+            missed_detect_budget: 0,
+            fusion_quorum_min: 4,
         });
         let mut v = Vec::new();
         // a margin fine at the paper floor breaks a +3 dB floor
@@ -757,6 +990,24 @@ mod tests {
             },
             &mut v,
         );
-        assert_eq!(v.len(), 2);
+        // one missed slot — fine at the paper budget — breaks budget 0
+        weak.check(
+            &Observation::SensingSlot {
+                at_ns: 0,
+                missed_streak: 1,
+            },
+            &mut v,
+        );
+        // an OR-fallback quorum of 1 breaks a raised quorum minimum
+        weak.check(
+            &Observation::FusionDecision {
+                at_ns: 0,
+                reports_used: 1,
+                quorum: 1,
+                head_local: false,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 4);
     }
 }

@@ -7,13 +7,15 @@
 //!
 //! The pipeline:
 //!
-//! 1. **[`invariant`]** — the five paper invariants behind stable IDs
+//! 1. **[`invariant`]** — the seven paper invariants behind stable IDs
 //!    (`INV-EPA-CEILING`, `INV-NULL-DEPTH`, `INV-DEGRADE-POWER`,
-//!    `INV-EVENTQ-TIME`, `INV-CKPT-COUNTS`), each tied to the equation or
+//!    `INV-EVENTQ-TIME`, `INV-CKPT-COUNTS`, `INV-MISSED-DETECT-BUDGET`,
+//!    `INV-FUSION-QUORUM`), each tied to the equation or
 //!    section it encodes and the code path it guards, in a registry every
 //!    checker (the explorer, `faultbench`, tests) shares.
 //! 2. **[`world`]** — one end-to-end scenario that drives a fault
-//!    schedule through the event queue, all three paradigm degradation
+//!    schedule through the event queue, cooperative spectrum sensing
+//!    with hardened decision fusion, all three paradigm degradation
 //!    policies, cluster recruitment and a supervised mini-campaign,
 //!    checking every invariant at every step. A pure function of
 //!    `(config, events)`.
@@ -64,7 +66,8 @@ pub use artifact::{replay, ArtifactError, ChaosArtifact, ReplayOutcome, TraceEve
 pub use explore::{explore, run_params, soak, ExploreConfig, ExploreReport, RunFinding};
 pub use invariant::{
     Invariant, InvariantBounds, InvariantRegistry, Observation, Violation, INV_CKPT_COUNTS,
-    INV_DEGRADE_POWER, INV_EPA_CEILING, INV_EVENTQ_TIME, INV_NULL_DEPTH,
+    INV_DEGRADE_POWER, INV_EPA_CEILING, INV_EVENTQ_TIME, INV_FUSION_QUORUM,
+    INV_MISSED_DETECT_BUDGET, INV_NULL_DEPTH,
 };
 pub use shrink::{ddmin, ShrinkResult};
 pub use world::{run_events, ChaosConfig, ChaosOutcome, ChaosWorld};

@@ -1,8 +1,19 @@
 //! The chaos world: one end-to-end scenario that drives a fault schedule
-//! through every guarded subsystem — the event queue, the three paradigm
+//! through every guarded subsystem — the event queue, cooperative
+//! spectrum sensing with hardened decision fusion, the three paradigm
 //! degradation policies, cluster recruitment and a supervised mini
 //! Monte-Carlo campaign — emitting an [`Observation`] stream the
 //! invariant registry checks at every step.
+//!
+//! The interweave channel pick is *sensing-driven*: every alive node
+//! runs its energy detector against the ground-truth primary state and
+//! reports to the cluster head over the lossy intra-cluster transport;
+//! the head fuses what arrives (degrading k-out-of-N → OR → head-local
+//! as reporters churn) and its own ground-truth look vetoes fused
+//! misses before any radiation. A primary returning *mid-slot* under an
+//! active transmission is charged as a missed detection
+//! (`INV-MISSED-DETECT-BUDGET`); the cluster then backs off for one full
+//! slot, which is what keeps the streak within the paper budget of 1.
 //!
 //! Everything is a pure function of `(config, events)`: same inputs,
 //! same observations, same violations — at any thread count. That is
@@ -16,11 +27,15 @@ use comimo_core::cluster_beam::ClusterBeamformer;
 use comimo_core::overlay::{Overlay, OverlayConfig};
 use comimo_core::underlay::{Underlay, UnderlayConfig};
 use comimo_energy::model::EnergyModel;
-use comimo_faults::{beam_positions, CampaignFaultPlan, FaultEvent, FaultKind, Timeline, Topology};
+use comimo_faults::{
+    beam_positions, build_reporter_schedule, CampaignFaultPlan, FaultEvent, FaultKind,
+    ReporterFaultConfig, ReporterState, ReporterTimeline, Timeline, Topology,
+};
 use comimo_math::rng::derive;
 use comimo_net::graph::SuGraph;
 use comimo_net::node::SuNode;
 use comimo_net::recruit::{run_recruitment, RecruitConfig};
+use comimo_sensing::{run_round, FusionDecision, RuleUsed, SensingRound};
 use comimo_sim::engine::{EventQueue, StepProbe};
 use comimo_sim::time::SimTime;
 use comimo_stbc::sim::BerResult;
@@ -35,6 +50,11 @@ pub const WAVELENGTH_M: f64 = 0.1199;
 const CAMPAIGN_PLAN_SALT: u64 = 0x43_48_41_4f_53_43_50_4c; // "CHAOSCPL"
 /// Salt separating the mini-campaign's shard-count streams.
 const CAMPAIGN_SHARD_SALT: u64 = 0x43_48_41_4f_53_53_48_44; // "CHAOSSHD"
+
+/// Linear SNR of the primary at each sensing reporter when a channel is
+/// busy (20 dB): sharp enough that fused misses come from faults, not
+/// from detector noise — but not a genie; only the head's veto is.
+const SENSE_SNR_LIN: f64 = 100.0;
 
 /// Everything one chaos run needs; [`ChaosConfig::paper`] fills in the
 /// paper's evaluation constants.
@@ -168,6 +188,11 @@ pub struct ChaosWorld {
     full_beam: ClusterBeamformer,
     /// The protected primary receiver.
     pr: Point,
+    /// The config-derived reporter-fault timeline (stuck/death/delay) —
+    /// constant across ddmin probes, which keeps shrinking sound.
+    reporter_tl: ReporterTimeline,
+    /// The sensing round every slot runs (detector, fusion, transport).
+    sense: SensingRound,
 }
 
 impl ChaosWorld {
@@ -197,6 +222,12 @@ impl ChaosWorld {
             positions,
             full_beam,
             pr: Point::new(cfg.pu_distance_m, cfg.pu_distance_m / 3.0),
+            reporter_tl: ReporterTimeline::from_schedule(&build_reporter_schedule(
+                &ReporterFaultConfig::nominal(cfg.horizon_s),
+                cfg.topology().n_nodes,
+                cfg.seed,
+            )),
+            sense: SensingRound::paper(SENSE_SNR_LIN),
         }
     }
 
@@ -264,6 +295,11 @@ fn run_in_world(
     let un_deg = &world.un_deg;
     // null repairs depend on the out-*set*, so this cache is per-run
     let mut beam_cache: HashMap<Vec<usize>, Option<f64>> = HashMap::new();
+    let rtl = &world.reporter_tl;
+    // consecutive slots radiated into a mid-slot primary return, and the
+    // one-slot back-off a miss imposes before the cluster radiates again
+    let mut missed_streak: u32 = 0;
+    let mut backoff_mute = false;
 
     let slots = cfg.n_slots();
     for slot in 0..slots {
@@ -314,11 +350,68 @@ fn run_in_world(
         };
         checks += reg.check(&obs, &mut violations);
 
-        // interweave: sensing at the slot boundary picks the first
-        // PU-free channel; deaths re-pair the null-steering cluster
+        // cooperative sensing at the slot boundary picks the interweave
+        // channel: every node runs its detector and reports to the head
+        // over the lossy transport; the head fuses what arrives, and its
+        // own ground-truth look vetoes fused misses before radiating
         let start_ns = SimTime::from_secs_f64(slot_start).as_nanos();
-        let free = (0..cfg.n_channels).find(|&c| !tl.pu_active(slot_start, c));
-        let obs = match free {
+        let out_start = tl.nodes_out(slot_start, topo.n_nodes);
+        let head_alive = (0..topo.n_nodes).any(|n| {
+            !out_start.contains(&n) && !matches!(rtl.state_at(slot_start, n), ReporterState::Dead)
+        });
+        let mut round_cfg = world.sense;
+        round_cfg.transport.loss_prob = tl.bcast_loss(slot_start).clamp(0.0, 1.0);
+        let states: Vec<ReporterState> = (0..topo.n_nodes)
+            .map(|r| {
+                // data-plane deaths silence the reporter too; otherwise
+                // the reporter-fault timeline decides
+                if out_start.contains(&r) {
+                    ReporterState::Dead
+                } else {
+                    rtl.state_at(slot_start, r)
+                }
+            })
+            .collect();
+        let mut picked: Option<usize> = None;
+        let mut decision: Option<FusionDecision> = None;
+        if head_alive && !backoff_mute {
+            for c in 0..cfg.n_channels {
+                let truth_busy = tl.pu_active(slot_start, c);
+                let round = (slot * cfg.n_channels + c) as u64;
+                let out = run_round(&round_cfg, truth_busy, &states, truth_busy, cfg.seed, round);
+                decision = Some(out.decision);
+                // transmit only where fusion AND the head's own look say
+                // idle: a fused miss is vetoed, a fused false alarm just
+                // skips a usable channel — both directions stay safe
+                if !out.decision.busy && !truth_busy {
+                    picked = Some(c);
+                    break;
+                }
+            }
+        }
+        backoff_mute = false;
+        let obs = match decision {
+            Some(d) => Observation::FusionDecision {
+                at_ns: start_ns,
+                reports_used: d.reports_used,
+                quorum: d.quorum,
+                head_local: d.rule_used == RuleUsed::HeadLocal,
+            },
+            // no sensing ran (dead head, or the post-miss back-off
+            // slot): whatever is left of the head decided alone
+            None => Observation::FusionDecision {
+                at_ns: start_ns,
+                reports_used: 0,
+                quorum: 0,
+                head_local: true,
+            },
+        };
+        checks += reg.check(&obs, &mut violations);
+
+        // interweave: deaths re-pair the null-steering cluster on the
+        // sensed channel
+        let mut radiating_on: Option<usize> = None;
+        let obs = match picked {
             None => Observation::InterweaveSlot {
                 at_ns: start_ns,
                 transmitting: false,
@@ -327,26 +420,26 @@ fn run_in_world(
                 null_residual: 0.0,
             },
             Some(channel) => {
-                let out_start: Vec<usize> = tl
-                    .nodes_out(slot_start, topo.n_nodes)
-                    .into_iter()
-                    .filter(|&n| n < cfg.mt)
-                    .collect();
-                let residual = *beam_cache.entry(out_start.clone()).or_insert_with(|| {
-                    let dead: Vec<Point> = out_start.iter().map(|&n| positions[n]).collect();
+                let dead_tx: Vec<usize> =
+                    out_start.iter().copied().filter(|&n| n < cfg.mt).collect();
+                let residual = *beam_cache.entry(dead_tx.clone()).or_insert_with(|| {
+                    let dead: Vec<Point> = dead_tx.iter().map(|&n| positions[n]).collect();
                     full_beam.repair(&dead).beam.map(|beam| {
                         let asg = beam.steer(pr);
                         beam.null_residual(pr, &asg)
                     })
                 });
                 match residual {
-                    Some(r) => Observation::InterweaveSlot {
-                        at_ns: start_ns,
-                        transmitting: true,
-                        channel,
-                        pu_active: tl.pu_active(slot_start, channel),
-                        null_residual: r,
-                    },
+                    Some(r) => {
+                        radiating_on = Some(channel);
+                        Observation::InterweaveSlot {
+                            at_ns: start_ns,
+                            transmitting: true,
+                            channel,
+                            pu_active: tl.pu_active(slot_start, channel),
+                            null_residual: r,
+                        }
+                    }
                     None => Observation::InterweaveSlot {
                         at_ns: start_ns,
                         transmitting: false,
@@ -358,6 +451,31 @@ fn run_in_world(
             }
         };
         checks += reg.check(&obs, &mut violations);
+
+        // missed-detection accounting: a primary returning *inside* a
+        // radiating slot cannot be caught before the next boundary —
+        // that is the one-slot budget. The streak stays ≤ 1 structurally
+        // because the back-off slot above never radiates.
+        let missed = radiating_on.is_some_and(|c| {
+            events.iter().any(|e| {
+                matches!(e.kind, FaultKind::PuReturn { channel, .. } if channel == c)
+                    && e.at.as_secs_f64() >= slot_start
+                    && e.at.as_secs_f64() < slot_start + cfg.slot_s
+            })
+        });
+        if missed {
+            missed_streak += 1;
+            backoff_mute = true;
+        } else {
+            missed_streak = 0;
+        }
+        checks += reg.check(
+            &Observation::SensingSlot {
+                at_ns: mid_ns,
+                missed_streak,
+            },
+            &mut violations,
+        );
     }
 
     // ---- stage C: cluster recruitment under the schedule's stress ----
@@ -492,12 +610,12 @@ mod tests {
         );
         assert!(out.events > 0, "faults must be scheduled");
         assert_eq!(out.slots, 120);
-        // every slot consulted the full registry three times (one
-        // observation per paradigm) plus once per event pop, plus the
-        // campaign-counts observation
+        // every slot consulted the full registry five times (overlay,
+        // underlay, fusion decision, interweave, sensing streak) plus
+        // once per event pop, plus the campaign-counts observation
         assert_eq!(
             out.checks,
-            reg.len() as u64 * (3 * 120 + out.events as u64 + 1)
+            reg.len() as u64 * (5 * 120 + out.events as u64 + 1)
         );
     }
 
@@ -535,6 +653,41 @@ mod tests {
             .filter(|v| v.invariant == crate::invariant::INV_DEGRADE_POWER)
             .collect();
         assert_eq!(fired.len(), 10, "one per slot");
+    }
+
+    #[test]
+    fn mid_slot_pu_return_is_one_miss_and_then_a_back_off_slot() {
+        let (cfg, _) = paper_world(8, 5.0);
+        // the primary returns mid-slot on the channel the cluster is
+        // radiating on: slotted sensing cannot catch it before the next
+        // boundary, so it is exactly one charged miss — and the back-off
+        // slot keeps the streak from ever reaching 2
+        let events = [FaultEvent {
+            at: SimTime::from_secs_f64(0.5),
+            kind: FaultKind::PuReturn {
+                channel: 0,
+                duration_s: 0.2,
+            },
+        }];
+        let reg = InvariantRegistry::paper();
+        let out = run_events(&cfg, &events, &reg, true);
+        assert!(
+            out.violations.is_empty(),
+            "one miss sits within the paper budget of 1: {:?}",
+            out.violations.first()
+        );
+        let reg0 = InvariantRegistry::with_bounds(InvariantBounds {
+            missed_detect_budget: 0,
+            ..InvariantBounds::paper()
+        });
+        let out = run_events(&cfg, &events, &reg0, true);
+        let fired: Vec<_> = out
+            .violations
+            .iter()
+            .filter(|v| v.invariant == crate::invariant::INV_MISSED_DETECT_BUDGET)
+            .collect();
+        assert_eq!(fired.len(), 1, "exactly the one mid-slot miss fires");
+        assert_eq!(fired[0].observed, 1.0, "the streak never exceeds 1");
     }
 
     #[test]

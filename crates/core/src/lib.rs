@@ -58,5 +58,5 @@ pub use cluster_beam::{analyze_interweave_link, BeamRepair, ClusterBeamformer};
 pub use interweave::{phase_delay, InterweaveConfig, TransmitPair};
 pub use overlay::{OverlayAnalysis, OverlayConfig, OverlayDegradation};
 pub use pu::{PrimaryPair, PuActivity};
-pub use spectrum::{SensingConfig, SpectrumMap};
+pub use spectrum::{SensingConfig, SpectrumError, SpectrumMap};
 pub use underlay::{FallbackStep, UnderlayAnalysis, UnderlayConfig};

@@ -66,6 +66,36 @@ pub struct OccupancyEstimate {
     pub true_duty: f64,
 }
 
+/// Why a sensing query cannot produce an answer. Typed so callers on
+/// explorer-reachable paths can recover — match on the variant and
+/// degrade — instead of panicking mid-simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpectrumError {
+    /// The sensed environment holds no channels to pick from.
+    NoChannels,
+    /// The detector was asked to run with zero sensing instants.
+    NoSamples,
+    /// A detector probability is outside `[0, 1]` (or NaN).
+    BadProbability {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for SpectrumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoChannels => write!(f, "no channels sensed"),
+            Self::NoSamples => write!(f, "sensing config has n_samples = 0"),
+            Self::BadProbability { value } => {
+                write!(f, "detector probability {value} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpectrumError {}
+
 /// The sensed environment held by a cluster head.
 #[derive(Debug, Clone)]
 pub struct SpectrumMap {
@@ -98,14 +128,23 @@ impl SpectrumMap {
 
     /// Runs the energy detector over every channel, producing occupancy
     /// estimates corrupted by missed detections and false alarms.
+    /// Rejects a zero-sample or out-of-range-probability config with a
+    /// typed error rather than asserting.
     pub fn estimate_occupancy(
         &self,
         rng: &mut impl rand::Rng,
         cfg: &SensingConfig,
-    ) -> Vec<OccupancyEstimate> {
-        assert!(cfg.n_samples >= 1);
-        assert!((0.0..=1.0).contains(&cfg.p_detect) && (0.0..=1.0).contains(&cfg.p_false_alarm));
-        self.channels
+    ) -> Result<Vec<OccupancyEstimate>, SpectrumError> {
+        if cfg.n_samples == 0 {
+            return Err(SpectrumError::NoSamples);
+        }
+        for p in [cfg.p_detect, cfg.p_false_alarm] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(SpectrumError::BadProbability { value: p });
+            }
+        }
+        Ok(self
+            .channels
             .iter()
             .map(|ch| {
                 let mut busy_hits = 0usize;
@@ -127,11 +166,13 @@ impl SpectrumMap {
                     true_duty: ch.activity.duty_cycle(),
                 }
             })
-            .collect()
+            .collect())
     }
 
-    /// Classic interweave (no nulling): the least-occupied channel.
-    pub fn pick_idlest(&self, estimates: &[OccupancyEstimate]) -> usize {
+    /// Classic interweave (no nulling): the least-occupied channel, or
+    /// [`SpectrumError::NoChannels`] when there is nothing to pick from
+    /// (every PU evacuated, or sensing produced no estimates).
+    pub fn pick_idlest(&self, estimates: &[OccupancyEstimate]) -> Result<usize, SpectrumError> {
         estimates
             .iter()
             .min_by(|a, b| {
@@ -140,7 +181,7 @@ impl SpectrumMap {
                     .then(a.channel.cmp(&b.channel))
             })
             .map(|e| e.channel)
-            .expect("no channels sensed")
+            .ok_or(SpectrumError::NoChannels)
     }
 
     /// The paper's nulling-enabled pick (Algorithm 3 Step 1): among *all*
@@ -148,8 +189,7 @@ impl SpectrumMap {
     /// the PU "as far as possible from C-St and/or [such that] the line
     /// segments of C-St·Pr and C-St·C-Sr are not as collinear as
     /// possible".
-    pub fn pick_for_nulling(&self, st: Point, sr: Point) -> usize {
-        assert!(!self.channels.is_empty());
+    pub fn pick_for_nulling(&self, st: Point, sr: Point) -> Result<usize, SpectrumError> {
         let max_dist = self
             .channels
             .iter()
@@ -164,7 +204,7 @@ impl SpectrumMap {
                 score(a).total_cmp(&score(b))
             })
             .map(|c| c.pu.channel)
-            .expect("no channels")
+            .ok_or(SpectrumError::NoChannels)
     }
 }
 
@@ -205,7 +245,7 @@ mod tests {
             ),
         ];
         let map = SpectrumMap::sense(&mut rng, &pus, &cfg);
-        let est = map.estimate_occupancy(&mut rng, &cfg);
+        let est = map.estimate_occupancy(&mut rng, &cfg).unwrap();
         assert!((est[0].busy_fraction - 0.2).abs() < 0.12, "{:?}", est[0]);
         assert!((est[1].busy_fraction - 0.8).abs() < 0.12, "{:?}", est[1]);
         assert!(est[0].busy_fraction < est[1].busy_fraction);
@@ -222,8 +262,10 @@ mod tests {
                 (0.5, Point::new(0.0, 100.0)),
             ],
         );
-        let est = map.estimate_occupancy(&mut rng, &SensingConfig::typical());
-        assert_eq!(map.pick_idlest(&est), 1);
+        let est = map
+            .estimate_occupancy(&mut rng, &SensingConfig::typical())
+            .unwrap();
+        assert_eq!(map.pick_idlest(&est), Ok(1));
     }
 
     #[test]
@@ -239,7 +281,7 @@ mod tests {
                 (0.5, Point::new(30.0, 30.0)), // diagonal
             ],
         );
-        assert_eq!(map.pick_for_nulling(st, sr), 1);
+        assert_eq!(map.pick_for_nulling(st, sr), Ok(1));
     }
 
     #[test]
@@ -255,7 +297,7 @@ mod tests {
             ..SensingConfig::typical()
         };
         let map = SpectrumMap::sense(&mut rng, &pus, &noisy);
-        let est = map.estimate_occupancy(&mut rng, &noisy);
+        let est = map.estimate_occupancy(&mut rng, &noisy).unwrap();
         assert!(
             (est[0].busy_fraction - 0.3).abs() < 0.07,
             "false alarms should dominate: {:?}",
@@ -277,7 +319,7 @@ mod tests {
             PuActivity::new(5.0, 5.0),
         )];
         let map = SpectrumMap::sense(&mut rng, &pus, &cfg);
-        let est = map.estimate_occupancy(&mut rng, &cfg);
+        let est = map.estimate_occupancy(&mut rng, &cfg).unwrap();
         // busy_fraction must equal the schedule's sampled occupancy
         let truth: f64 = (0..cfg.n_samples)
             .filter(|&i| {
@@ -287,5 +329,43 @@ mod tests {
             .count() as f64
             / cfg.n_samples as f64;
         assert!((est[0].busy_fraction - truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_map_reports_no_channels_instead_of_panicking() {
+        let mut rng = seeded(36);
+        let map = SpectrumMap::sense(&mut rng, &[], &SensingConfig::typical());
+        assert_eq!(map.pick_idlest(&[]), Err(SpectrumError::NoChannels));
+        assert_eq!(
+            map.pick_for_nulling(Point::origin(), Point::new(1.0, 0.0)),
+            Err(SpectrumError::NoChannels)
+        );
+        // an empty environment still "estimates" fine (nothing to do)
+        assert_eq!(
+            map.estimate_occupancy(&mut rng, &SensingConfig::typical()),
+            Ok(vec![])
+        );
+    }
+
+    #[test]
+    fn bad_detector_configs_are_typed_errors() {
+        let mut rng = seeded(37);
+        let map = env(&mut rng, &[(0.5, Point::new(10.0, 0.0))]);
+        let zero_samples = SensingConfig {
+            n_samples: 0,
+            ..SensingConfig::typical()
+        };
+        assert_eq!(
+            map.estimate_occupancy(&mut rng, &zero_samples),
+            Err(SpectrumError::NoSamples)
+        );
+        let bad_p = SensingConfig {
+            p_detect: 1.5,
+            ..SensingConfig::typical()
+        };
+        assert_eq!(
+            map.estimate_occupancy(&mut rng, &bad_p),
+            Err(SpectrumError::BadProbability { value: 1.5 })
+        );
     }
 }

@@ -23,13 +23,17 @@
 //!   of `comimo-core` (overlay re-weighting, the underlay fallback
 //!   ladder, interweave re-pairing and evacuation) and the recruitment
 //!   protocol of `comimo-net` into degradation reports, each carrying
-//!   the primary-interference invariant verdict.
+//!   the primary-interference invariant verdict;
+//! * [`sensing`] — reporter faults for the cooperative sensing path:
+//!   stuck-at-H0/H1 detectors, silent reporter death and delayed
+//!   reports, on the same split-stream schedule discipline.
 
 pub mod campaign;
 pub mod injector;
 pub mod model;
 pub mod scenarios;
 pub mod schedule;
+pub mod sensing;
 
 /// Maps `f` over `items` — on the rayon pool when the `parallel` feature
 /// is on, serially otherwise. Output order always matches input order, so
@@ -63,3 +67,7 @@ pub use scenarios::{
     run_underlay_scenario, DegradationReport, RecruitReport, ScenarioConfig, Timeline,
 };
 pub use schedule::build_schedule;
+pub use sensing::{
+    build_reporter_schedule, ReporterFaultConfig, ReporterFaultEvent, ReporterFaultKind,
+    ReporterState, ReporterTimeline,
+};

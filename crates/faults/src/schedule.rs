@@ -19,8 +19,15 @@ const SALT_SHADOW: u64 = 0xFA17_0000_0003;
 const SALT_BROADCAST: u64 = 0xFA17_0000_0004;
 
 /// Poisson arrival times over `[0, horizon_s)` at `rate_hz`, plus a
-/// sampled exponential duration for each arrival.
-fn arrivals(seed: u64, salt: u64, unit: usize, rate_hz: f64, horizon_s: f64) -> Vec<(f64, f64)> {
+/// sampled exponential duration for each arrival. Shared with the
+/// reporter-fault schedules of [`crate::sensing`].
+pub(crate) fn arrivals(
+    seed: u64,
+    salt: u64,
+    unit: usize,
+    rate_hz: f64,
+    horizon_s: f64,
+) -> Vec<(f64, f64)> {
     if rate_hz <= 0.0 {
         return Vec::new();
     }

@@ -149,6 +149,26 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// One-sample Kolmogorov–Smirnov statistic: the supremum distance between
+/// the empirical CDF of `xs` and the reference CDF `cdf`. Sorts a copy;
+/// fine for experiment-sized data. The classic 5 % critical value for
+/// large `n` is `1.36 / sqrt(n)`.
+pub fn ks_statistic(xs: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!xs.is_empty(), "KS statistic of empty sample");
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = v.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in v.iter().enumerate() {
+        let f = cdf(x);
+        // the empirical CDF jumps at x: check the gap on both sides
+        let lo = (f - i as f64 / n).abs();
+        let hi = ((i as f64 + 1.0) / n - f).abs();
+        d = d.max(lo).max(hi);
+    }
+    d
+}
+
 /// Fixed-width histogram over `[lo, hi)` with saturation buckets at the ends.
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -258,6 +278,25 @@ mod tests {
         assert_eq!(h.counts()[9], 2);
         assert!((h.bucket_center(0) - 0.5).abs() < 1e-12);
         assert!((h.fraction(5) - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_statistic_accepts_its_own_law_and_rejects_another() {
+        // uniform grid points against the uniform CDF: D is tiny
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let d_uniform = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(d_uniform < 1.36 / (1000f64).sqrt(), "D = {d_uniform}");
+        // the same sample against x² (a different law) must reject
+        let d_wrong = ks_statistic(&xs, |x| (x * x).clamp(0.0, 1.0));
+        assert!(d_wrong > 1.36 / (1000f64).sqrt(), "D = {d_wrong}");
+    }
+
+    #[test]
+    fn ks_statistic_bounds() {
+        // a point mass far from the reference law saturates D near 1
+        let xs = [100.0; 50];
+        let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(d <= 1.0 + 1e-12 && d > 0.9, "D = {d}");
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! * minimum-energy routing over the full cluster graph (Dijkstra), for
 //!   comparison against the backbone policy — [`routing`];
 //! * network-lifetime simulation with battery drain and reconfiguration
-//!   — [`lifetime`].
+//!   — [`lifetime`];
+//! * fault-tolerant sensing-report collection at the cluster head, with
+//!   timeout, bounded-backoff retry and loss/stale/duplicate handling —
+//!   [`report`].
 
 pub mod cluster;
 pub mod comimonet;
@@ -33,6 +36,7 @@ pub mod mac;
 pub mod mobility;
 pub mod node;
 pub mod recruit;
+pub mod report;
 pub mod routing;
 
 pub use cluster::{d_clustering, try_elect_head, Cluster, ClusterError};
@@ -42,4 +46,5 @@ pub use lifetime::{run_lifetime, LifetimeConfig, LifetimeResult};
 pub use mobility::{MobileNetwork, RandomWaypoint, WaypointConfig};
 pub use node::SuNode;
 pub use recruit::{backoff_delay, run_recruitment, RecruitConfig, RecruitOutcome};
+pub use report::{collect_reports, ReportConfig, ReportOutcome, Reporter};
 pub use routing::{min_energy_route, EnergyRoute};

@@ -90,6 +90,10 @@ pub struct MacStats {
     pub collisions: u64,
     /// RTS frames that collided (cheap losses absorbed by the handshake).
     pub rts_collisions: u64,
+    /// Transmission-end events that found their node's queue empty — a
+    /// state desynchronisation that should never happen; counted (and the
+    /// event dropped) instead of panicking mid-simulation.
+    pub desyncs: u64,
     /// Per-delivered-frame latency in seconds.
     pub latencies_s: Vec<f64>,
 }
@@ -260,7 +264,13 @@ impl CsmaSim {
                 }
                 Ev::RtsEnd { node, tx } => {
                     let outcome = self.medium.finish(tx);
-                    let (frame, _) = *self.nodes[node].queue.front().expect("RTS without frame");
+                    let Some(&(frame, _)) = self.nodes[node].queue.front() else {
+                        // an RTS ended with nothing queued: recover instead
+                        // of panicking — release the channel and move on
+                        self.nodes[node].in_flight = false;
+                        self.stats.desyncs += 1;
+                        continue;
+                    };
                     if outcome.delivered_to.contains(&frame.dst) {
                         // the destination answers with a (virtual) CTS: every
                         // node that hears the destination sets its NAV for the
@@ -298,8 +308,10 @@ impl CsmaSim {
                 Ev::TxEnd { node, tx } => {
                     let outcome = self.medium.finish(tx);
                     self.nodes[node].in_flight = false;
-                    let (frame, enqueued) =
-                        *self.nodes[node].queue.front().expect("tx without frame");
+                    let Some(&(frame, enqueued)) = self.nodes[node].queue.front() else {
+                        self.stats.desyncs += 1;
+                        continue;
+                    };
                     let phy_ok = match &self.phy_loss {
                         Some(m) => !self.rng.gen_bool(m[frame.src][frame.dst]),
                         None => true,

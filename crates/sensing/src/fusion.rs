@@ -1,0 +1,295 @@
+//! Cluster-head decision fusion with graceful degradation.
+//!
+//! The head fuses the one-bit local decisions that survived transport
+//! (Rossi et al., MIMO decision fusion) under a configured rule — AND,
+//! OR, or k-out-of-N. The quorum is re-derived from the reports that
+//! *actually arrived*, not from the nominal roster, so reporter churn
+//! mid-window shrinks `k` instead of making the rule unsatisfiable; and
+//! when the quorum thins below [`FusionConfig::min_quorum`] the head
+//! degrades down a fixed ladder:
+//!
+//! ```text
+//! configured rule  →  OR over whatever arrived  →  head-local sensing
+//! ```
+//!
+//! Every decision records which rung produced it ([`RuleUsed`]) plus the
+//! report count and quorum it used — the observability the
+//! `INV-FUSION-QUORUM` invariant checks.
+
+use comimo_math::special::ln_gamma;
+use serde::Serialize;
+
+/// The configured fusion rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FusionRule {
+    /// Busy only if *every* report says busy (minimizes false alarms).
+    And,
+    /// Busy if *any* report says busy (minimizes missed detections).
+    Or,
+    /// Busy if at least `ceil(k_frac · n)` of the `n` arrived reports
+    /// say busy — `k` is re-derived per round as reporters churn.
+    KOutOfN {
+        /// Fraction of arrived reports required, in `(0, 1]`.
+        k_frac: f64,
+    },
+}
+
+/// Fusion rule plus the degradation threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FusionConfig {
+    /// The rule used while the quorum holds.
+    pub rule: FusionRule,
+    /// Minimum arrived reports for the configured rule; below this the
+    /// head falls back to OR, and with zero reports to local sensing.
+    pub min_quorum: usize,
+}
+
+impl FusionConfig {
+    /// The experiments' default: majority voting (k-out-of-N at ½) with
+    /// the configured rule requiring at least 2 arrived reports.
+    pub fn paper() -> Self {
+        Self {
+            rule: FusionRule::KOutOfN { k_frac: 0.5 },
+            min_quorum: 2,
+        }
+    }
+}
+
+/// Which rung of the degradation ladder produced a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RuleUsed {
+    /// The configured rule ran with a full-enough quorum.
+    Configured,
+    /// Too few reports for the configured rule: OR over what arrived.
+    OrFallback,
+    /// No reports at all: the head's own detector decided alone.
+    HeadLocal,
+}
+
+/// One fused decision, with the evidence it rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FusionDecision {
+    /// The fused verdict: `true` = busy, stay off the channel.
+    pub busy: bool,
+    /// Which degradation rung decided.
+    pub rule_used: RuleUsed,
+    /// Reports that arrived and were fused (0 on the head-local rung).
+    pub reports_used: usize,
+    /// Busy votes required by the rung that decided (0 head-local).
+    pub quorum: usize,
+}
+
+/// The quorum a rule demands over `n_reports` arrived reports. For
+/// k-out-of-N this is where `k` is re-derived as reporters churn:
+/// `max(1, ceil(k_frac · n_reports))` — never larger than `n_reports`,
+/// never zero, and well-defined for any `n_reports ≥ 1`.
+pub fn quorum_of(rule: FusionRule, n_reports: usize) -> usize {
+    assert!(n_reports >= 1, "quorum of an empty report set is undefined");
+    match rule {
+        FusionRule::And => n_reports,
+        FusionRule::Or => 1,
+        FusionRule::KOutOfN { k_frac } => {
+            assert!(k_frac > 0.0 && k_frac <= 1.0, "k_frac must be in (0, 1]");
+            ((k_frac * n_reports as f64).ceil() as usize).clamp(1, n_reports)
+        }
+    }
+}
+
+/// Fuses the arrived `reports` (one bool per surviving reporter) under
+/// `cfg`, degrading to OR and then to the head's own `head_local`
+/// decision as the quorum thins. Total: never panics, never divides by
+/// a zero reporter count.
+pub fn fuse(cfg: &FusionConfig, reports: &[bool], head_local: bool) -> FusionDecision {
+    let n = reports.len();
+    if n == 0 {
+        return FusionDecision {
+            busy: head_local,
+            rule_used: RuleUsed::HeadLocal,
+            reports_used: 0,
+            quorum: 0,
+        };
+    }
+    let positives = reports.iter().filter(|&&b| b).count();
+    if n >= cfg.min_quorum.max(1) {
+        let quorum = quorum_of(cfg.rule, n);
+        FusionDecision {
+            busy: positives >= quorum,
+            rule_used: RuleUsed::Configured,
+            reports_used: n,
+            quorum,
+        }
+    } else {
+        FusionDecision {
+            busy: positives >= 1,
+            rule_used: RuleUsed::OrFallback,
+            reports_used: n,
+            quorum: 1,
+        }
+    }
+}
+
+/// Closed-form fused positive probability for k-out-of-N over `n` iid
+/// reporters each positive with probability `p`: the binomial tail
+/// `Σ_{i=k}^{n} C(n,i) pⁱ (1−p)^{n−i}`, computed in log space via
+/// [`ln_gamma`] so large `n` stays stable. Feeding per-reporter `Pd`
+/// gives the fused `Pd`; feeding per-reporter `Pfa` gives the fused
+/// `Pfa`.
+pub fn fused_positive_prob(n: usize, k: usize, p: f64) -> f64 {
+    assert!(n >= 1 && k >= 1 && k <= n);
+    assert!((0.0..=1.0).contains(&p));
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let (nf, lp, lq) = (n as f64, p.ln(), (1.0 - p).ln());
+    let ln_choose = |i: f64| ln_gamma(nf + 1.0) - ln_gamma(i + 1.0) - ln_gamma(nf - i + 1.0);
+    (k..=n)
+        .map(|i| {
+            let i = i as f64;
+            (ln_choose(i) + i * lp + (nf - i) * lq).exp()
+        })
+        .sum::<f64>()
+        .min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_is_rederived_as_the_arrived_report_count_churns() {
+        // majority at ½: 8 reports need 4 busy votes, 4 need 2, 1 needs 1
+        let rule = FusionRule::KOutOfN { k_frac: 0.5 };
+        assert_eq!(quorum_of(rule, 8), 4);
+        assert_eq!(quorum_of(rule, 5), 3); // ceil(2.5)
+        assert_eq!(quorum_of(rule, 4), 2);
+        assert_eq!(quorum_of(rule, 1), 1);
+        // the quorum never exceeds what arrived, even at k_frac = 1
+        assert_eq!(quorum_of(FusionRule::KOutOfN { k_frac: 1.0 }, 3), 3);
+        assert_eq!(quorum_of(FusionRule::And, 6), 6);
+        assert_eq!(quorum_of(FusionRule::Or, 6), 1);
+    }
+
+    #[test]
+    fn zero_reports_fall_back_to_head_local_without_panicking() {
+        let cfg = FusionConfig::paper();
+        for head_local in [false, true] {
+            let d = fuse(&cfg, &[], head_local);
+            assert_eq!(d.rule_used, RuleUsed::HeadLocal);
+            assert_eq!(d.busy, head_local);
+            assert_eq!(d.reports_used, 0);
+            assert_eq!(d.quorum, 0);
+        }
+    }
+
+    #[test]
+    fn sub_quorum_rounds_use_the_or_fallback() {
+        let cfg = FusionConfig {
+            rule: FusionRule::And,
+            min_quorum: 3,
+        };
+        // 2 < min_quorum: AND would say idle here, OR must say busy
+        let d = fuse(&cfg, &[true, false], false);
+        assert_eq!(d.rule_used, RuleUsed::OrFallback);
+        assert!(d.busy);
+        assert_eq!(d.quorum, 1);
+        let d = fuse(&cfg, &[false, false], true);
+        assert_eq!(d.rule_used, RuleUsed::OrFallback);
+        assert!(!d.busy, "OR fallback ignores the head-local bit");
+    }
+
+    #[test]
+    fn configured_rules_have_their_textbook_semantics() {
+        let and = FusionConfig {
+            rule: FusionRule::And,
+            min_quorum: 1,
+        };
+        assert!(fuse(&and, &[true, true, true], false).busy);
+        assert!(!fuse(&and, &[true, false, true], false).busy);
+        let or = FusionConfig {
+            rule: FusionRule::Or,
+            min_quorum: 1,
+        };
+        assert!(fuse(&or, &[false, false, true], false).busy);
+        assert!(!fuse(&or, &[false, false, false], true).busy);
+        let maj = FusionConfig::paper();
+        assert!(fuse(&maj, &[true, true, false], false).busy);
+        assert!(!fuse(&maj, &[true, false, false], false).busy);
+    }
+
+    #[test]
+    fn every_decision_meets_its_own_quorum_accounting() {
+        // the structural property INV-FUSION-QUORUM pins: whenever a
+        // non-head-local rung decides, reports_used ≥ quorum ≥ 1
+        let cfg = FusionConfig::paper();
+        for n in 0..10usize {
+            let reports = vec![true; n];
+            let d = fuse(&cfg, &reports, false);
+            if d.rule_used == RuleUsed::HeadLocal {
+                assert_eq!(n, 0);
+            } else {
+                assert!(d.quorum >= 1 && d.reports_used >= d.quorum, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_tail_matches_hand_computable_points() {
+        // n=3, k=2, p=0.5: 3·(1/8) + 1/8 = 0.5
+        assert!((fused_positive_prob(3, 2, 0.5) - 0.5).abs() < 1e-12);
+        // k=1 is the OR rule: 1 − (1−p)^n
+        let p = 0.3f64;
+        let or_exact = 1.0 - (1.0 - p).powi(5);
+        assert!((fused_positive_prob(5, 1, p) - or_exact).abs() < 1e-12);
+        // k=n is the AND rule: p^n
+        assert!((fused_positive_prob(4, 4, p) - p.powi(4)).abs() < 1e-12);
+        // edges
+        assert_eq!(fused_positive_prob(6, 3, 0.0), 0.0);
+        assert_eq!(fused_positive_prob(6, 3, 1.0), 1.0);
+        // monotone in p
+        assert!(fused_positive_prob(9, 5, 0.6) > fused_positive_prob(9, 5, 0.4));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// `fuse` is total over any report vector and config: no panic,
+        /// and the quorum accounting is always internally consistent.
+        #[test]
+        fn prop_fuse_total_and_consistent(
+            reports in proptest::collection::vec(any::<bool>(), 0..20),
+            min_quorum in 0usize..8,
+            rule_pick in 0u8..3,
+            k_frac in 0.01f64..1.0,
+        ) {
+            let rule = match rule_pick {
+                0 => FusionRule::And,
+                1 => FusionRule::Or,
+                _ => FusionRule::KOutOfN { k_frac },
+            };
+            let cfg = FusionConfig { rule, min_quorum };
+            let d = fuse(&cfg, &reports, true);
+            prop_assert_eq!(d.reports_used, reports.len());
+            match d.rule_used {
+                RuleUsed::HeadLocal => {
+                    prop_assert!(reports.is_empty());
+                    prop_assert!(d.busy);
+                }
+                _ => {
+                    prop_assert!(d.quorum >= 1);
+                    prop_assert!(d.quorum <= d.reports_used);
+                    let positives = reports.iter().filter(|&&b| b).count();
+                    prop_assert_eq!(d.busy, positives >= d.quorum);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # comimo-sensing
+//!
+//! Fault-tolerant cooperative spectrum sensing with hardened decision
+//! fusion. The paper assumes the spectrum holes its three paradigms
+//! exploit are already known; this crate builds the cooperative sensing
+//! stage that finds them — and makes it survive the fault world of
+//! `comimo-faults`:
+//!
+//! * [`detector`] — per-SU energy detection: the gamma/chi-square
+//!   threshold test on the `comimo-math` special-function machinery,
+//!   with exact and CLT/Q-function `Pd`/`Pfa` and a CFAR threshold
+//!   solver;
+//! * [`markov`] — the slotted Markov ON/OFF primary-activity model,
+//!   per-channel derived streams, stationary start;
+//! * [`fusion`] — cluster-head decision fusion (AND / OR / k-out-of-N
+//!   with `k` re-derived as reporters churn) degrading gracefully to OR
+//!   and then to head-local sensing, plus the closed-form binomial tail
+//!   for pinning fused curves;
+//! * [`round`] — one hardened round end to end: detector draws under
+//!   reporter faults, report transport over `comimo_net::report`
+//!   (timeout, bounded backoff retry, loss/stale/duplicate handling),
+//!   then fusion;
+//! * [`roc`] — Pd/Pfa ROC campaigns on the `comimo-campaign`
+//!   supervisor: checkpointable, crash-resumable, bit-identical at any
+//!   thread count.
+
+pub mod detector;
+pub mod fusion;
+pub mod markov;
+pub mod roc;
+pub mod round;
+
+pub use detector::EnergyDetector;
+pub use fusion::{
+    fuse, fused_positive_prob, quorum_of, FusionConfig, FusionDecision, FusionRule, RuleUsed,
+};
+pub use markov::MarkovOnOff;
+pub use roc::{roc_shard_counts, run_roc_campaign, RocGridSpec, RocPoint};
+pub use round::{run_round, RoundOutcome, SensingRound};

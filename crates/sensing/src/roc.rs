@@ -1,0 +1,306 @@
+//! Pd/Pfa ROC campaigns on the Monte-Carlo supervisor.
+//!
+//! Each grid point is a `(SNR, k-out-of-N fraction)` pair; each shard
+//! simulates `trials` fused decisions under `H1` (counting detections)
+//! and `trials` under `H0` (counting false alarms), so every point owns
+//! two campaign streams. Shard counts are pure functions of
+//! `(seed, shard label)` — the supervisor's checkpoint/crash-resume and
+//! any-thread-count bit-identity guarantees apply unchanged, and the
+//! measured curve can be pinned against the closed-form binomial tail
+//! of [`crate::fusion::fused_positive_prob`].
+
+use crate::detector::EnergyDetector;
+use crate::fusion::quorum_of;
+use crate::fusion::FusionRule;
+use comimo_campaign::{run_campaign_multi, CampaignConfig, CampaignError, CampaignReport};
+use comimo_math::rng::derive;
+use comimo_stbc::sim::BerResult;
+use serde::Serialize;
+
+/// Salt separating ROC trial streams from every other consumer of the
+/// workspace seed.
+const ROC_SALT: u64 = 0x5EA5_E000_0003;
+
+/// The `(SNR, k)` grid a ROC campaign sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RocGridSpec {
+    /// Samples per detector decision.
+    pub n_samples: usize,
+    /// Per-SU target false-alarm rate fixing the CFAR threshold.
+    pub target_pfa: f64,
+    /// Cooperating reporters per fused decision (all healthy — the ROC
+    /// is the fault-free operating characteristic).
+    pub n_reporters: usize,
+    /// SNR grid (dB).
+    pub snrs_db: Vec<f64>,
+    /// k-out-of-N fractions to sweep.
+    pub k_fracs: Vec<f64>,
+    /// Fused trials per hypothesis per grid point per shard.
+    pub trials_per_shard: u64,
+    /// Shards in the campaign.
+    pub n_shards: u64,
+}
+
+impl RocGridSpec {
+    /// The experiments' default grid: a 16-sample detector at 10 %
+    /// per-SU Pfa, 5 reporters, 4 SNRs × OR/majority/AND fractions.
+    pub fn paper() -> Self {
+        Self {
+            n_samples: 16,
+            target_pfa: 0.1,
+            n_reporters: 5,
+            snrs_db: vec![-5.0, -2.0, 0.0, 3.0],
+            k_fracs: vec![0.2, 0.5, 1.0],
+            trials_per_shard: 400,
+            n_shards: 24,
+        }
+    }
+
+    /// The grid points in stream order: `snrs_db` major, `k_fracs` minor.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.snrs_db
+            .iter()
+            .flat_map(|&snr| self.k_fracs.iter().map(move |&k| (snr, k)))
+            .collect()
+    }
+}
+
+/// One measured ROC point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RocPoint {
+    /// SNR at each reporter (dB).
+    pub snr_db: f64,
+    /// k-out-of-N fraction.
+    pub k_frac: f64,
+    /// The re-derived integer quorum at this roster size.
+    pub k: usize,
+    /// Fused trials per hypothesis.
+    pub trials: u64,
+    /// Fused busy verdicts under `H1`.
+    pub detections: u64,
+    /// Fused busy verdicts under `H0`.
+    pub false_alarms: u64,
+}
+
+impl RocPoint {
+    /// Measured fused detection probability.
+    pub fn pd(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.detections as f64 / self.trials as f64
+        }
+    }
+
+    /// Measured fused false-alarm probability.
+    pub fn pfa(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.false_alarms as f64 / self.trials as f64
+        }
+    }
+}
+
+/// The pure per-shard function: for every grid point, `trials` fused
+/// decisions under each hypothesis, streamed as
+/// `[point0-H1, point0-H0, point1-H1, ...]`. Counts depend only on
+/// `(spec, seed, label)`.
+pub fn roc_shard_counts(
+    spec: &RocGridSpec,
+    seed: u64,
+    label: u64,
+    trials: usize,
+) -> Vec<BerResult> {
+    let det = EnergyDetector::from_target_pfa(spec.n_samples, spec.target_pfa);
+    let mut out = Vec::with_capacity(2 * spec.points().len());
+    for (pi, (snr_db, k_frac)) in spec.points().into_iter().enumerate() {
+        let snr = comimo_math::db::db_to_lin(snr_db);
+        let k = quorum_of(FusionRule::KOutOfN { k_frac }, spec.n_reporters);
+        for hyp_busy in [true, false] {
+            let salt = ROC_SALT
+                ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ ((pi as u64) << 1)
+                ^ u64::from(hyp_busy);
+            let mut rng = derive(seed, salt);
+            let trial_snr = if hyp_busy { snr } else { 0.0 };
+            let mut positives = 0u64;
+            for _ in 0..trials {
+                let votes = (0..spec.n_reporters)
+                    .filter(|_| det.decide(det.sample_statistic(&mut rng, trial_snr)))
+                    .count();
+                if votes >= k {
+                    positives += 1;
+                }
+            }
+            out.push(BerResult {
+                bits: trials as u64,
+                errors: positives,
+            });
+        }
+    }
+    out
+}
+
+/// Runs the ROC campaign under `cfg` (checkpointing, crash-resume, stop
+/// flags and thread-count bit-identity all inherited from the
+/// supervisor) and folds the merged stream counts back into ROC points.
+pub fn run_roc_campaign(
+    spec: &RocGridSpec,
+    cfg: &CampaignConfig,
+) -> Result<(CampaignReport, Vec<RocPoint>), CampaignError> {
+    let shards: Vec<(u64, usize)> = (0..spec.n_shards)
+        .map(|l| (l, spec.trials_per_shard as usize))
+        .collect();
+    let points = spec.points();
+    let seed = cfg.seed;
+    let spec_for_shards = spec.clone();
+    let report = run_campaign_multi(cfg, &shards, 2 * points.len(), move |label, trials| {
+        roc_shard_counts(&spec_for_shards, seed, label, trials)
+    })?;
+    let roc = points
+        .iter()
+        .enumerate()
+        .map(|(pi, &(snr_db, k_frac))| {
+            let h1 = report.stream_counts[2 * pi];
+            let h0 = report.stream_counts[2 * pi + 1];
+            debug_assert_eq!(h1.bits, h0.bits);
+            RocPoint {
+                snr_db,
+                k_frac,
+                k: quorum_of(FusionRule::KOutOfN { k_frac }, spec.n_reporters),
+                trials: h1.bits,
+                detections: h1.errors,
+                false_alarms: h0.errors,
+            }
+        })
+        .collect();
+    Ok((report, roc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::fused_positive_prob;
+    use comimo_campaign::CampaignStatus;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SEED: u64 = 2013;
+
+    fn small_spec() -> RocGridSpec {
+        RocGridSpec {
+            snrs_db: vec![-2.0, 3.0],
+            k_fracs: vec![0.5, 1.0],
+            trials_per_shard: 200,
+            n_shards: 12,
+            ..RocGridSpec::paper()
+        }
+    }
+
+    fn base_cfg() -> CampaignConfig {
+        let mut cfg = CampaignConfig::new(SEED, 0x50C5);
+        cfg.backoff_base = Duration::ZERO;
+        cfg.checkpoint_every_shards = 3;
+        cfg
+    }
+
+    fn temp_ck(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("comimo_roc_{name}_{}.ck", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn measured_curve_tracks_the_binomial_tail_closed_form() {
+        let spec = small_spec();
+        let (report, roc) = run_roc_campaign(&spec, &base_cfg()).unwrap();
+        assert_eq!(report.status, CampaignStatus::Complete);
+        let det = EnergyDetector::from_target_pfa(spec.n_samples, spec.target_pfa);
+        let trials = (spec.trials_per_shard * spec.n_shards) as f64;
+        let tol = 4.0 / trials.sqrt(); // ~4σ of a binomial proportion
+        for p in &roc {
+            assert_eq!(p.trials as f64, trials);
+            let pd_exact = fused_positive_prob(
+                spec.n_reporters,
+                p.k,
+                det.pd(comimo_math::db::db_to_lin(p.snr_db)),
+            );
+            let pfa_exact = fused_positive_prob(spec.n_reporters, p.k, det.pfa());
+            assert!(
+                (p.pd() - pd_exact).abs() < tol,
+                "Pd {} vs closed form {pd_exact} at {:?}",
+                p.pd(),
+                (p.snr_db, p.k_frac)
+            );
+            assert!(
+                (p.pfa() - pfa_exact).abs() < tol,
+                "Pfa {} vs closed form {pfa_exact} at {:?}",
+                p.pfa(),
+                (p.snr_db, p.k_frac)
+            );
+        }
+        // raising k trades detections for false alarms (monotone in k)
+        for w in roc.chunks(2) {
+            assert!(w[0].detections >= w[1].detections, "{w:?}");
+            assert!(w[0].false_alarms >= w[1].false_alarms, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_campaigns_are_bit_identical() {
+        let spec = small_spec();
+        let mut serial = base_cfg();
+        serial.serial = true;
+        let (a, roc_a) = run_roc_campaign(&spec, &serial).unwrap();
+        let (b, roc_b) = run_roc_campaign(&spec, &base_cfg()).unwrap();
+        assert_eq!(a.stream_counts, b.stream_counts);
+        assert_eq!(roc_a, roc_b);
+    }
+
+    #[test]
+    fn stopped_and_resumed_campaign_matches_uninterrupted_counts() {
+        let spec = small_spec();
+        let ck = temp_ck("resume");
+        let (reference, _) = run_roc_campaign(&spec, &base_cfg()).unwrap();
+
+        // phase 1: trip the stop flag mid-campaign
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut cfg = base_cfg();
+        cfg.checkpoint = Some(ck.clone());
+        cfg.stop = Some(stop.clone());
+        let executed = Arc::new(AtomicU64::new(0));
+        // wrap run_roc_campaign's shard fn manually to trip the flag
+        let shards: Vec<(u64, usize)> = (0..spec.n_shards)
+            .map(|l| (l, spec.trials_per_shard as usize))
+            .collect();
+        let n_streams = 2 * spec.points().len();
+        let stop_in = stop.clone();
+        let counter = executed.clone();
+        let partial = run_campaign_multi(&cfg, &shards, n_streams, |label, trials| {
+            if counter.fetch_add(1, Ordering::SeqCst) + 1 >= 4 {
+                stop_in.store(true, Ordering::SeqCst);
+            }
+            roc_shard_counts(&spec, SEED, label, trials)
+        })
+        .unwrap();
+        assert_eq!(partial.status, CampaignStatus::Stopped);
+        assert!(partial.completed_shards < spec.n_shards);
+
+        // phase 2: resume and demand bit-identical merged counts
+        let mut cfg = base_cfg();
+        cfg.checkpoint = Some(ck.clone());
+        cfg.resume = true;
+        let (full, _) = run_roc_campaign(&spec, &cfg).unwrap();
+        assert_eq!(full.status, CampaignStatus::Complete);
+        assert_eq!(full.resumed_shards, partial.completed_shards);
+        assert_eq!(
+            full.stream_counts, reference.stream_counts,
+            "stopped-and-resumed ROC counts must be bit-identical"
+        );
+        std::fs::remove_file(&ck).unwrap();
+    }
+}

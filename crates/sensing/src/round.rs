@@ -1,0 +1,259 @@
+//! One hardened sensing round, end to end: local detection under
+//! reporter faults → report transport over the lossy intra-cluster
+//! channel → decision fusion with graceful degradation.
+//!
+//! The round is a pure function of `(config, channel state, reporter
+//! states, seed, round index)`: every detector draws from its own
+//! `derive(seed, salt ^ round ^ reporter)` stream, and the transport
+//! uses the split-stream discipline of [`comimo_net::report`]. Stuck
+//! reporters still *burn their detector draws* (their payload is
+//! overridden, not their stream position), so toggling a fault never
+//! shifts any other reporter's randomness.
+
+use crate::detector::EnergyDetector;
+use crate::fusion::{fuse, FusionConfig, FusionDecision};
+use comimo_faults::sensing::ReporterState;
+use comimo_math::rng::derive;
+use comimo_net::report::{collect_reports, ReportConfig, Reporter};
+use comimo_sim::time::SimTime;
+
+/// Salt separating per-round detector draws from every other consumer
+/// of the workspace seed.
+const ROUND_SALT: u64 = 0x5EA5_E000_0002;
+
+/// Everything a sensing round needs to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensingRound {
+    /// The per-SU energy detector (every reporter runs the same one).
+    pub detector: EnergyDetector,
+    /// Fusion rule and degradation threshold at the head.
+    pub fusion: FusionConfig,
+    /// Report-transport knobs (timeout, retry, deadline).
+    pub transport: ReportConfig,
+    /// Linear SNR of the primary signal at each reporter when the
+    /// channel is busy.
+    pub snr: f64,
+}
+
+impl SensingRound {
+    /// The experiments' default round: 16-sample CFAR detector at 10 %
+    /// per-SU false alarm, majority fusion, lossless transport.
+    pub fn paper(snr: f64) -> Self {
+        Self {
+            detector: EnergyDetector::from_target_pfa(16, 0.1),
+            fusion: FusionConfig::paper(),
+            transport: ReportConfig::default(),
+            snr,
+        }
+    }
+}
+
+/// What one round produced, decision and transport accounting together.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundOutcome {
+    /// The fused verdict with its quorum evidence.
+    pub decision: FusionDecision,
+    /// Reports that reached the head in time.
+    pub delivered: usize,
+    /// Live reporters whose report never made it.
+    pub missing: usize,
+    /// Report frames put on the air (retries included).
+    pub frames_sent: u64,
+    /// Deduplicated lost-ack retransmissions.
+    pub duplicates: u64,
+    /// Post-deadline arrivals, dropped.
+    pub stale: u64,
+}
+
+/// Runs one sensing round. `channel_busy` is the ground-truth primary
+/// state this slot, `states[i]` is reporter `i`'s fault condition, and
+/// `head_local` is the head's own detector decision (the last rung of
+/// the degradation ladder).
+pub fn run_round(
+    cfg: &SensingRound,
+    channel_busy: bool,
+    states: &[ReporterState],
+    head_local: bool,
+    seed: u64,
+    round: u64,
+) -> RoundOutcome {
+    let truth_snr = if channel_busy { cfg.snr } else { 0.0 };
+    let mut reporters: Vec<Reporter<bool>> = Vec::with_capacity(states.len());
+    for (i, &state) in states.iter().enumerate() {
+        // fixed draw count per live reporter: faults override the payload
+        // downstream, never the stream position
+        let salt = ROUND_SALT ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64);
+        let mut rng = derive(seed, salt);
+        let own = cfg
+            .detector
+            .decide(cfg.detector.sample_statistic(&mut rng, truth_snr));
+        let mut r = Reporter::healthy(i, own);
+        match state {
+            ReporterState::Healthy => {}
+            ReporterState::StuckH0 => r.payload = false,
+            ReporterState::StuckH1 => r.payload = true,
+            ReporterState::Delayed { delay_s } => {
+                r.extra_delay = SimTime::from_secs_f64(delay_s);
+            }
+            ReporterState::Dead => {
+                r.dies_at = Some(SimTime::ZERO);
+            }
+        }
+        reporters.push(r);
+    }
+    let out = collect_reports(&reporters, &cfg.transport, seed, round);
+    let payloads: Vec<bool> = out.delivered.iter().map(|&(_, p)| p).collect();
+    let decision = fuse(&cfg.fusion, &payloads, head_local);
+    RoundOutcome {
+        decision,
+        delivered: out.delivered.len(),
+        missing: out.missing.len(),
+        frames_sent: out.frames_sent,
+        duplicates: out.duplicates,
+        stale: out.stale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::RuleUsed;
+    use comimo_faults::sensing::{build_reporter_schedule, ReporterFaultConfig, ReporterTimeline};
+
+    /// High-SNR round where every healthy detector is essentially exact.
+    fn sharp_round() -> SensingRound {
+        SensingRound {
+            detector: EnergyDetector::from_target_pfa(32, 1e-4),
+            snr: 30.0, // Pd ≈ 1 at this margin
+            ..SensingRound::paper(30.0)
+        }
+    }
+
+    #[test]
+    fn healthy_round_detects_both_channel_states() {
+        let cfg = sharp_round();
+        let states = vec![ReporterState::Healthy; 6];
+        let busy = run_round(&cfg, true, &states, true, 2013, 0);
+        assert!(busy.decision.busy);
+        assert_eq!(busy.decision.rule_used, RuleUsed::Configured);
+        assert_eq!(busy.delivered, 6);
+        let idle = run_round(&cfg, false, &states, false, 2013, 1);
+        assert!(!idle.decision.busy);
+        assert_eq!(idle.missing, 0);
+    }
+
+    #[test]
+    fn rounds_are_pure_functions_of_seed_and_round() {
+        let cfg = SensingRound::paper(1.0);
+        let states = vec![ReporterState::Healthy; 5];
+        let a = run_round(&cfg, true, &states, true, 42, 9);
+        assert_eq!(a, run_round(&cfg, true, &states, true, 42, 9));
+        assert_ne!(
+            a.decision.busy,
+            run_round(&cfg, false, &states, false, 42, 9).decision.busy,
+            "a high-SNR busy slot and an idle slot should usually differ"
+        );
+    }
+
+    #[test]
+    fn stuck_at_h0_reporters_vote_idle_on_a_busy_channel() {
+        let cfg = sharp_round();
+        // 3 healthy + 2 stuck-at-H0 on a busy channel: majority of the 5
+        // arrived reports is 3, the healthy ones carry it
+        let states = vec![
+            ReporterState::Healthy,
+            ReporterState::Healthy,
+            ReporterState::Healthy,
+            ReporterState::StuckH0,
+            ReporterState::StuckH0,
+        ];
+        let out = run_round(&cfg, true, &states, true, 2013, 2);
+        assert!(
+            out.decision.busy,
+            "3-of-5 healthy majority must still detect"
+        );
+        assert_eq!(out.decision.quorum, 3);
+        // flip the balance: 4 stuck-at-H0 outvote the 1 healthy reporter
+        let mostly_stuck = vec![
+            ReporterState::Healthy,
+            ReporterState::StuckH0,
+            ReporterState::StuckH0,
+            ReporterState::StuckH0,
+            ReporterState::StuckH0,
+        ];
+        let out = run_round(&cfg, true, &mostly_stuck, true, 2013, 3);
+        assert!(!out.decision.busy, "stuck-at-H0 majority causes the miss");
+    }
+
+    #[test]
+    fn mid_window_kills_rederive_k_and_walk_the_ladder() {
+        let cfg = sharp_round();
+        // 8 nominal reporters, 5 dead: quorum re-derives over the 3 alive
+        let mut states = vec![ReporterState::Dead; 8];
+        states[0] = ReporterState::Healthy;
+        states[1] = ReporterState::Healthy;
+        states[2] = ReporterState::Healthy;
+        let out = run_round(&cfg, true, &states, true, 2013, 4);
+        assert_eq!(out.delivered, 3);
+        assert_eq!(out.decision.rule_used, RuleUsed::Configured);
+        assert_eq!(out.decision.quorum, 2, "k must shrink with the roster");
+        assert!(out.decision.busy);
+        // 7 dead → one report → below min_quorum → OR fallback
+        let mut states = vec![ReporterState::Dead; 8];
+        states[0] = ReporterState::Healthy;
+        let out = run_round(&cfg, true, &states, true, 2013, 5);
+        assert_eq!(out.decision.rule_used, RuleUsed::OrFallback);
+        assert!(out.decision.busy);
+        // all dead → zero reports → head-local, and no division anywhere
+        let states = vec![ReporterState::Dead; 8];
+        let out = run_round(&cfg, true, &states, true, 2013, 6);
+        assert_eq!(out.decision.rule_used, RuleUsed::HeadLocal);
+        assert_eq!(out.delivered, 0);
+        assert_eq!(out.frames_sent, 0);
+        assert!(out.decision.busy, "the head's own sensing still protects");
+    }
+
+    #[test]
+    fn deterministic_fault_schedule_exercises_the_whole_ladder() {
+        // drive reporter states from a real derive(seed, unit) schedule —
+        // a hot death rate kills everyone well before the horizon ends,
+        // so walking time walks the ladder Configured → ... → HeadLocal
+        // deaths only: stuck episodes would make "every rung detects"
+        // probabilistic instead of structural
+        let fcfg = ReporterFaultConfig {
+            death_rate_hz: 0.08,
+            ..ReporterFaultConfig::disabled(200.0)
+        };
+        let n = 6usize;
+        let tl = ReporterTimeline::from_schedule(&build_reporter_schedule(&fcfg, n, 77));
+        let cfg = sharp_round();
+        let mut rungs_seen = Vec::new();
+        for (round, t) in (0..2000).map(|s| (s as u64, s as f64 * 1.0)) {
+            let states: Vec<_> = (0..n).map(|r| tl.state_at(t, r)).collect();
+            let out = run_round(&cfg, true, &states, true, 77, round);
+            assert!(
+                out.decision.busy,
+                "busy channel at high SNR must be detected on every rung (t={t})"
+            );
+            if !rungs_seen.contains(&out.decision.rule_used) {
+                rungs_seen.push(out.decision.rule_used);
+            }
+        }
+        assert!(
+            rungs_seen.contains(&RuleUsed::Configured) && rungs_seen.contains(&RuleUsed::HeadLocal),
+            "schedule must exercise the ladder ends, saw {rungs_seen:?}"
+        );
+        assert_eq!(tl.alive_at(2000.0, n), 0, "everyone should be dead by now");
+    }
+
+    #[test]
+    fn lossy_transport_shrinks_the_quorum_not_the_safety() {
+        let mut cfg = sharp_round();
+        cfg.transport.loss_prob = 0.6;
+        let states = vec![ReporterState::Healthy; 6];
+        let out = run_round(&cfg, true, &states, true, 11, 0);
+        assert_eq!(out.delivered + out.missing, 6);
+        assert!(out.decision.busy, "high-SNR busy must survive 60% loss");
+        assert!(out.decision.quorum <= out.decision.reports_used.max(1));
+    }
+}

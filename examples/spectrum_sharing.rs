@@ -43,7 +43,9 @@ fn main() {
     ];
     let cfg = SensingConfig::typical();
     let map = SpectrumMap::sense(&mut rng, &pus, &cfg);
-    let est = map.estimate_occupancy(&mut rng, &cfg);
+    let est = map
+        .estimate_occupancy(&mut rng, &cfg)
+        .expect("typical sensing config is valid");
     println!("sensed occupancy:");
     for e in &est {
         println!(
@@ -54,8 +56,10 @@ fn main() {
         );
     }
 
-    let idle_pick = map.pick_idlest(&est);
-    let null_pick = map.pick_for_nulling(st_head, sr);
+    let idle_pick = map.pick_idlest(&est).expect("environment has channels");
+    let null_pick = map
+        .pick_for_nulling(st_head, sr)
+        .expect("environment has channels");
     println!("\nclassic interweave picks channel {idle_pick} (the idlest)");
     println!("nulling interweave picks channel {null_pick} (best geometry, busy is fine)\n");
 

@@ -38,7 +38,9 @@ fn sense_pick_steer_pipeline() {
         Point::new(2.0, w / 2.0),
     ];
     let bf = ClusterBeamformer::pair_up(&nodes, w);
-    let picked = map.pick_for_nulling(nodes[0], sr);
+    let picked = map
+        .pick_for_nulling(nodes[0], sr)
+        .expect("environment has channels");
     let pr = map.channels()[picked].pu.rx;
     let asg = bf.steer(pr);
     // the picked PU's receiver is protected...
