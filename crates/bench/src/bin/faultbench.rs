@@ -12,7 +12,7 @@
 //!       this output across thread counts and feature configs.
 
 use comimo_bench::{emit_text_artifact, lambda_sweep_section, EXPERIMENT_SEED, FAULT_LAMBDAS};
-use comimo_chaos::{run_events, ChaosConfig, InvariantRegistry};
+use comimo_chaos::{run_events, ChaosConfig, ChaosWorld, InvariantRegistry};
 use comimo_faults::{
     build_schedule, run_interweave_scenario, run_overlay_scenario, run_recruitment_scenario,
     run_underlay_scenario, DegradationReport, FaultConfig, ScenarioConfig,
@@ -27,6 +27,17 @@ fn scenario(lambda: f64) -> ScenarioConfig {
         FaultConfig::nominal(HORIZON_S).scaled(lambda)
     };
     ScenarioConfig::paper(EXPERIMENT_SEED, faults)
+}
+
+/// The same sweep with the interweave transmit cluster at K = 128
+/// (64 virtual antennas after RC-C2 pairing) — the 100+-element regime
+/// the spatial-grid pairing exists for. Every transmitting slot still
+/// re-checks the steered null.
+fn large_scenario(lambda: f64) -> ScenarioConfig {
+    ScenarioConfig {
+        mt: 128,
+        ..scenario(lambda)
+    }
 }
 
 fn assert_invariant(r: &DegradationReport) {
@@ -57,6 +68,26 @@ fn assert_registry_invariants(lambda: f64) {
     );
 }
 
+/// [`assert_registry_invariants`] at K = 128: one large-cluster world
+/// (its degradation ladders are the expensive part) replays every
+/// lambda's schedule with the full paper registry — `INV-NULL-DEPTH`
+/// and `INV-DEGRADE-POWER` among it — consulted every slot.
+fn assert_registry_invariants_large(lambdas: &[f64]) {
+    let world = ChaosWorld::new(&ChaosConfig::large_cluster(EXPERIMENT_SEED, HORIZON_S));
+    let reg = InvariantRegistry::paper();
+    for &lambda in lambdas {
+        let cfg = large_scenario(lambda);
+        let schedule = build_schedule(&cfg.faults, &world.cfg().topology(), EXPERIMENT_SEED);
+        let out = world.run(&schedule, &reg, false);
+        assert!(
+            out.violations.is_empty(),
+            "lambda {lambda} at K=128: {} invariant violation(s) at paper bounds, first: {:?}",
+            out.violations.len(),
+            out.violations.first()
+        );
+    }
+}
+
 fn row(lambda: f64, r: &DegradationReport) -> Vec<String> {
     let margin = if r.min_margin_db.is_finite() {
         format!("{:+.1}", r.min_margin_db)
@@ -80,6 +111,7 @@ fn main() {
     if trace_mode {
         // the determinism witness: byte-identical at any thread count
         assert_registry_invariants(1.0);
+        assert_registry_invariants_large(&[1.0]);
         let cfg = scenario(1.0);
         for report in [
             run_overlay_scenario(&cfg),
@@ -90,6 +122,10 @@ fn main() {
             println!("== {} ==", report.paradigm);
             print!("{}", report.trace.render());
         }
+        let large = run_interweave_scenario(&large_scenario(1.0));
+        assert_invariant(&large);
+        println!("== {} (mt=128) ==", large.paradigm);
+        print!("{}", large.trace.render());
         return;
     }
 
@@ -104,10 +140,12 @@ fn main() {
         "violations",
     ];
     // every slot of every lambda checked against the shared registry at
-    // the paper's true bounds, before any table is rendered
+    // the paper's true bounds, before any table is rendered — at the
+    // paper's cluster size and at K = 128
     for lambda in FAULT_LAMBDAS {
         assert_registry_invariants(lambda);
     }
+    assert_registry_invariants_large(&FAULT_LAMBDAS);
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -135,6 +173,16 @@ fn main() {
             row(lambda, &report)
         }));
     }
+
+    out.push_str(&lambda_sweep_section(
+        "Interweave at scale (mt=128 -> 64 virtual antennas, RC-C2 pairing, 3 channels)",
+        &headers,
+        |lambda| {
+            let report = run_interweave_scenario(&large_scenario(lambda));
+            assert_invariant(&report);
+            row(lambda, &report)
+        },
+    ));
 
     out.push_str(&lambda_sweep_section(
         "Cluster recruitment under lossy broadcast + head death",

@@ -8,7 +8,7 @@
 //! JSON round-trips them losslessly and the comparison is `==`, not an
 //! epsilon).
 
-use crate::explore::RunFinding;
+use crate::explore::{ExploreConfig, RunFinding};
 use crate::invariant::{InvariantBounds, InvariantRegistry, Violation};
 use crate::world::{run_events, ChaosConfig};
 use comimo_faults::{FaultEvent, FaultKind};
@@ -84,22 +84,22 @@ pub struct ChaosArtifact {
 }
 
 impl ChaosArtifact {
-    /// Packages an exploration finding for replay.
-    pub fn from_finding(
-        master_seed: u64,
-        horizon_s: f64,
-        bounds: InvariantBounds,
-        f: &RunFinding,
-    ) -> Self {
+    /// Packages an exploration finding for replay. The sweep config
+    /// supplies everything the world must rebuild — including a
+    /// non-paper cluster size when the sweep explored at scale.
+    pub fn from_finding(cfg: &ExploreConfig, f: &RunFinding) -> Self {
         Self {
             version: ARTIFACT_VERSION,
             invariant: f.invariant.clone(),
-            master_seed,
+            master_seed: cfg.seed,
             run: f.run,
             run_seed: f.run_seed,
             lambda: f.lambda,
-            bounds,
-            config: ChaosConfig::paper(f.run_seed, horizon_s),
+            bounds: cfg.bounds,
+            config: ChaosConfig {
+                mt: cfg.mt,
+                ..ChaosConfig::paper(f.run_seed, cfg.horizon_s)
+            },
             original_events: f.schedule_len as u64,
             shrink_probes: f.shrink_probes,
             at_ns: f.at_ns,
@@ -260,7 +260,7 @@ mod tests {
     #[test]
     fn json_roundtrip_is_lossless() {
         let (cfg, f) = empty_trace_finding();
-        let art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, &f);
+        let art = ChaosArtifact::from_finding(&cfg, &f);
         let json = art.to_json().expect("serializes");
         let back = ChaosArtifact::from_json(&json).expect("parses");
         assert_eq!(back, art);
@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn replay_reproduces_bit_identically_at_any_thread_count() {
         let (cfg, f) = empty_trace_finding();
-        let art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, &f);
+        let art = ChaosArtifact::from_finding(&cfg, &f);
         let serial = replay(&art, true);
         let pooled = replay(&art, false);
         assert!(serial.reproduced, "{}", serial.digest);
@@ -280,7 +280,7 @@ mod tests {
     #[test]
     fn tampered_expectations_fail_the_replay() {
         let (cfg, f) = empty_trace_finding();
-        let mut art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, &f);
+        let mut art = ChaosArtifact::from_finding(&cfg, &f);
         art.observed_bits ^= 1;
         let out = replay(&art, true);
         assert!(!out.reproduced);
@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn wrong_version_is_rejected() {
         let (cfg, f) = empty_trace_finding();
-        let mut art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, &f);
+        let mut art = ChaosArtifact::from_finding(&cfg, &f);
         art.version = ARTIFACT_VERSION + 1;
         let json = art.to_json().expect("serializes");
         match ChaosArtifact::from_json(&json) {

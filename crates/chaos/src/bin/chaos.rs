@@ -5,7 +5,7 @@
 //!     print the invariant table: stable ID, bound, paper source, guarded code
 //!
 //! chaos explore [--seed N] [--runs N] [--start-run N] [--horizon SECS]
-//!               [--lambda-min F] [--lambda-max F]
+//!               [--lambda-min F] [--lambda-max F] [--mt N]
 //!               [--epa-floor-db F] [--null-residual-max F] [--overdraw-max F]
 //!               [--missed-budget N] [--fusion-quorum-min N]
 //!               [--out DIR] [--serial] [--no-shrink]
@@ -104,6 +104,9 @@ fn explore_config_from(args: &[String]) -> ExploreConfig {
     if let Some(v) = flag(args, "--lambda-max") {
         cfg.lambda_max = v;
     }
+    if let Some(v) = flag(args, "--mt") {
+        cfg.mt = v;
+    }
     cfg.bounds = bounds_from(args);
     cfg.serial = has(args, "--serial");
     cfg.shrink = !has(args, "--no-shrink");
@@ -129,7 +132,7 @@ fn write_artifacts(cfg: &ExploreConfig, report: &ExploreReport, out_dir: &str) {
     }
     std::fs::create_dir_all(out_dir).expect("create artifact directory");
     for f in &report.findings {
-        let art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, f);
+        let art = ChaosArtifact::from_finding(cfg, f);
         let path = format!(
             "{out_dir}/{}-seed{}-run{}.json",
             f.invariant.to_lowercase(),

@@ -40,6 +40,9 @@ pub struct ExploreConfig {
     pub lambda_min: f64,
     /// Upper end of the λ range.
     pub lambda_max: f64,
+    /// Interweave transmit-cluster size per run (paper value 4; set to
+    /// 100+ to explore the large-cluster RC-C2 pairing regime).
+    pub mt: usize,
     /// Invariant bounds to arm (paper values by default; weakened bounds
     /// prove the explorer finds and shrinks real violations).
     pub bounds: InvariantBounds,
@@ -62,6 +65,7 @@ impl ExploreConfig {
             horizon_s: 120.0,
             lambda_min: 0.5,
             lambda_max: 4.0,
+            mt: 4,
             bounds: InvariantBounds::paper(),
             serial: false,
             shrink: true,
@@ -132,7 +136,10 @@ struct RunOutcome {
 
 fn explore_one(cfg: &ExploreConfig, run: u64) -> RunOutcome {
     let (run_seed, lambda) = run_params(cfg.seed, run, cfg.lambda_min, cfg.lambda_max);
-    let wcfg = ChaosConfig::paper(run_seed, cfg.horizon_s);
+    let wcfg = ChaosConfig {
+        mt: cfg.mt,
+        ..ChaosConfig::paper(run_seed, cfg.horizon_s)
+    };
     let faults = FaultConfig::nominal(cfg.horizon_s).scaled(lambda);
     let schedule = build_schedule(&faults, &wcfg.topology(), run_seed);
     let reg = InvariantRegistry::with_bounds(cfg.bounds);

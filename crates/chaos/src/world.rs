@@ -114,6 +114,18 @@ impl ChaosConfig {
         }
     }
 
+    /// The paper constants with the interweave transmit cluster scaled
+    /// to 128 elements (64 virtual antennas after λ/2 pairing) — the
+    /// large-cluster regime where RC-C2 pairing replaces the exhaustive
+    /// scan. The underlay ladder still tops out at the 4×`mr` OSTBC
+    /// rung; the extra elements serve null steering only.
+    pub fn large_cluster(seed: u64, horizon_s: f64) -> Self {
+        Self {
+            mt: 128,
+            ..Self::paper(seed, horizon_s)
+        }
+    }
+
     /// The fault-schedule topology this world exposes: one node pool
     /// shared by the overlay relays and the interweave/underlay
     /// transmit cluster, `n_channels` licensed channels, one cluster.
@@ -204,9 +216,12 @@ impl ChaosWorld {
             &model,
             OverlayConfig::paper(cfg.m_overlay, cfg.bandwidth_hz),
         );
+        // the OSTBC underlay caps at 4 transmit elements; clusters past
+        // that (large-cluster interweave configs) still degrade through
+        // the 4-rung ladder while every element beamforms
         let un = Underlay::new(
             &model,
-            UnderlayConfig::paper(cfg.mt, cfg.mr, cfg.bandwidth_hz),
+            UnderlayConfig::paper(cfg.mt.min(4), cfg.mr, cfg.bandwidth_hz),
         );
         let pl = SquareLawLongHaul::paper_defaults();
         let positions = beam_positions(cfg.mt, WAVELENGTH_M);
@@ -616,6 +631,34 @@ mod tests {
         assert_eq!(
             out.checks,
             reg.len() as u64 * (5 * 120 + out.events as u64 + 1)
+        );
+    }
+
+    #[test]
+    fn large_cluster_bounds_hold_through_a_faulty_horizon() {
+        // the K = 128 interweave cluster (64 virtual antennas via RC-C2
+        // pairing) runs the same slotted world with the full paper
+        // registry — INV-NULL-DEPTH and INV-DEGRADE-POWER among it —
+        // consulted on every one of the five per-slot observations
+        let cfg = ChaosConfig::large_cluster(11, 60.0);
+        let faults = FaultConfig::nominal(60.0).scaled(2.0);
+        let schedule = build_schedule(&faults, &cfg.topology(), 11);
+        let reg = InvariantRegistry::paper();
+        assert!(reg.get(crate::invariant::INV_NULL_DEPTH).is_some());
+        assert!(reg.get(crate::invariant::INV_DEGRADE_POWER).is_some());
+        let world = ChaosWorld::new(&cfg);
+        assert_eq!(world.full_beam.n_virtual_antennas(), 64);
+        let out = world.run(&schedule, &reg, true);
+        assert!(
+            out.violations.is_empty(),
+            "paper bounds must hold at K = 128: {:?}",
+            out.violations.first()
+        );
+        assert!(out.events > 0, "faults must be scheduled");
+        assert_eq!(out.slots, 60);
+        assert_eq!(
+            out.checks,
+            reg.len() as u64 * (5 * 60 + out.events as u64 + 1)
         );
     }
 

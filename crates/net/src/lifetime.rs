@@ -47,6 +47,32 @@ impl LifetimeConfig {
     }
 }
 
+/// Why a lifetime run could not start. Kept typed so scale drivers (the
+/// chaos explorer, netperf churn harnesses) surface a bad endpoint as a
+/// value instead of an indexing panic mid-campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifetimeError {
+    /// An endpoint id is outside the deployment.
+    EndpointOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Nodes in the deployment.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for LifetimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EndpointOutOfRange { node, len } => {
+                write!(f, "endpoint node {node} outside the {len}-node deployment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LifetimeError {}
+
 /// Result of a lifetime run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LifetimeResult {
@@ -101,13 +127,37 @@ fn drain_hop(
 /// Runs traffic from the cluster containing `src_node` to the cluster
 /// containing `dst_node` until the flow cannot be routed any more (node
 /// deaths partition the network or consume an endpoint).
+///
+/// Panics on an out-of-range endpoint; [`try_run_lifetime`] returns the
+/// same condition as a [`LifetimeError`] instead.
 pub fn run_lifetime(
-    mut net: CoMimoNet,
+    net: CoMimoNet,
     model: &EnergyModel,
     cfg: &LifetimeConfig,
     src_node: usize,
     dst_node: usize,
 ) -> LifetimeResult {
+    match try_run_lifetime(net, model, cfg, src_node, dst_node) {
+        Ok(res) => res,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_lifetime`] with the endpoint validation surfaced as a typed
+/// error instead of an indexing panic.
+pub fn try_run_lifetime(
+    mut net: CoMimoNet,
+    model: &EnergyModel,
+    cfg: &LifetimeConfig,
+    src_node: usize,
+    dst_node: usize,
+) -> Result<LifetimeResult, LifetimeError> {
+    let len = net.graph().len();
+    for node in [src_node, dst_node] {
+        if node >= len {
+            return Err(LifetimeError::EndpointOutOfRange { node, len });
+        }
+    }
     let mut result = LifetimeResult {
         rounds: 0,
         bits_delivered: 0.0,
@@ -162,7 +212,7 @@ pub fn run_lifetime(
             break;
         }
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -231,6 +281,17 @@ mod tests {
             coop.bits_delivered,
             siso.bits_delivered
         );
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_a_typed_error_not_a_panic() {
+        let model = EnergyModel::paper();
+        let cfg = LifetimeConfig::default_rounds();
+        let err = try_run_lifetime(deployment(5, 0.2, 4), &model, &cfg, 0, 50).unwrap_err();
+        assert_eq!(err, LifetimeError::EndpointOutOfRange { node: 50, len: 50 });
+        let err = try_run_lifetime(deployment(5, 0.2, 4), &model, &cfg, 99, 0).unwrap_err();
+        assert_eq!(err, LifetimeError::EndpointOutOfRange { node: 99, len: 50 });
+        assert!(err.to_string().contains("node 99"));
     }
 
     #[test]

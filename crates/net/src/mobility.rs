@@ -43,6 +43,89 @@ impl WaypointConfig {
     }
 }
 
+/// Why a mobility call was rejected. Typed so scale drivers stepping
+/// hundreds of thousands of positions surface a bad field or a
+/// mismatched population as a value instead of an assert mid-run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityError {
+    /// The field has a non-positive dimension.
+    DegenerateField {
+        /// Field width (m).
+        width: f64,
+        /// Field height (m).
+        height: f64,
+    },
+    /// The speed range is empty or reaches zero.
+    InvalidSpeedRange {
+        /// Lower speed bound (m/s).
+        speed_min: f64,
+        /// Upper speed bound (m/s).
+        speed_max: f64,
+    },
+    /// The pause duration is negative.
+    NegativePause {
+        /// Pause at each waypoint (s).
+        pause_s: f64,
+    },
+    /// A step was driven with a position slice of the wrong length.
+    PopulationMismatch {
+        /// Positions supplied to the step.
+        positions: usize,
+        /// Legs this process tracks.
+        legs: usize,
+    },
+    /// A step was driven with a non-positive time delta.
+    NonPositiveStep {
+        /// The offending delta (s).
+        dt: f64,
+    },
+}
+
+impl std::fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DegenerateField { width, height } => {
+                write!(f, "degenerate {width} m x {height} m field")
+            }
+            Self::InvalidSpeedRange {
+                speed_min,
+                speed_max,
+            } => write!(f, "invalid speed range {speed_min}..={speed_max} m/s"),
+            Self::NegativePause { pause_s } => write!(f, "negative pause {pause_s} s"),
+            Self::PopulationMismatch { positions, legs } => {
+                write!(f, "{positions} position(s) stepped against {legs} leg(s)")
+            }
+            Self::NonPositiveStep { dt } => write!(f, "non-positive step dt {dt} s"),
+        }
+    }
+}
+
+impl std::error::Error for MobilityError {}
+
+impl WaypointConfig {
+    /// Checks the field, speed range and pause for sanity.
+    pub fn validate(&self) -> Result<(), MobilityError> {
+        if !(self.width > 0.0 && self.height > 0.0) {
+            return Err(MobilityError::DegenerateField {
+                width: self.width,
+                height: self.height,
+            });
+        }
+        if !(self.speed_max >= self.speed_min && self.speed_min > 0.0) {
+            return Err(MobilityError::InvalidSpeedRange {
+                speed_min: self.speed_min,
+                speed_max: self.speed_max,
+            });
+        }
+        if self.pause_s < 0.0 {
+            return Err(MobilityError::NegativePause {
+                pause_s: self.pause_s,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// One node's motion state.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct Leg {
@@ -59,16 +142,28 @@ pub struct RandomWaypoint {
 }
 
 impl RandomWaypoint {
-    /// Initialises one leg per node.
+    /// Initialises one leg per node. Panics on an invalid config;
+    /// [`RandomWaypoint::try_new`] returns it as a [`MobilityError`].
     pub fn new(rng: &mut impl Rng, cfg: WaypointConfig, positions: &[Point]) -> Self {
-        assert!(cfg.width > 0.0 && cfg.height > 0.0);
-        assert!(cfg.speed_max >= cfg.speed_min && cfg.speed_min > 0.0);
-        assert!(cfg.pause_s >= 0.0);
+        match Self::try_new(rng, cfg, positions) {
+            Ok(rw) => rw,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`RandomWaypoint::new`] with config validation surfaced as a
+    /// typed error.
+    pub fn try_new(
+        rng: &mut impl Rng,
+        cfg: WaypointConfig,
+        positions: &[Point],
+    ) -> Result<Self, MobilityError> {
+        cfg.validate()?;
         let legs = positions
             .iter()
             .map(|_| Self::fresh_leg(rng, &cfg))
             .collect();
-        Self { cfg, legs }
+        Ok(Self { cfg, legs })
     }
 
     fn fresh_leg(rng: &mut impl Rng, cfg: &WaypointConfig) -> Leg {
@@ -82,10 +177,32 @@ impl RandomWaypoint {
         }
     }
 
-    /// Advances every position by `dt` seconds in place.
+    /// Advances every position by `dt` seconds in place. Panics on a
+    /// population mismatch or a non-positive `dt`;
+    /// [`RandomWaypoint::try_step`] returns those as a [`MobilityError`].
     pub fn step(&mut self, rng: &mut impl Rng, positions: &mut [Point], dt: f64) {
-        assert_eq!(positions.len(), self.legs.len());
-        assert!(dt > 0.0);
+        if let Err(e) = self.try_step(rng, positions, dt) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`RandomWaypoint::step`] with the call contract surfaced as a
+    /// typed error instead of an assert.
+    pub fn try_step(
+        &mut self,
+        rng: &mut impl Rng,
+        positions: &mut [Point],
+        dt: f64,
+    ) -> Result<(), MobilityError> {
+        if positions.len() != self.legs.len() {
+            return Err(MobilityError::PopulationMismatch {
+                positions: positions.len(),
+                legs: self.legs.len(),
+            });
+        }
+        if dt <= 0.0 {
+            return Err(MobilityError::NonPositiveStep { dt });
+        }
         for (pos, leg) in positions.iter_mut().zip(&mut self.legs) {
             let mut remaining = dt;
             while remaining > 0.0 {
@@ -113,6 +230,7 @@ impl RandomWaypoint {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -294,6 +412,49 @@ mod tests {
         for (a, b) in positions.iter().zip(&frozen) {
             assert!(a.distance(*b) < 1e-9);
         }
+    }
+
+    #[test]
+    fn bad_configs_and_call_contracts_are_typed_errors() {
+        let mut rng = seeded(57);
+        let positions = vec![Point::new(1.0, 1.0); 4];
+        let bad = WaypointConfig {
+            speed_min: 0.0,
+            ..field()
+        };
+        assert_eq!(
+            RandomWaypoint::try_new(&mut rng, bad, &positions).unwrap_err(),
+            MobilityError::InvalidSpeedRange {
+                speed_min: 0.0,
+                speed_max: 2.0
+            }
+        );
+        assert_eq!(
+            WaypointConfig {
+                width: -1.0,
+                ..field()
+            }
+            .validate()
+            .unwrap_err(),
+            MobilityError::DegenerateField {
+                width: -1.0,
+                height: 400.0
+            }
+        );
+        let mut rw = RandomWaypoint::new(&mut rng, field(), &positions);
+        let mut short = vec![Point::new(0.0, 0.0); 3];
+        assert_eq!(
+            rw.try_step(&mut rng, &mut short, 1.0).unwrap_err(),
+            MobilityError::PopulationMismatch {
+                positions: 3,
+                legs: 4
+            }
+        );
+        let mut full = positions.clone();
+        assert_eq!(
+            rw.try_step(&mut rng, &mut full, 0.0).unwrap_err(),
+            MobilityError::NonPositiveStep { dt: 0.0 }
+        );
     }
 
     #[test]

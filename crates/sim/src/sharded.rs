@@ -1,0 +1,353 @@
+//! Region-sharded event queue with deterministic cross-shard ordering.
+//!
+//! The single [`crate::EventQueue`] orders events by `(time, seq)` under
+//! one global sequence counter — correct, but a serialization point: at a
+//! million SUs the scheduler itself becomes the bottleneck, and nothing
+//! about it can run on more than one thread.
+//!
+//! [`ShardedEventQueue`] splits the queue by spatial region (the caller
+//! picks the shard map — `netperf` uses a coarse grid over the field) and
+//! defines the **canonical global order**
+//!
+//! ```text
+//! (time, shard, unit, seq)
+//! ```
+//!
+//! where `unit` is a caller-chosen label inside the shard (node id,
+//! cluster id, …) and `seq` is the shard-local schedule counter. This
+//! order is a pure function of *what was scheduled*, never of which
+//! thread scheduled it — so a serial drain and a rayon-parallel
+//! slot-drain observe byte-identical streams, extending the
+//! `derive(seed, unit)` discipline to `derive(seed, shard)`: each shard
+//! owns an independent RNG stream and a private seq counter, and the
+//! merge is deterministic by construction.
+//!
+//! Parallelism happens at slot granularity: [`ShardedEventQueue::drain_up_to`]
+//! pops everything due in the slot grouped per shard (each group already
+//! in canonical order), [`map_shards`] fans the groups out on the rayon
+//! pool (`parallel` feature; serial fallback is the identity schedule),
+//! and the caller folds the per-shard outputs back **in shard order** —
+//! a barrier merge that keeps the bit-identical-at-any-thread-count
+//! contract of PR 1–7.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Canonical coordinates of one scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardKey {
+    /// Absolute due time.
+    pub at: SimTime,
+    /// Shard the event belongs to.
+    pub shard: u32,
+    /// Caller-chosen unit label inside the shard (node, cluster, …).
+    pub unit: u64,
+    /// Shard-local schedule sequence (FIFO tie-break).
+    pub seq: u64,
+}
+
+#[derive(Debug)]
+struct ShardEntry<E> {
+    at: SimTime,
+    unit: u64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for ShardEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.unit, self.seq) == (other.at, other.unit, other.seq)
+    }
+}
+impl<E> Eq for ShardEntry<E> {}
+impl<E> PartialOrd for ShardEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ShardEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.unit, self.seq).cmp(&(other.at, other.unit, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Shard<E> {
+    heap: BinaryHeap<Reverse<ShardEntry<E>>>,
+    next_seq: u64,
+}
+
+/// A deterministic event queue sharded by region.
+#[derive(Debug)]
+pub struct ShardedEventQueue<E> {
+    shards: Vec<Shard<E>>,
+    /// Merge tokens `(at, shard)`, one per live entry; the multiset of
+    /// tokens always equals the multiset of `(entry.at, shard)` pairs, so
+    /// the min token names a shard whose head is globally next.
+    merge: BinaryHeap<Reverse<(SimTime, u32)>>,
+    now: SimTime,
+    len: usize,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// A queue with `n_shards` shards, at time zero.
+    ///
+    /// # Panics
+    /// If `n_shards` is zero.
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        u32::try_from(n_shards).expect("shard count fits u32");
+        Self {
+            shards: (0..n_shards)
+                .map(|_| Shard {
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                })
+                .collect(),
+            merge: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            len: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current time (the due time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Live events across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `payload` on `shard` at absolute time `at`, labelled
+    /// `unit`. The shard-local sequence number breaks `(at, unit)` ties
+    /// in FIFO order.
+    ///
+    /// # Panics
+    /// If `at` is in the past or `shard` is out of range.
+    pub fn schedule_at(&mut self, shard: u32, at: SimTime, unit: u64, payload: E) -> ShardKey {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        let s = &mut self.shards[shard as usize];
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.heap.push(Reverse(ShardEntry {
+            at,
+            unit,
+            seq,
+            payload,
+        }));
+        self.merge.push(Reverse((at, shard)));
+        self.len += 1;
+        ShardKey {
+            at,
+            shard,
+            unit,
+            seq,
+        }
+    }
+
+    /// Due time of the globally next event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.merge.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Pops the globally next event in canonical `(time, shard, unit,
+    /// seq)` order, advancing `now`.
+    pub fn pop(&mut self) -> Option<(ShardKey, E)> {
+        let Reverse((at, shard)) = self.merge.pop()?;
+        let s = &mut self.shards[shard as usize];
+        let Reverse(entry) = s.heap.pop().expect("merge token without entry");
+        debug_assert_eq!(entry.at, at, "merge token desynced from shard heap");
+        self.now = entry.at;
+        self.len -= 1;
+        Some((
+            ShardKey {
+                at: entry.at,
+                shard,
+                unit: entry.unit,
+                seq: entry.seq,
+            },
+            entry.payload,
+        ))
+    }
+
+    /// Pops every event due at or before `slot_end`, grouped by shard;
+    /// group `s` holds shard `s`'s events in canonical order. Advances
+    /// `now` to the latest popped time (at most `slot_end`).
+    ///
+    /// The groups are independent by construction — this is the parallel
+    /// slot boundary: fan the groups out with [`map_shards`], then fold
+    /// the results back in shard order.
+    pub fn drain_up_to(&mut self, slot_end: SimTime) -> Vec<Vec<(ShardKey, E)>> {
+        let mut out: Vec<Vec<(ShardKey, E)>> = Vec::with_capacity(self.shards.len());
+        for _ in 0..self.shards.len() {
+            out.push(Vec::new());
+        }
+        while self.peek_time().is_some_and(|t| t <= slot_end) {
+            let (key, payload) = self.pop().expect("peeked event pops");
+            out[key.shard as usize].push((key, payload));
+        }
+        out
+    }
+}
+
+/// Maps `f` over per-shard work items, on the rayon pool in `parallel`
+/// builds, serially otherwise. Outputs come back **in shard order**
+/// either way, so the fold downstream is schedule-independent — the same
+/// order-stable contract as `comimo_chaos::par_map`.
+pub fn map_shards<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(u32, &T) -> R + Send + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        let indexed: Vec<(u32, &T)> = items
+            .iter()
+            .enumerate()
+            .map(|(s, t)| (s as u32, t))
+            .collect();
+        indexed.into_par_iter().map(|(s, t)| f(s, t)).collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        items
+            .iter()
+            .enumerate()
+            .map(|(s, t)| f(s as u32, t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_canonical_time_shard_unit_seq_order() {
+        let mut q = ShardedEventQueue::new(3);
+        // same instant on three shards, scheduled out of shard order
+        q.schedule_at(2, ns(10), 7, "s2");
+        q.schedule_at(0, ns(10), 9, "s0");
+        q.schedule_at(1, ns(10), 1, "s1");
+        // earlier time beats lower shard
+        q.schedule_at(2, ns(5), 0, "early");
+        // same (time, shard): unit then seq
+        q.schedule_at(0, ns(10), 3, "s0-u3");
+        q.schedule_at(0, ns(10), 3, "s0-u3-later");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec!["early", "s0-u3", "s0-u3-later", "s0", "s1", "s2"]
+        );
+        assert_eq!(q.now(), ns(10));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn canonical_order_is_schedule_independent() {
+        // two queues receive the same events in different call orders;
+        // the popped streams must be identical
+        let events = [
+            (0u32, 30u64, 5u64),
+            (3, 10, 2),
+            (1, 10, 9),
+            (2, 20, 0),
+            (0, 10, 5),
+            (3, 10, 1),
+        ];
+        let mut fwd = ShardedEventQueue::new(4);
+        for &(s, t, u) in &events {
+            fwd.schedule_at(s, ns(t), u, (s, t, u));
+        }
+        let mut rev = ShardedEventQueue::new(4);
+        for &(s, t, u) in events.iter().rev() {
+            rev.schedule_at(s, ns(t), u, (s, t, u));
+        }
+        let a: Vec<_> = std::iter::from_fn(|| fwd.pop())
+            .map(|(k, e)| ((k.at, k.shard, k.unit), e))
+            .collect();
+        let b: Vec<_> = std::iter::from_fn(|| rev.pop())
+            .map(|(k, e)| ((k.at, k.shard, k.unit), e))
+            .collect();
+        // keys match exactly; seq differs only where (at, shard, unit)
+        // ties, which FIFO resolves per schedule order by design
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drain_groups_match_global_pop_order() {
+        let mut q = ShardedEventQueue::new(2);
+        q.schedule_at(1, ns(5), 0, 'a');
+        q.schedule_at(0, ns(7), 0, 'b');
+        q.schedule_at(1, ns(12), 0, 'c');
+        q.schedule_at(0, ns(9), 0, 'd');
+        let groups = q.drain_up_to(ns(10));
+        assert_eq!(groups.len(), 2);
+        let flat: Vec<char> = groups.iter().flatten().map(|&(_, e)| e).collect();
+        assert_eq!(flat, vec!['b', 'd', 'a'], "shard 0 group, then shard 1");
+        assert_eq!(q.len(), 1, "the event past the slot boundary remains");
+        assert_eq!(q.now(), ns(9));
+        assert_eq!(q.pop().map(|(_, e)| e), Some('c'));
+    }
+
+    #[test]
+    fn interleaved_slots_keep_shard_streams_fifo() {
+        let mut q = ShardedEventQueue::new(2);
+        q.schedule_at(0, ns(1), 0, 1);
+        q.schedule_at(0, ns(1), 0, 2);
+        let g = q.drain_up_to(ns(1));
+        assert_eq!(g[0].iter().map(|&(_, e)| e).collect::<Vec<_>>(), vec![1, 2]);
+        // next slot reuses the shard's seq counter: still FIFO
+        q.schedule_at(0, ns(2), 0, 3);
+        q.schedule_at(0, ns(2), 0, 4);
+        let g = q.drain_up_to(ns(2));
+        assert_eq!(g[0].iter().map(|&(_, e)| e).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn map_shards_is_order_stable() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = map_shards(&items, |s, &v| (s as u64) * 1000 + v);
+        let expect: Vec<u64> = (0..64).map(|i| i * 1000 + i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        let mut q = ShardedEventQueue::new(1);
+        q.schedule_at(0, ns(10), 0, ());
+        q.pop();
+        q.schedule_at(0, ns(5), 0, ());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_shard_panics() {
+        let mut q = ShardedEventQueue::new(2);
+        q.schedule_at(2, ns(1), 0, ());
+    }
+}

@@ -77,7 +77,7 @@ fn weakened_invariant_is_found_shrunk_and_replayed_bit_identically() {
     assert!(f.minimized.len() < f.schedule_len, "shrinking must shrink");
 
     // artifact → JSON → artifact → replay, serial and pooled
-    let art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, f);
+    let art = ChaosArtifact::from_finding(&cfg, f);
     let json = art.to_json().expect("artifact serializes");
     let back = ChaosArtifact::from_json(&json).expect("artifact parses");
     assert_eq!(back, art);
@@ -146,6 +146,6 @@ fn fault_free_violation_shrinks_to_the_empty_trace() {
     let f = report.findings.first().expect("bound below 1 always fires");
     assert_eq!(f.invariant, INV_DEGRADE_POWER);
     assert!(f.minimized.is_empty());
-    let art = ChaosArtifact::from_finding(cfg.seed, cfg.horizon_s, cfg.bounds, f);
+    let art = ChaosArtifact::from_finding(&cfg, f);
     assert!(replay(&art, true).reproduced);
 }

@@ -128,3 +128,94 @@ proptest! {
         prop_assert!(solver.forward(e * 2.0, b, mt, mr) < p);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The spatial hash-grid answers neighbour and nearest queries
+    /// exactly like a brute-force O(N²) scan, through any interleaving
+    /// of joins, deaths and moves.
+    #[test]
+    fn prop_spatial_grid_matches_brute_force(
+        xs in proptest::collection::vec(0.0f64..500.0, 1..40),
+        ys in proptest::collection::vec(0.0f64..500.0, 40..41),
+        op_idx in proptest::collection::vec(0usize..40, 0..30),
+        op_x in proptest::collection::vec(0.0f64..500.0, 30..31),
+        op_y in proptest::collection::vec(0.0f64..500.0, 30..31),
+        op_kill in proptest::collection::vec(any::<bool>(), 30..31),
+        qx in 0.0f64..500.0,
+        qy in 0.0f64..500.0,
+        radius in 1.0f64..200.0,
+    ) {
+        use comimo::net::grid::SpatialGrid;
+        let mut grid = SpatialGrid::new(500.0, 500.0, 40.0);
+        let mut mirror: Vec<Option<(f64, f64)>> = Vec::new();
+        for (i, &x) in xs.iter().enumerate() {
+            grid.insert(i as u32, x, ys[i]);
+            mirror.push(Some((x, ys[i])));
+        }
+        for (k, &i) in op_idx.iter().enumerate() {
+            let i = i % mirror.len();
+            let (x, y, kill) = (op_x[k], op_y[k], op_kill[k]);
+            match (mirror[i], kill) {
+                (Some((ox, oy)), true) => {
+                    prop_assert!(grid.remove(i as u32, ox, oy));
+                    mirror[i] = None;
+                }
+                (Some((ox, oy)), false) => {
+                    grid.relocate(i as u32, ox, oy, x, y);
+                    mirror[i] = Some((x, y));
+                }
+                (None, _) => {
+                    grid.insert(i as u32, x, y);
+                    mirror[i] = Some((x, y));
+                }
+            }
+        }
+        // canonical neighbour set == brute force over the mirror
+        let mut got = Vec::new();
+        grid.neighbours_within(qx, qy, radius, &mut got);
+        let mut want: Vec<u32> = mirror
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some_and(|(x, y)| {
+                let (dx, dy) = (x - qx, y - qy);
+                dx * dx + dy * dy <= radius * radius
+            }))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(&got, &want);
+        // exact nearest with the (d², id) tie-break == brute force
+        let nearest = grid.nearest_matching(qx, qy, |_| true);
+        let brute = mirror
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|(x, y)| {
+                let (dx, dy) = (x - qx, y - qy);
+                (dx * dx + dy * dy, i as u32)
+            }))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        prop_assert_eq!(nearest, brute.map(|(d2, id)| (id, d2)));
+    }
+
+    /// RC-C2 grid-accelerated pairing produces the exact pair list and
+    /// idle node of the exhaustive oracle on every small cluster.
+    #[test]
+    fn prop_rc2_pairing_matches_exhaustive_oracle(
+        xs in proptest::collection::vec(-50.0f64..50.0, 2..13),
+        ys in proptest::collection::vec(-50.0f64..50.0, 13..14),
+    ) {
+        use comimo::core::cluster_beam::ClusterBeamformer;
+        let pts: Vec<Point> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| Point::new(x, ys[i]))
+            .collect();
+        let fast = ClusterBeamformer::pair_up(&pts, 0.1199);
+        let oracle = ClusterBeamformer::pair_up_exhaustive(&pts, 0.1199);
+        prop_assert_eq!(fast.pairs(), oracle.pairs());
+        prop_assert_eq!(fast.idle_node, oracle.idle_node);
+        prop_assert_eq!(fast.n_virtual_antennas(), pts.len() / 2);
+    }
+}
