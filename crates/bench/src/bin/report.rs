@@ -19,6 +19,7 @@ struct Report {
     fig8: Vec<comimo_testbed::experiments::beam_scan::BeamScanPoint>,
     bergrid: Vec<comimo_bench::BerGridSeries>,
     sensing_sweep: Vec<comimo_bench::SenseSweepRow>,
+    sensing_sweep_noisy: Vec<comimo_bench::SenseSweepRow>,
     sensing_roc: Vec<comimo_sensing::RocPoint>,
 }
 
@@ -44,6 +45,10 @@ fn main() {
         sensing_sweep: comimo_bench::FAULT_LAMBDAS
             .iter()
             .map(|&l| comimo_bench::sense_sweep(l))
+            .collect(),
+        sensing_sweep_noisy: comimo_bench::FAULT_LAMBDAS
+            .iter()
+            .map(|&l| comimo_bench::sense_sweep_noisy(l))
             .collect(),
         sensing_roc: comimo_bench::sensing_roc(),
     };

@@ -6,10 +6,11 @@
 //!
 //! Usage:
 //!   `cargo run --release -p comimo-bench --bin sensebench`
-//!       prints the degradation table (and writes `results/sensebench.txt`
-//!       when run from the repo root with a `results/` directory); the
-//!       output is a pure function of the seed — CI diffs it across
-//!       thread counts;
+//!       prints two degradation tables — the clean-transport oracle and
+//!       the noisy report long-haul at `SENSE_REPORT_SNR_DB` — (and
+//!       writes `results/sensebench.txt` when run from the repo root with
+//!       a `results/` directory); the output is a pure function of the
+//!       seed — CI diffs it across thread counts;
 //!   `cargo run --release -p comimo-bench --bin sensebench -- --roc [options]`
 //!       runs the ROC campaign ([`comimo_sensing::run_roc_campaign`]) on
 //!       the supervisor and prints one `counts` line per grid point —
@@ -18,21 +19,28 @@
 //!
 //! `--roc` options:
 //! ```text
-//! --trials N        fused trials per hypothesis per point per shard (default 400)
-//! --shards N        shards in the campaign                (default 24)
-//! --checkpoint P    checkpoint path (enables crash-resume)
-//! --resume          load an existing checkpoint instead of starting fresh
-//! --chunk N         shards per checkpoint commit          (default 2)
-//! --seed S          campaign seed                         (default 2013)
-//! --serial          force serial shard execution
+//! --trials N          fused trials per hypothesis per point per shard (default 400)
+//! --shards N          shards in the campaign                (default 24)
+//! --checkpoint P      checkpoint path (enables crash-resume)
+//! --resume            load an existing checkpoint instead of starting fresh
+//! --chunk N           shards per checkpoint commit          (default 2)
+//! --seed S            campaign seed                         (default 2013)
+//! --serial            force serial shard execution
+//! --report-snrs-db L  comma-separated report-channel SNR axis in dB;
+//!                     `inf` = clean oracle                  (default inf)
 //! ```
+//!
+//! The campaign config binds the checkpoint to `spec.fingerprint()`, so a
+//! checkpoint written for one grid (e.g. the clean axis) refuses to
+//! resume under another (e.g. `--report-snrs-db 5,15`).
 //!
 //! Exit status: 0 complete, 3 stopped gracefully (resumable), 2 on usage
 //! errors.
 
 use comimo_bench::{
-    emit_text_artifact, lambda_sweep_section, sense_sweep, EXPERIMENT_SEED, SENSE_HORIZON_S,
-    SENSE_LOSS_PROB, SENSE_REPORTERS, SENSE_SNR_DB,
+    emit_text_artifact, lambda_sweep_section, sense_sweep, sense_sweep_noisy, SenseSweepRow,
+    EXPERIMENT_SEED, SENSE_HORIZON_S, SENSE_LOSS_PROB, SENSE_REPORTERS, SENSE_REPORT_SNR_DB,
+    SENSE_SNR_DB,
 };
 use comimo_campaign::{install_sigint_stop, CampaignConfig, CampaignStatus};
 use comimo_sensing::{run_roc_campaign, RocGridSpec};
@@ -41,7 +49,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: sensebench [--roc [--trials N] [--shards N] [--checkpoint PATH] [--resume] \
-         [--chunk N] [--seed S] [--serial]]"
+         [--chunk N] [--seed S] [--serial] [--report-snrs-db LIST]]"
     );
     std::process::exit(2);
 }
@@ -54,6 +62,29 @@ struct RocArgs {
     chunk: usize,
     seed: u64,
     serial: bool,
+    report_snrs_db: Option<Vec<f64>>,
+}
+
+/// Parses the `--report-snrs-db` axis: comma-separated dB values where
+/// `inf` (any case) means the clean-transport oracle.
+fn parse_report_snrs(raw: &str) -> Vec<f64> {
+    let snrs: Vec<f64> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            if s.eq_ignore_ascii_case("inf") {
+                f64::INFINITY
+            } else {
+                s.parse()
+                    .unwrap_or_else(|_| usage("--report-snrs-db entries must be numbers or `inf`"))
+            }
+        })
+        .collect();
+    if snrs.is_empty() {
+        usage("--report-snrs-db needs at least one entry");
+    }
+    snrs
 }
 
 fn parse_roc_args(args: &[String]) -> RocArgs {
@@ -65,6 +96,7 @@ fn parse_roc_args(args: &[String]) -> RocArgs {
         chunk: 2,
         seed: EXPERIMENT_SEED,
         serial: false,
+        report_snrs_db: None,
     };
     let mut it = args.iter();
     let value = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
@@ -97,6 +129,9 @@ fn parse_roc_args(args: &[String]) -> RocArgs {
                     .unwrap_or_else(|_| usage("--seed must be an integer"))
             }
             "--serial" => a.serial = true,
+            "--report-snrs-db" => {
+                a.report_snrs_db = Some(parse_report_snrs(&value(&mut it, "--report-snrs-db")))
+            }
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -111,12 +146,17 @@ fn roc_mode(args: &[String]) {
     // first Ctrl-C = graceful stop at the next chunk boundary
     install_sigint_stop();
 
-    let spec = RocGridSpec {
+    let mut spec = RocGridSpec {
         trials_per_shard: args.trials,
         n_shards: args.shards,
         ..RocGridSpec::paper()
     };
-    let mut cfg = CampaignConfig::new(args.seed, 0x50C0);
+    if let Some(snrs) = args.report_snrs_db.clone() {
+        spec.report_snrs_db = snrs;
+    }
+    // binding the checkpoint to the grid fingerprint makes a checkpoint
+    // from one axis refuse to resume under another
+    let mut cfg = CampaignConfig::new(args.seed, spec.fingerprint());
     cfg.checkpoint = args.checkpoint.as_ref().map(|p| p.into());
     cfg.resume = args.resume;
     cfg.checkpoint_every_shards = args.chunk.max(1);
@@ -155,9 +195,16 @@ fn roc_mode(args: &[String]) {
             // across thread counts
             for (pi, p) in roc.iter().enumerate() {
                 println!(
-                    "counts point={pi} snr_db={} k_frac={} k={} seed={} trials={} \
-                     detections={} false_alarms={}",
-                    p.snr_db, p.k_frac, p.k, args.seed, p.trials, p.detections, p.false_alarms
+                    "counts point={pi} report_snr_db={} snr_db={} k_frac={} k={} seed={} \
+                     trials={} detections={} false_alarms={}",
+                    p.report_snr_db,
+                    p.snr_db,
+                    p.k_frac,
+                    p.k,
+                    args.seed,
+                    p.trials,
+                    p.detections,
+                    p.false_alarms
                 );
             }
             println!(
@@ -194,12 +241,33 @@ fn main() {
         "busy/idle",
         "Pd",
         "Pfa",
-        "cfg/or/local",
+        "llr/hard/cfg/or/local",
         "frames",
         "dup",
         "stale",
         "missing",
     ];
+    let row_cells = |lambda: f64, r: &SenseSweepRow| {
+        vec![
+            format!("{lambda:.1}"),
+            format!("{}", r.fault_events),
+            format!("{}/{}", r.busy_slots, r.idle_slots),
+            format!("{:.3}", r.pd()),
+            format!("{:.3}", r.pfa()),
+            format!(
+                "{}/{}/{}/{}/{}",
+                r.used_llr_soft,
+                r.used_hard_decode,
+                r.used_configured,
+                r.used_or_fallback,
+                r.used_head_local
+            ),
+            format!("{}", r.frames_sent),
+            format!("{}", r.duplicates),
+            format!("{}", r.stale),
+            format!("{}", r.missing),
+        ]
+    };
     let mut out = String::new();
     out.push_str(&format!(
         "Cooperative sensing degradation sweep ({SENSE_HORIZON_S} s horizon, seed \
@@ -208,27 +276,20 @@ fn main() {
          stuck-at-H0, stuck-at-H1, silent death, delayed reports\n\n"
     ));
     out.push_str(&lambda_sweep_section(
-        "Fused decisions vs the Markov ON/OFF primary (k-out-of-N head, OR and \
-         head-local fallbacks)",
+        "Fused decisions vs the Markov ON/OFF primary — clean report transport \
+         (k-out-of-N head, OR and head-local fallbacks)",
         &headers,
-        |lambda| {
-            let r = sense_sweep(lambda);
-            vec![
-                format!("{lambda:.1}"),
-                format!("{}", r.fault_events),
-                format!("{}/{}", r.busy_slots, r.idle_slots),
-                format!("{:.3}", r.pd()),
-                format!("{:.3}", r.pfa()),
-                format!(
-                    "{}/{}/{}",
-                    r.used_configured, r.used_or_fallback, r.used_head_local
-                ),
-                format!("{}", r.frames_sent),
-                format!("{}", r.duplicates),
-                format!("{}", r.stale),
-                format!("{}", r.missing),
-            ]
-        },
+        |lambda| row_cells(lambda, &sense_sweep(lambda)),
+    ));
+    out.push('\n');
+    out.push_str(&lambda_sweep_section(
+        &format!(
+            "Noisy report long-haul at {SENSE_REPORT_SNR_DB} dB report SNR — BPSK report \
+             words over the fading long-haul, LLR soft fusion with the hard-decode and \
+             quorum rungs below it"
+        ),
+        &headers,
+        |lambda| row_cells(lambda, &sense_sweep_noisy(lambda)),
     ));
     out.push_str(
         "Invariant held: every fused decision carried quorum evidence or was explicitly \

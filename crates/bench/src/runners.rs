@@ -13,10 +13,14 @@ use comimo_core::interweave::{run_table1, InterweaveConfig, InterweaveTrial};
 use comimo_core::overlay::{Overlay, OverlayAnalysis, OverlayConfig};
 use comimo_core::underlay::{Underlay, UnderlayAnalysis, UnderlayConfig};
 use comimo_energy::model::EnergyModel;
+use comimo_faults::report_channel::{
+    build_report_channel_schedule, ReportChannelFaultConfig, ReportChannelState,
+    ReportChannelTimeline,
+};
 use comimo_faults::sensing::{build_reporter_schedule, ReporterFaultConfig, ReporterTimeline};
 use comimo_math::rng::derive;
 use comimo_sensing::{
-    run_roc_campaign, run_round, MarkovOnOff, RocGridSpec, RocPoint, RuleUsed, SensingRound,
+    run_roc_campaign, run_round_faulted, MarkovOnOff, RocGridSpec, RocPoint, RuleUsed, SensingRound,
 };
 use comimo_stbc::design::{Ostbc, StbcKind};
 use comimo_stbc::grid::{simulate_ber_grid_par, GridPoint};
@@ -303,6 +307,10 @@ pub const SENSE_REPORTERS: usize = 6;
 pub const SENSE_SNR_DB: f64 = 0.0;
 /// Intra-cluster report-loss probability (exercises the retry path).
 pub const SENSE_LOSS_PROB: f64 = 0.1;
+/// Report-channel SNR (dB) of the noisy sweep: high enough that nominal
+/// slots decode confidently, low enough that SNR-collapse faults knock
+/// rounds off the soft rung.
+pub const SENSE_REPORT_SNR_DB: f64 = 15.0;
 /// Salt of the cluster head's own detector stream — the head is not a
 /// reporter; its local decision is the degradation ladder's last rung.
 const SENSE_HEAD_SALT: u64 = 0x5EA5_E000_0004;
@@ -324,6 +332,10 @@ pub struct SenseSweepRow {
     pub detections: u64,
     /// Fused busy verdicts on idle slots.
     pub false_alarms: u64,
+    /// Slots fused on the soft LLR rung (noisy long-haul, confident).
+    pub used_llr_soft: u64,
+    /// Slots degraded to hard-decoding the report words (shaky decode).
+    pub used_hard_decode: u64,
     /// Slots fused with the configured k-out-of-N rule.
     pub used_configured: u64,
     /// Slots degraded to the OR fallback (quorum below the floor).
@@ -360,74 +372,113 @@ impl SenseSweepRow {
     }
 }
 
-/// One λ point of the sensing sweep: [`SENSE_HORIZON_S`] slotted fused
-/// decisions against the Markov ON/OFF primary, reporters faulted by
-/// their `derive(seed, unit)` schedule at λ × nominal rates, reports
-/// crossing the lossy intra-cluster channel. A pure function of
-/// `(lambda, EXPERIMENT_SEED)` at any thread count.
+/// The shared sweep core: [`SENSE_HORIZON_S`] slotted fused decisions
+/// against the Markov ON/OFF primary, reporters faulted by their
+/// `derive(seed, unit)` schedule at λ × nominal rates, reports crossing
+/// the lossy intra-cluster channel — over the transport `cfg` carries
+/// (clean booleans or the noisy long-haul, with its own λ-scaled
+/// report-channel faults). A pure function of
+/// `(lambda, cfg, EXPERIMENT_SEED)` at any thread count.
+fn sense_sweep_with(lambda: f64, mut cfg: SensingRound, noisy: bool) -> SenseSweepRow {
+    let fcfg = if lambda == 0.0 {
+        ReporterFaultConfig::disabled(SENSE_HORIZON_S)
+    } else {
+        ReporterFaultConfig::nominal(SENSE_HORIZON_S).scaled(lambda)
+    };
+    let schedule = build_reporter_schedule(&fcfg, SENSE_REPORTERS, EXPERIMENT_SEED);
+    let tl = ReporterTimeline::from_schedule(&schedule);
+    let rcfg = if lambda == 0.0 || !noisy {
+        ReportChannelFaultConfig::disabled(SENSE_HORIZON_S)
+    } else {
+        ReportChannelFaultConfig::nominal(SENSE_HORIZON_S).scaled(lambda)
+    };
+    let rschedule = build_report_channel_schedule(&rcfg, SENSE_REPORTERS, EXPERIMENT_SEED);
+    let rtl = ReportChannelTimeline::from_schedule(&rschedule);
+    let snr = comimo_math::db::db_to_lin(SENSE_SNR_DB);
+    cfg.transport.loss_prob = SENSE_LOSS_PROB;
+    let det = cfg.detector;
+    let n_slots = SENSE_HORIZON_S as usize;
+    let truth = MarkovOnOff::paper().sample_states(EXPERIMENT_SEED, 0, n_slots);
+    let mut row = SenseSweepRow {
+        lambda,
+        fault_events: schedule.len() + rschedule.len(),
+        busy_slots: 0,
+        idle_slots: 0,
+        detections: 0,
+        false_alarms: 0,
+        used_llr_soft: 0,
+        used_hard_decode: 0,
+        used_configured: 0,
+        used_or_fallback: 0,
+        used_head_local: 0,
+        frames_sent: 0,
+        duplicates: 0,
+        stale: 0,
+        missing: 0,
+    };
+    for (slot, &busy) in truth.iter().enumerate() {
+        let t = slot as f64;
+        let states: Vec<_> = (0..SENSE_REPORTERS).map(|r| tl.state_at(t, r)).collect();
+        let report_states: Vec<ReportChannelState> =
+            (0..SENSE_REPORTERS).map(|r| rtl.state_at(t, r)).collect();
+        let mut head_rng = derive(EXPERIMENT_SEED, SENSE_HEAD_SALT ^ slot as u64);
+        let head_snr = if busy { snr } else { 0.0 };
+        let head_local = det.decide(det.sample_statistic(&mut head_rng, head_snr));
+        let out = run_round_faulted(
+            &cfg,
+            busy,
+            &states,
+            &report_states,
+            head_local,
+            EXPERIMENT_SEED,
+            slot as u64,
+        )
+        .expect("the paper sweep config is valid");
+        if busy {
+            row.busy_slots += 1;
+            row.detections += u64::from(out.decision.busy);
+        } else {
+            row.idle_slots += 1;
+            row.false_alarms += u64::from(out.decision.busy);
+        }
+        match out.decision.rule_used {
+            RuleUsed::LlrSoft => row.used_llr_soft += 1,
+            RuleUsed::HardDecode => row.used_hard_decode += 1,
+            RuleUsed::Configured => row.used_configured += 1,
+            RuleUsed::OrFallback => row.used_or_fallback += 1,
+            RuleUsed::HeadLocal => row.used_head_local += 1,
+        }
+        row.frames_sent += out.frames_sent;
+        row.duplicates += out.duplicates;
+        row.stale += out.stale;
+        row.missing += out.missing as u64;
+    }
+    row
+}
+
+/// One λ point of the sensing sweep over the clean-boolean transport
+/// (the pinned-oracle path).
 pub fn sense_sweep(lambda: f64) -> SenseSweepRow {
     let label = format!("sense λ={lambda}");
     supervised_run(&label, || {
-        let fcfg = if lambda == 0.0 {
-            ReporterFaultConfig::disabled(SENSE_HORIZON_S)
-        } else {
-            ReporterFaultConfig::nominal(SENSE_HORIZON_S).scaled(lambda)
-        };
-        let schedule = build_reporter_schedule(&fcfg, SENSE_REPORTERS, EXPERIMENT_SEED);
-        let tl = ReporterTimeline::from_schedule(&schedule);
         let snr = comimo_math::db::db_to_lin(SENSE_SNR_DB);
-        let mut cfg = SensingRound::paper(snr);
-        cfg.transport.loss_prob = SENSE_LOSS_PROB;
-        let det = cfg.detector;
-        let n_slots = SENSE_HORIZON_S as usize;
-        let truth = MarkovOnOff::paper().sample_states(EXPERIMENT_SEED, 0, n_slots);
-        let mut row = SenseSweepRow {
+        sense_sweep_with(lambda, SensingRound::paper(snr), false)
+    })
+}
+
+/// One λ point of the sensing sweep with reports on the noisy long-haul
+/// at [`SENSE_REPORT_SNR_DB`]: LLR fusion walks the full five-rung
+/// ladder, and λ also scales the report-channel fault taxonomy (SNR
+/// collapse, phase desync).
+pub fn sense_sweep_noisy(lambda: f64) -> SenseSweepRow {
+    let label = format!("sense-noisy λ={lambda}");
+    supervised_run(&label, || {
+        let snr = comimo_math::db::db_to_lin(SENSE_SNR_DB);
+        sense_sweep_with(
             lambda,
-            fault_events: schedule.len(),
-            busy_slots: 0,
-            idle_slots: 0,
-            detections: 0,
-            false_alarms: 0,
-            used_configured: 0,
-            used_or_fallback: 0,
-            used_head_local: 0,
-            frames_sent: 0,
-            duplicates: 0,
-            stale: 0,
-            missing: 0,
-        };
-        for (slot, &busy) in truth.iter().enumerate() {
-            let t = slot as f64;
-            let states: Vec<_> = (0..SENSE_REPORTERS).map(|r| tl.state_at(t, r)).collect();
-            let mut head_rng = derive(EXPERIMENT_SEED, SENSE_HEAD_SALT ^ slot as u64);
-            let head_snr = if busy { snr } else { 0.0 };
-            let head_local = det.decide(det.sample_statistic(&mut head_rng, head_snr));
-            let out = run_round(
-                &cfg,
-                busy,
-                &states,
-                head_local,
-                EXPERIMENT_SEED,
-                slot as u64,
-            );
-            if busy {
-                row.busy_slots += 1;
-                row.detections += u64::from(out.decision.busy);
-            } else {
-                row.idle_slots += 1;
-                row.false_alarms += u64::from(out.decision.busy);
-            }
-            match out.decision.rule_used {
-                RuleUsed::Configured => row.used_configured += 1,
-                RuleUsed::OrFallback => row.used_or_fallback += 1,
-                RuleUsed::HeadLocal => row.used_head_local += 1,
-            }
-            row.frames_sent += out.frames_sent;
-            row.duplicates += out.duplicates;
-            row.stale += out.stale;
-            row.missing += out.missing as u64;
-        }
-        row
+            SensingRound::paper_noisy(snr, SENSE_REPORT_SNR_DB),
+            true,
+        )
     })
 }
 
@@ -435,9 +486,10 @@ pub fn sense_sweep(lambda: f64) -> SenseSweepRow {
 /// paper grid ([`RocGridSpec::paper`]) on the campaign supervisor, no
 /// checkpoint. Counts are pure functions of [`EXPERIMENT_SEED`].
 pub fn sensing_roc() -> Vec<RocPoint> {
+    let spec = RocGridSpec::paper();
     let (report, roc) = run_roc_campaign(
-        &RocGridSpec::paper(),
-        &CampaignConfig::new(EXPERIMENT_SEED, 0x50C0),
+        &spec,
+        &CampaignConfig::new(EXPERIMENT_SEED, spec.fingerprint()),
     )
     .expect("the fault-free ROC campaign completes");
     assert_eq!(report.status, CampaignStatus::Complete);
@@ -558,5 +610,30 @@ mod tests {
         assert!(hot.fault_events > 0);
         assert!(hot.used_head_local > 0, "deaths must reach the last rung");
         assert_eq!(hot, sense_sweep(4.0), "pure function of (λ, seed)");
+    }
+
+    /// The noisy sweep walks the soft end of the ladder: a fault-free
+    /// λ = 0 fuses every slot on the LLR rung with clean-grade accuracy,
+    /// and a hot λ's SNR collapses push slots into hard decoding while
+    /// reporter deaths still reach head-local.
+    #[test]
+    fn noisy_sense_sweep_walks_the_soft_ladder() {
+        let clean = sense_sweep_noisy(0.0);
+        assert_eq!(clean.fault_events, 0);
+        assert_eq!(clean.used_llr_soft, SENSE_HORIZON_S as u64);
+        assert_eq!(clean.used_configured, 0, "the soft path never uses it");
+        assert!(
+            clean.pd() > 0.85,
+            "soft-fused Pd at 0 dB over a 15 dB long-haul: {}",
+            clean.pd()
+        );
+        assert!(clean.pfa() < 0.1, "soft-fused Pfa: {}", clean.pfa());
+        let hot = sense_sweep_noisy(4.0);
+        assert!(hot.fault_events > 0);
+        assert!(
+            hot.used_hard_decode > 0,
+            "SNR collapses must force hard decoding: {hot:?}"
+        );
+        assert_eq!(hot, sense_sweep_noisy(4.0), "pure function of (λ, seed)");
     }
 }

@@ -18,7 +18,10 @@ use serde::{Deserialize, Serialize};
 /// Artifact schema version; bump on any incompatible change.
 /// v2: [`InvariantBounds`] gained the sensing bounds
 /// (`missed_detect_budget`, `fusion_quorum_min`).
-pub const ARTIFACT_VERSION: u32 = 2;
+/// v3: [`InvariantBounds`] gained the report long-haul ceiling
+/// (`report_epa_floor_db`) and the world emits the report/ladder
+/// observations it checks.
+pub const ARTIFACT_VERSION: u32 = 3;
 
 /// One fault event in serialized form (`SimTime` itself carries no serde;
 /// nanoseconds are its exact representation).

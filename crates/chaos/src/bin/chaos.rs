@@ -8,6 +8,7 @@
 //!               [--lambda-min F] [--lambda-max F] [--mt N]
 //!               [--epa-floor-db F] [--null-residual-max F] [--overdraw-max F]
 //!               [--missed-budget N] [--fusion-quorum-min N]
+//!               [--report-epa-floor-db F]
 //!               [--out DIR] [--serial] [--no-shrink]
 //!     run a deterministic sweep; write one replayable JSON artifact per
 //!     violating run into DIR (default chaos-artifacts/).
@@ -83,6 +84,9 @@ fn bounds_from(args: &[String]) -> InvariantBounds {
     }
     if let Some(v) = flag(args, "--fusion-quorum-min") {
         b.fusion_quorum_min = v;
+    }
+    if let Some(v) = flag(args, "--report-epa-floor-db") {
+        b.report_epa_floor_db = v;
     }
     b
 }

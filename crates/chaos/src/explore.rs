@@ -338,6 +338,54 @@ mod tests {
     }
 
     #[test]
+    fn weakened_report_epa_bound_is_found_and_shrunk() {
+        // same construction as weakened_epa_bounds, but applied to the
+        // *report long-haul* ceiling: a floor between the full rung's
+        // margin and the one-dead rung's means any schedule that knocks
+        // a transmitter out makes the sensing report words radiate past
+        // their weakened PA budget — INV-REPORT-EPA, not INV-EPA-CEILING,
+        // because the underlay floor stays at its paper value
+        let report_floor = weakened_epa_bounds().epa_margin_floor_db;
+        let cfg = ExploreConfig {
+            runs: 8,
+            horizon_s: 120.0,
+            lambda_min: 2.0,
+            lambda_max: 4.0,
+            bounds: InvariantBounds {
+                report_epa_floor_db: report_floor,
+                ..InvariantBounds::paper()
+            },
+            serial: true,
+            ..ExploreConfig::new(2013)
+        };
+        let report = explore(&cfg);
+        assert!(
+            !report.findings.is_empty(),
+            "λ ∈ [2,4] over 120 s must knock a transmitter out in 8 runs"
+        );
+        for f in &report.findings {
+            assert_eq!(f.invariant, crate::invariant::INV_REPORT_EPA);
+            assert!(!f.minimized.is_empty(), "a fault is required to violate");
+            assert!(f.minimized.len() <= f.schedule_len);
+            assert!(f.shrink_probes > 0);
+            // the 1-minimal trace must replay to the identical violation,
+            // bit for bit
+            let wcfg = ChaosConfig::paper(f.run_seed, cfg.horizon_s);
+            let reg = InvariantRegistry::with_bounds(cfg.bounds);
+            let replay = crate::world::run_events(&wcfg, &f.minimized, &reg, true);
+            let v = replay
+                .violations
+                .iter()
+                .find(|v| v.invariant == f.invariant)
+                .expect("minimized trace still fires");
+            assert_eq!(v.at_ns, f.at_ns);
+            assert_eq!(v.observed.to_bits(), f.observed.to_bits());
+            assert_eq!(v.bound.to_bits(), f.bound.to_bits());
+            assert_eq!(v.detail, f.detail);
+        }
+    }
+
+    #[test]
     fn weakened_missed_budget_is_found_and_shrunk() {
         // a zero missed-detection budget turns the (legitimate, within
         // paper budget) one-slot miss after a mid-slot PU return into a

@@ -13,6 +13,8 @@
 //! | `INV-CKPT-COUNTS`  | campaign determinism contract | a completed campaign's merged counts equal the seed-derived oracle |
 //! | `INV-MISSED-DETECT-BUDGET` | cooperative-sensing contract | the cluster never radiates into an active primary for more consecutive slots than the budget |
 //! | `INV-FUSION-QUORUM` | decision-fusion degradation ladder | every non-head-local fused decision rests on at least its own quorum of arrived reports |
+//! | `INV-REPORT-EPA` | Sec. 3/4 `E_PA` ceiling on the report long-haul | sensing report words never radiate past the same PA energy ceiling the data obeys |
+//! | `INV-LLR-DEGRADE-ORDER` | soft-fusion degradation ladder | every fused decision lands on the *first eligible* rung — never skipping soft → hard-decode → quorum → head-local order |
 //!
 //! Checks are driven by [`Observation`]s the chaos world emits — one per
 //! simulated slot, event pop, or campaign completion — and produce
@@ -38,6 +40,10 @@ pub const INV_MISSED_DETECT_BUDGET: &str = "INV-MISSED-DETECT-BUDGET";
 /// Stable identifier: fused decisions carry their quorum's worth of
 /// arrived reports.
 pub const INV_FUSION_QUORUM: &str = "INV-FUSION-QUORUM";
+/// Stable identifier: report words respect the PA energy ceiling.
+pub const INV_REPORT_EPA: &str = "INV-REPORT-EPA";
+/// Stable identifier: soft fusion degrades in ladder order.
+pub const INV_LLR_DEGRADE_ORDER: &str = "INV-LLR-DEGRADE-ORDER";
 
 /// One fact the chaos world observed; the registry fans each observation
 /// out to every invariant.
@@ -103,6 +109,40 @@ pub enum Observation {
         /// sensing ran at all) — exempt from quorum accounting.
         head_local: bool,
     },
+    /// One slot's sensing-report long-haul transmission and its power
+    /// account against the underlay `E_PA` ceiling.
+    ReportLongHaul {
+        /// Slot start (ns) — when the report words went on the air.
+        at_ns: u64,
+        /// Whether any report word actually radiated this slot (a
+        /// clean-transport or zero-reporter slot transmits nothing).
+        transmitted: bool,
+        /// Noise-floor margin of the rung whose PA budget clamps the
+        /// report word energy (dB; `+∞` when nothing radiated).
+        margin_db: f64,
+        /// Transmit antennas of the report word.
+        mt: usize,
+    },
+    /// One fused decision's full ladder evidence, for rung-order audit.
+    FusionLadder {
+        /// Slot start (ns) — when sensing reports were fused.
+        at_ns: u64,
+        /// Whether the soft (noisy long-haul) fusion path ran.
+        soft_path: bool,
+        /// The rung that decided ([`RuleUsed::rung_index`] encoding:
+        /// 0 = soft LLR, 1 = hard decode, 2 = configured, 3 = OR
+        /// fallback, 4 = head local).
+        rung: u8,
+        /// Distinct reports fused.
+        n_reports: usize,
+        /// Configured minimum quorum (already clamped to ≥ 1).
+        min_quorum: usize,
+        /// Mean decoder confidence over the fused reports.
+        mean_confidence: f64,
+        /// Reliability floor of the soft rung (`+∞` on rules with no
+        /// soft rung).
+        reliability_floor: f64,
+    },
     /// One event-queue pop: the clock before and after.
     EventPop {
         /// Clock before the pop (ns).
@@ -134,6 +174,8 @@ impl Observation {
             | Self::OverlaySlot { at_ns, .. }
             | Self::SensingSlot { at_ns, .. }
             | Self::FusionDecision { at_ns, .. }
+            | Self::ReportLongHaul { at_ns, .. }
+            | Self::FusionLadder { at_ns, .. }
             | Self::CampaignCounts { at_ns, .. } => *at_ns,
             Self::EventPop { now_ns, .. } => *now_ns,
         }
@@ -179,6 +221,11 @@ pub struct InvariantBounds {
     /// Paper: 1 — the degradation ladder re-derives `k` from what
     /// arrived, so every fused rung keeps at least an OR quorum.
     pub fusion_quorum_min: usize,
+    /// Minimum admissible noise-floor margin (dB) of the rung whose PA
+    /// budget the report words are clamped to. Paper: 0 — report words
+    /// reuse the underlay `E_PA` ceiling, so a transmitted report never
+    /// radiates past the primary noise floor.
+    pub report_epa_floor_db: f64,
 }
 
 impl InvariantBounds {
@@ -190,6 +237,7 @@ impl InvariantBounds {
             overdraw_max: 1.0 + 1e-9,
             missed_detect_budget: 1,
             fusion_quorum_min: 1,
+            report_epa_floor_db: 0.0,
         }
     }
 }
@@ -215,7 +263,7 @@ pub trait Invariant: Send + Sync {
 }
 
 // ---------------------------------------------------------------------
-// The seven paper invariants
+// The nine paper invariants
 // ---------------------------------------------------------------------
 
 struct EpaCeiling {
@@ -569,6 +617,143 @@ impl Invariant for FusionQuorum {
     }
 }
 
+struct ReportEpa {
+    floor_db: f64,
+}
+
+impl Invariant for ReportEpa {
+    fn id(&self) -> &'static str {
+        INV_REPORT_EPA
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Sec. 3/4: sensing report words reuse the underlay E_PA ceiling of the data long-haul"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-stbc ReportWordConfig::clamp_es; chaos-world report-word power account"
+    }
+    fn bound_text(&self) -> String {
+        format!(
+            "transmitted report words: clamping rung margin ≥ {:.3} dB",
+            self.floor_db
+        )
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        // mirrors INV-EPA-CEILING's shape: an untransmitted slot
+        // radiates nothing, so the ceiling holds trivially — but the
+        // check still runs every slot
+        let Observation::ReportLongHaul {
+            at_ns,
+            transmitted,
+            margin_db,
+            mt,
+        } = obs
+        else {
+            return None;
+        };
+        if *transmitted && *margin_db < self.floor_db {
+            return Some(Violation {
+                invariant: INV_REPORT_EPA,
+                at_ns: *at_ns,
+                observed: *margin_db,
+                bound: self.floor_db,
+                detail: format!(
+                    "sensing report words radiated on a {mt}-antenna long-haul whose clamping \
+                     rung margin {margin_db:.6} dB < floor {:.6} dB",
+                    self.floor_db
+                ),
+            });
+        }
+        None
+    }
+}
+
+struct LlrDegradeOrder;
+
+impl LlrDegradeOrder {
+    /// The first rung the ladder evidence makes eligible — a deliberate
+    /// re-derivation (not a call into `fuse_soft`) so a fusion-side
+    /// rung-skipping bug cannot hide behind its own bookkeeping.
+    fn first_eligible(
+        soft_path: bool,
+        n: usize,
+        min_quorum: usize,
+        mean_confidence: f64,
+        reliability_floor: f64,
+    ) -> u8 {
+        let mq = min_quorum.max(1);
+        if soft_path {
+            if n >= mq {
+                if mean_confidence >= reliability_floor {
+                    0 // soft LLR
+                } else {
+                    1 // hard decode
+                }
+            } else if n >= 1 {
+                3 // OR fallback
+            } else {
+                4 // head local
+            }
+        } else if n >= mq {
+            2 // configured rule
+        } else if n >= 1 {
+            3
+        } else {
+            4
+        }
+    }
+}
+
+impl Invariant for LlrDegradeOrder {
+    fn id(&self) -> &'static str {
+        INV_LLR_DEGRADE_ORDER
+    }
+    fn paper_ref(&self) -> &'static str {
+        "soft-fusion degradation ladder: LLR soft → hard decode → configured rule → \
+         OR fallback → head local, first eligible rung decides"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-sensing fuse_soft / fuse_reports rung selection and LadderEvidence accounting"
+    }
+    fn bound_text(&self) -> String {
+        "every fused decision lands on exactly the first eligible rung".into()
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        let Observation::FusionLadder {
+            at_ns,
+            soft_path,
+            rung,
+            n_reports,
+            min_quorum,
+            mean_confidence,
+            reliability_floor,
+        } = obs
+        else {
+            return None;
+        };
+        let expected = Self::first_eligible(
+            *soft_path,
+            *n_reports,
+            *min_quorum,
+            *mean_confidence,
+            *reliability_floor,
+        );
+        if *rung != expected {
+            return Some(Violation {
+                invariant: INV_LLR_DEGRADE_ORDER,
+                at_ns: *at_ns,
+                observed: f64::from(*rung),
+                bound: f64::from(expected),
+                detail: format!(
+                    "fusion decided on rung {rung} but the evidence (soft={soft_path}, \
+                     n={n_reports}, min_quorum={min_quorum}, confidence={mean_confidence:.4}, \
+                     floor={reliability_floor:.4}) makes rung {expected} the first eligible"
+                ),
+            });
+        }
+        None
+    }
+}
+
 // ---------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------
@@ -587,12 +772,12 @@ impl InvariantRegistry {
         }
     }
 
-    /// The seven paper invariants at their true bounds.
+    /// The nine paper invariants at their true bounds.
     pub fn paper() -> Self {
         Self::with_bounds(InvariantBounds::paper())
     }
 
-    /// The seven paper invariants at explicit (possibly weakened) bounds.
+    /// The nine paper invariants at explicit (possibly weakened) bounds.
     pub fn with_bounds(b: InvariantBounds) -> Self {
         let mut reg = Self::empty();
         reg.register(Box::new(EpaCeiling {
@@ -612,6 +797,10 @@ impl InvariantRegistry {
         reg.register(Box::new(FusionQuorum {
             min_quorum: b.fusion_quorum_min,
         }));
+        reg.register(Box::new(ReportEpa {
+            floor_db: b.report_epa_floor_db,
+        }));
+        reg.register(Box::new(LlrDegradeOrder));
         reg
     }
 
@@ -680,9 +869,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn paper_registry_has_the_seven_stable_ids() {
+    fn paper_registry_has_the_nine_stable_ids() {
         let reg = InvariantRegistry::paper();
-        assert_eq!(reg.len(), 7);
+        assert_eq!(reg.len(), 9);
         for id in [
             INV_EPA_CEILING,
             INV_NULL_DEPTH,
@@ -691,6 +880,8 @@ mod tests {
             INV_CKPT_COUNTS,
             INV_MISSED_DETECT_BUDGET,
             INV_FUSION_QUORUM,
+            INV_REPORT_EPA,
+            INV_LLR_DEGRADE_ORDER,
         ] {
             let inv = reg.get(id).unwrap_or_else(|| panic!("missing {id}"));
             assert_eq!(inv.id(), id);
@@ -723,7 +914,7 @@ mod tests {
             },
             &mut v,
         );
-        assert_eq!(checks, 7, "every slot consults every invariant");
+        assert_eq!(checks, 9, "every slot consults every invariant");
         assert!(v.is_empty());
         // transmitting below the floor: violation
         reg.check(
@@ -959,6 +1150,105 @@ mod tests {
     }
 
     #[test]
+    fn report_epa_fires_only_on_transmitted_sub_floor_words() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        // nothing radiated: the ceiling holds however bad the margin is
+        reg.check(
+            &Observation::ReportLongHaul {
+                at_ns: 1,
+                transmitted: false,
+                margin_db: -20.0,
+                mt: 2,
+            },
+            &mut v,
+        );
+        // transmitted with headroom: holds
+        reg.check(
+            &Observation::ReportLongHaul {
+                at_ns: 2,
+                transmitted: true,
+                margin_db: 4.2,
+                mt: 2,
+            },
+            &mut v,
+        );
+        assert!(v.is_empty());
+        // transmitted below the floor: the breach the explorer hunts
+        reg.check(
+            &Observation::ReportLongHaul {
+                at_ns: 3,
+                transmitted: true,
+                margin_db: -0.25,
+                mt: 2,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, INV_REPORT_EPA);
+        assert_eq!(v[0].observed, -0.25);
+    }
+
+    #[test]
+    fn llr_degrade_order_recomputes_the_first_eligible_rung() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        // every legitimate rung in ladder order holds
+        for (soft_path, rung, n, conf) in [
+            (true, 0u8, 5usize, 0.9), // confident quorum → soft
+            (true, 1, 5, 0.3),        // shaky quorum → hard decode
+            (false, 2, 5, 1.0),       // clean path → configured
+            (true, 3, 1, 0.9),        // sub-quorum → OR fallback
+            (false, 3, 1, 1.0),
+            (true, 4, 0, 0.0), // empty → head local
+        ] {
+            reg.check(
+                &Observation::FusionLadder {
+                    at_ns: 1,
+                    soft_path,
+                    rung,
+                    n_reports: n,
+                    min_quorum: 2,
+                    mean_confidence: conf,
+                    reliability_floor: 0.65,
+                },
+                &mut v,
+            );
+        }
+        assert!(v.is_empty(), "{v:?}");
+        // skipping the soft rung while its evidence says eligible fires
+        reg.check(
+            &Observation::FusionLadder {
+                at_ns: 2,
+                soft_path: true,
+                rung: 1,
+                n_reports: 5,
+                min_quorum: 2,
+                mean_confidence: 0.9,
+                reliability_floor: 0.65,
+            },
+            &mut v,
+        );
+        // so does jumping straight to head-local with reports in hand
+        reg.check(
+            &Observation::FusionLadder {
+                at_ns: 3,
+                soft_path: false,
+                rung: 4,
+                n_reports: 1,
+                min_quorum: 2,
+                mean_confidence: 1.0,
+                reliability_floor: f64::INFINITY,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.invariant == INV_LLR_DEGRADE_ORDER));
+        assert_eq!(v[0].bound, 0.0);
+        assert_eq!(v[1].bound, 3.0);
+    }
+
+    #[test]
     fn weakened_bounds_strengthen_the_checks() {
         let weak = InvariantRegistry::with_bounds(InvariantBounds {
             epa_margin_floor_db: 3.0,
@@ -966,6 +1256,7 @@ mod tests {
             overdraw_max: 0.5,
             missed_detect_budget: 0,
             fusion_quorum_min: 4,
+            report_epa_floor_db: 5.0,
         });
         let mut v = Vec::new();
         // a margin fine at the paper floor breaks a +3 dB floor
@@ -1008,6 +1299,16 @@ mod tests {
             },
             &mut v,
         );
-        assert_eq!(v.len(), 4);
+        // a report word fine at the paper floor breaks a +5 dB floor
+        weak.check(
+            &Observation::ReportLongHaul {
+                at_ns: 0,
+                transmitted: true,
+                margin_db: 2.0,
+                mt: 2,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 5);
     }
 }

@@ -28,14 +28,15 @@ use comimo_core::overlay::{Overlay, OverlayConfig};
 use comimo_core::underlay::{Underlay, UnderlayConfig};
 use comimo_energy::model::EnergyModel;
 use comimo_faults::{
-    beam_positions, build_reporter_schedule, CampaignFaultPlan, FaultEvent, FaultKind,
+    beam_positions, build_report_channel_schedule, build_reporter_schedule, CampaignFaultPlan,
+    FaultEvent, FaultKind, ReportChannelFaultConfig, ReportChannelState, ReportChannelTimeline,
     ReporterFaultConfig, ReporterState, ReporterTimeline, Timeline, Topology,
 };
 use comimo_math::rng::derive;
 use comimo_net::graph::SuGraph;
 use comimo_net::node::SuNode;
 use comimo_net::recruit::{run_recruitment, RecruitConfig};
-use comimo_sensing::{run_round, FusionDecision, RuleUsed, SensingRound};
+use comimo_sensing::{run_round_faulted, RoundOutcome, RuleUsed, SensingRound};
 use comimo_sim::engine::{EventQueue, StepProbe};
 use comimo_sim::time::SimTime;
 use comimo_stbc::sim::BerResult;
@@ -55,6 +56,11 @@ const CAMPAIGN_SHARD_SALT: u64 = 0x43_48_41_4f_53_53_48_44; // "CHAOSSHD"
 /// busy (20 dB): sharp enough that fused misses come from faults, not
 /// from detector noise — but not a genie; only the head's veto is.
 const SENSE_SNR_LIN: f64 = 100.0;
+
+/// Report-channel SNR (dB) of the noisy long-haul the sensing reports
+/// ride: comfortable enough that nominal slots stay on the soft rung,
+/// finite enough that SNR-collapse faults push rounds down the ladder.
+const REPORT_SNR_DB: f64 = 25.0;
 
 /// Everything one chaos run needs; [`ChaosConfig::paper`] fills in the
 /// paper's evaluation constants.
@@ -203,7 +209,11 @@ pub struct ChaosWorld {
     /// The config-derived reporter-fault timeline (stuck/death/delay) —
     /// constant across ddmin probes, which keeps shrinking sound.
     reporter_tl: ReporterTimeline,
-    /// The sensing round every slot runs (detector, fusion, transport).
+    /// The config-derived report-channel fault timeline (SNR collapse,
+    /// phase desync) — constant across ddmin probes for the same reason.
+    report_tl: ReportChannelTimeline,
+    /// The sensing round every slot runs (detector, LLR fusion, noisy
+    /// report long-haul, transport).
     sense: SensingRound,
 }
 
@@ -242,7 +252,12 @@ impl ChaosWorld {
                 cfg.topology().n_nodes,
                 cfg.seed,
             )),
-            sense: SensingRound::paper(SENSE_SNR_LIN),
+            report_tl: ReportChannelTimeline::from_schedule(&build_report_channel_schedule(
+                &ReportChannelFaultConfig::nominal(cfg.horizon_s),
+                cfg.topology().n_nodes,
+                cfg.seed,
+            )),
+            sense: SensingRound::paper_noisy(SENSE_SNR_LIN, REPORT_SNR_DB),
         }
     }
 
@@ -366,9 +381,10 @@ fn run_in_world(
         checks += reg.check(&obs, &mut violations);
 
         // cooperative sensing at the slot boundary picks the interweave
-        // channel: every node runs its detector and reports to the head
-        // over the lossy transport; the head fuses what arrives, and its
-        // own ground-truth look vetoes fused misses before radiating
+        // channel: every node runs its detector and its report word rides
+        // the noisy long-haul to the head over the lossy transport; the
+        // head fuses the decoded posteriors, and its own ground-truth
+        // look vetoes fused misses before radiating
         let start_ns = SimTime::from_secs_f64(slot_start).as_nanos();
         let out_start = tl.nodes_out(slot_start, topo.n_nodes);
         let head_alive = (0..topo.n_nodes).any(|n| {
@@ -376,52 +392,127 @@ fn run_in_world(
         });
         let mut round_cfg = world.sense;
         round_cfg.transport.loss_prob = tl.bcast_loss(slot_start).clamp(0.0, 1.0);
+        // report words reuse the underlay PA budget: the energy ceiling
+        // is the *current rung's* long-haul PA allowance, normalised so
+        // es = 1 is the full-strength rung. No admissible rung means no
+        // PA budget at all — the long-haul is muted and the head senses
+        // alone, rather than radiating unaccounted report energy.
+        let alive_start = cfg.mt - out_start.iter().filter(|&&n| n < cfg.mt).count();
+        let rung_start = &un_deg[alive_start.min(cfg.mt)];
+        let full_rung = &un_deg[cfg.mt];
+        let mut report_margin_db = f64::INFINITY;
+        let mut long_haul_muted = false;
+        if !round_cfg.report_channel.clean_transport {
+            match (rung_start, full_rung) {
+                (Some(step), Some(full)) => {
+                    round_cfg.report_channel.word.clamp_es(
+                        (step.analysis.pa_long_haul / full.analysis.pa_long_haul).min(1.0),
+                    );
+                    report_margin_db = step.margin_db;
+                }
+                _ => long_haul_muted = true,
+            }
+        }
         let states: Vec<ReporterState> = (0..topo.n_nodes)
             .map(|r| {
-                // data-plane deaths silence the reporter too; otherwise
-                // the reporter-fault timeline decides
-                if out_start.contains(&r) {
+                // data-plane deaths and a muted long-haul silence the
+                // reporter too; otherwise the reporter-fault timeline
+                // decides
+                if long_haul_muted || out_start.contains(&r) {
                     ReporterState::Dead
                 } else {
                     rtl.state_at(slot_start, r)
                 }
             })
             .collect();
+        let report_states: Vec<ReportChannelState> = (0..topo.n_nodes)
+            .map(|r| world.report_tl.state_at(slot_start, r))
+            .collect();
         let mut picked: Option<usize> = None;
-        let mut decision: Option<FusionDecision> = None;
+        let mut last_round: Option<RoundOutcome> = None;
         if head_alive && !backoff_mute {
             for c in 0..cfg.n_channels {
                 let truth_busy = tl.pu_active(slot_start, c);
                 let round = (slot * cfg.n_channels + c) as u64;
-                let out = run_round(&round_cfg, truth_busy, &states, truth_busy, cfg.seed, round);
-                decision = Some(out.decision);
+                // a config the round rejects is a dead long-haul, not an
+                // abort: the head keeps deciding alone
+                let Ok(out) = run_round_faulted(
+                    &round_cfg,
+                    truth_busy,
+                    &states,
+                    &report_states,
+                    truth_busy,
+                    cfg.seed,
+                    round,
+                ) else {
+                    break;
+                };
                 // transmit only where fusion AND the head's own look say
                 // idle: a fused miss is vetoed, a fused false alarm just
                 // skips a usable channel — both directions stay safe
-                if !out.decision.busy && !truth_busy {
+                let busy = out.decision.busy;
+                last_round = Some(out);
+                if !busy && !truth_busy {
                     picked = Some(c);
                     break;
                 }
             }
         }
         backoff_mute = false;
-        let obs = match decision {
-            Some(d) => Observation::FusionDecision {
-                at_ns: start_ns,
-                reports_used: d.reports_used,
-                quorum: d.quorum,
-                head_local: d.rule_used == RuleUsed::HeadLocal,
-            },
+        let (fusion_obs, report_obs, ladder_obs) = match &last_round {
+            Some(out) => (
+                Observation::FusionDecision {
+                    at_ns: start_ns,
+                    reports_used: out.decision.reports_used,
+                    quorum: out.decision.quorum,
+                    head_local: out.decision.rule_used == RuleUsed::HeadLocal,
+                },
+                Observation::ReportLongHaul {
+                    at_ns: start_ns,
+                    transmitted: !round_cfg.report_channel.clean_transport && out.frames_sent > 0,
+                    margin_db: report_margin_db,
+                    mt: round_cfg.report_channel.word.mt,
+                },
+                Observation::FusionLadder {
+                    at_ns: start_ns,
+                    soft_path: out.ladder.soft_path,
+                    rung: out.ladder.rung.rung_index(),
+                    n_reports: out.ladder.n_distinct,
+                    min_quorum: out.ladder.min_quorum,
+                    mean_confidence: out.ladder.mean_confidence,
+                    reliability_floor: out.ladder.reliability_floor,
+                },
+            ),
             // no sensing ran (dead head, or the post-miss back-off
-            // slot): whatever is left of the head decided alone
-            None => Observation::FusionDecision {
-                at_ns: start_ns,
-                reports_used: 0,
-                quorum: 0,
-                head_local: true,
-            },
+            // slot): whatever is left of the head decided alone and
+            // nothing rode the long-haul
+            None => (
+                Observation::FusionDecision {
+                    at_ns: start_ns,
+                    reports_used: 0,
+                    quorum: 0,
+                    head_local: true,
+                },
+                Observation::ReportLongHaul {
+                    at_ns: start_ns,
+                    transmitted: false,
+                    margin_db: f64::INFINITY,
+                    mt: round_cfg.report_channel.word.mt,
+                },
+                Observation::FusionLadder {
+                    at_ns: start_ns,
+                    soft_path: !round_cfg.report_channel.clean_transport,
+                    rung: RuleUsed::HeadLocal.rung_index(),
+                    n_reports: 0,
+                    min_quorum: round_cfg.fusion.min_quorum.max(1),
+                    mean_confidence: 0.0,
+                    reliability_floor: round_cfg.fusion.reliability_floor(),
+                },
+            ),
         };
-        checks += reg.check(&obs, &mut violations);
+        checks += reg.check(&fusion_obs, &mut violations);
+        checks += reg.check(&report_obs, &mut violations);
+        checks += reg.check(&ladder_obs, &mut violations);
 
         // interweave: deaths re-pair the null-steering cluster on the
         // sensed channel
@@ -625,12 +716,13 @@ mod tests {
         );
         assert!(out.events > 0, "faults must be scheduled");
         assert_eq!(out.slots, 120);
-        // every slot consulted the full registry five times (overlay,
-        // underlay, fusion decision, interweave, sensing streak) plus
-        // once per event pop, plus the campaign-counts observation
+        // every slot consulted the full registry seven times (overlay,
+        // underlay, fusion decision, report long-haul, fusion ladder,
+        // interweave, sensing streak) plus once per event pop, plus the
+        // campaign-counts observation
         assert_eq!(
             out.checks,
-            reg.len() as u64 * (5 * 120 + out.events as u64 + 1)
+            reg.len() as u64 * (7 * 120 + out.events as u64 + 1)
         );
     }
 
@@ -639,7 +731,7 @@ mod tests {
         // the K = 128 interweave cluster (64 virtual antennas via RC-C2
         // pairing) runs the same slotted world with the full paper
         // registry — INV-NULL-DEPTH and INV-DEGRADE-POWER among it —
-        // consulted on every one of the five per-slot observations
+        // consulted on every one of the seven per-slot observations
         let cfg = ChaosConfig::large_cluster(11, 60.0);
         let faults = FaultConfig::nominal(60.0).scaled(2.0);
         let schedule = build_schedule(&faults, &cfg.topology(), 11);
@@ -658,7 +750,7 @@ mod tests {
         assert_eq!(out.slots, 60);
         assert_eq!(
             out.checks,
-            reg.len() as u64 * (5 * 60 + out.events as u64 + 1)
+            reg.len() as u64 * (7 * 60 + out.events as u64 + 1)
         );
     }
 
@@ -696,6 +788,29 @@ mod tests {
             .filter(|v| v.invariant == crate::invariant::INV_DEGRADE_POWER)
             .collect();
         assert_eq!(fired.len(), 10, "one per slot");
+    }
+
+    #[test]
+    fn weakened_report_epa_floor_fires_on_transmitting_slots() {
+        let (cfg, _) = paper_world(6, 10.0);
+        let reg = InvariantRegistry::with_bounds(InvariantBounds {
+            report_epa_floor_db: 1e6,
+            ..InvariantBounds::paper()
+        });
+        // a fault-free world radiates report words every slot at the
+        // full rung's finite margin — an absurd floor breaks all of them
+        let out = run_events(&cfg, &[], &reg, true);
+        let fired: Vec<_> = out
+            .violations
+            .iter()
+            .filter(|v| v.invariant == crate::invariant::INV_REPORT_EPA)
+            .collect();
+        assert_eq!(fired.len(), 10, "one per transmitting slot");
+        // and the ladder-order invariant stays silent on a correct stack
+        assert!(!out
+            .violations
+            .iter()
+            .any(|v| v.invariant == crate::invariant::INV_LLR_DEGRADE_ORDER));
     }
 
     #[test]

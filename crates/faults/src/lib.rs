@@ -26,11 +26,16 @@
 //!   the primary-interference invariant verdict;
 //! * [`sensing`] — reporter faults for the cooperative sensing path:
 //!   stuck-at-H0/H1 detectors, silent reporter death and delayed
-//!   reports, on the same split-stream schedule discipline.
+//!   reports, on the same split-stream schedule discipline;
+//! * [`report_channel`] — faults of the long-haul the sensing reports
+//!   ride: cluster-wide SNR collapse and per-SU phase desync, scaling
+//!   noise and coherence *after* the channel draws so schedules never
+//!   shift an RNG stream.
 
 pub mod campaign;
 pub mod injector;
 pub mod model;
+pub mod report_channel;
 pub mod scenarios;
 pub mod schedule;
 pub mod sensing;
@@ -62,6 +67,10 @@ where
 pub use campaign::CampaignFaultPlan;
 pub use injector::{inject_all, FaultTrace, TraceEntry};
 pub use model::{FaultConfig, FaultEvent, FaultKind, Topology};
+pub use report_channel::{
+    build_report_channel_schedule, ReportChannelFault, ReportChannelFaultConfig,
+    ReportChannelFaultKind, ReportChannelState, ReportChannelTimeline,
+};
 pub use scenarios::{
     beam_positions, run_interweave_scenario, run_overlay_scenario, run_recruitment_scenario,
     run_underlay_scenario, DegradationReport, RecruitReport, ScenarioConfig, Timeline,

@@ -55,7 +55,9 @@ pub use lifetime::{run_lifetime, try_run_lifetime, LifetimeConfig, LifetimeError
 pub use mobility::{MobileNetwork, MobilityError, RandomWaypoint, WaypointConfig};
 pub use node::SuNode;
 pub use recruit::{backoff_delay, run_recruitment, RecruitConfig, RecruitOutcome};
-pub use report::{collect_reports, ReportConfig, ReportOutcome, Reporter};
+pub use report::{
+    collect_reports, try_collect_reports, ReportConfig, ReportError, ReportOutcome, Reporter,
+};
 pub use routing::{min_energy_route, EnergyRoute};
 pub use store::{NodeStore, StoreError, NO_CLUSTER};
 pub use topology::{

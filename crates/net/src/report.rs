@@ -109,6 +109,28 @@ pub struct ReportOutcome<P> {
     pub completed_at: SimTime,
 }
 
+/// Typed failure of a report-collection round — the chaos explorer
+/// reaches this path with arbitrary fault-scaled configs, so a bad
+/// config must surface as a value, not a `gen_bool` panic deep in the
+/// event loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReportError {
+    /// `loss_prob` is outside `[0, 1]` (or NaN).
+    InvalidLossProb(f64),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidLossProb(p) => {
+                write!(f, "report loss probability {p} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
 #[derive(Debug)]
 enum Ev {
     SendReport { reporter: usize, attempt: u32 },
@@ -128,12 +150,33 @@ enum SenderState {
 /// indexes the sensing round so successive rounds draw from independent
 /// streams; the outcome is a pure function of
 /// `(reporters, cfg, seed, round)`.
+///
+/// Panicking wrapper over [`try_collect_reports`] for callers with
+/// statically valid configs; fault-scaled paths (the sensing round, the
+/// chaos world) should use the fallible entry point.
 pub fn collect_reports<P: Copy>(
     reporters: &[Reporter<P>],
     cfg: &ReportConfig,
     seed: u64,
     round: u64,
 ) -> ReportOutcome<P> {
+    match try_collect_reports(reporters, cfg, seed, round) {
+        Ok(out) => out,
+        Err(e) => panic!("collect_reports: {e}"),
+    }
+}
+
+/// Fallible [`collect_reports`]: validates the config up front and
+/// returns a typed [`ReportError`] instead of panicking mid-round.
+pub fn try_collect_reports<P: Copy>(
+    reporters: &[Reporter<P>],
+    cfg: &ReportConfig,
+    seed: u64,
+    round: u64,
+) -> Result<ReportOutcome<P>, ReportError> {
+    if !(0.0..=1.0).contains(&cfg.loss_prob) {
+        return Err(ReportError::InvalidLossProb(cfg.loss_prob));
+    }
     // one loss stream per (round, reporter): determinism independent of
     // interleaving, and round n's draws don't shift round n+1's
     let mut streams: Vec<(SeededRng, SenderState)> = reporters
@@ -231,14 +274,14 @@ pub fn collect_reports<P: Copy>(
     }
     delivered.sort_unstable_by_key(|&(id, _)| id);
     missing.sort_unstable();
-    ReportOutcome {
+    Ok(ReportOutcome {
         delivered,
         missing,
         frames_sent,
         duplicates,
         stale,
         completed_at,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -247,6 +290,19 @@ mod tests {
 
     fn healthy(n: usize) -> Vec<Reporter<bool>> {
         (0..n).map(|i| Reporter::healthy(i, i % 2 == 0)).collect()
+    }
+
+    #[test]
+    fn invalid_loss_probability_is_a_typed_error_not_a_panic() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let cfg = ReportConfig {
+                loss_prob: bad,
+                ..ReportConfig::default()
+            };
+            let ReportError::InvalidLossProb(p) =
+                try_collect_reports(&healthy(3), &cfg, 7, 0).unwrap_err();
+            assert!(p.is_nan() || p == bad, "error must carry the bad value");
+        }
     }
 
     #[test]

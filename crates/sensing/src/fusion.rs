@@ -1,22 +1,31 @@
 //! Cluster-head decision fusion with graceful degradation.
 //!
-//! The head fuses the one-bit local decisions that survived transport
-//! (Rossi et al., MIMO decision fusion) under a configured rule — AND,
-//! OR, or k-out-of-N. The quorum is re-derived from the reports that
-//! *actually arrived*, not from the nominal roster, so reporter churn
-//! mid-window shrinks `k` instead of making the rule unsatisfiable; and
-//! when the quorum thins below [`FusionConfig::min_quorum`] the head
-//! degrades down a fixed ladder:
+//! The head fuses the local decisions that survived transport (Rossi et
+//! al., MIMO decision fusion) under a configured rule — AND, OR,
+//! k-out-of-N, or soft LLR fusion of reports decoded off the noisy
+//! long-haul. The quorum is re-derived from the *distinct* reporters
+//! that actually arrived, not from the nominal roster, so reporter
+//! churn mid-window shrinks `k` instead of making the rule
+//! unsatisfiable (and duplicate frames that slip past transport dedup
+//! can never inflate it); when report quality or quantity thins, the
+//! head degrades down a fixed ladder:
 //!
 //! ```text
-//! configured rule  →  OR over whatever arrived  →  head-local sensing
+//! soft LLR  →  hard-decode  →  (configured rule)  →  OR over whatever
+//! arrived  →  head-local sensing
 //! ```
 //!
-//! Every decision records which rung produced it ([`RuleUsed`]) plus the
-//! report count and quorum it used — the observability the
-//! `INV-FUSION-QUORUM` invariant checks.
+//! The first two rungs exist only on the soft path ([`fuse_soft`]): when
+//! the mean decoder confidence of the arrived [`SoftReport`]s drops
+//! below the [`FusionRule::Llr`] reliability floor the head stops
+//! trusting the posteriors and hard-decodes the LLR signs; the clean
+//! boolean path ([`fuse`]/[`fuse_reports`]) starts at the configured
+//! rung. Every decision records which rung produced it ([`RuleUsed`])
+//! plus the report count and quorum it used — the observability the
+//! `INV-FUSION-QUORUM` and `INV-LLR-DEGRADE-ORDER` invariants check.
 
 use comimo_math::special::ln_gamma;
+use comimo_stbc::SoftReport;
 use serde::Serialize;
 
 /// The configured fusion rule.
@@ -31,6 +40,20 @@ pub enum FusionRule {
     KOutOfN {
         /// Fraction of arrived reports required, in `(0, 1]`.
         k_frac: f64,
+    },
+    /// Soft LLR fusion of reports decoded off the noisy long-haul: busy
+    /// if the summed posterior "busy" probabilities reach the k-out-of-N
+    /// quorum `ceil(k_frac · n)`. At report SNR → ∞ the posteriors
+    /// saturate to exactly 0/1 and this reproduces [`Self::KOutOfN`]
+    /// count for count. When the mean decoder confidence falls below
+    /// `reliability_floor`, [`fuse_soft`] stops trusting the posteriors
+    /// and degrades to hard-decoding the LLR signs.
+    Llr {
+        /// Fraction of arrived reports required, in `(0, 1]`.
+        k_frac: f64,
+        /// Mean per-report confidence (∈ [0.5, 1]) below which the soft
+        /// rung is abandoned for hard decoding.
+        reliability_floor: f64,
     },
 }
 
@@ -53,17 +76,87 @@ impl FusionConfig {
             min_quorum: 2,
         }
     }
+
+    /// The noisy-long-haul default: majority LLR fusion with the given
+    /// reliability floor, same quorum threshold as [`Self::paper`].
+    pub fn paper_llr(reliability_floor: f64) -> Self {
+        Self {
+            rule: FusionRule::Llr {
+                k_frac: 0.5,
+                reliability_floor,
+            },
+            min_quorum: 2,
+        }
+    }
+
+    /// The reliability floor of the soft rung, or `+inf` when the rule
+    /// has no soft rung at all (making that rung never eligible).
+    pub fn reliability_floor(&self) -> f64 {
+        match self.rule {
+            FusionRule::Llr {
+                reliability_floor, ..
+            } => reliability_floor,
+            _ => f64::INFINITY,
+        }
+    }
 }
 
 /// Which rung of the degradation ladder produced a decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum RuleUsed {
-    /// The configured rule ran with a full-enough quorum.
+    /// Soft LLR fusion ran: quorum held and the decoded posteriors were
+    /// reliable enough to trust (soft path only).
+    LlrSoft,
+    /// Decoder confidence under the reliability floor: the LLR signs
+    /// were hard-decoded and fused under the configured quorum (soft
+    /// path only).
+    HardDecode,
+    /// The configured rule ran with a full-enough quorum (clean path).
     Configured,
     /// Too few reports for the configured rule: OR over what arrived.
     OrFallback,
     /// No reports at all: the head's own detector decided alone.
     HeadLocal,
+}
+
+impl RuleUsed {
+    /// Position on the degradation ladder, `0` (most capable) to `4`
+    /// (head-local). The `INV-LLR-DEGRADE-ORDER` invariant checks that
+    /// every decision sits on the *first* eligible rung — the ladder is
+    /// walked monotonically, never skipping upward.
+    pub fn rung_index(self) -> u8 {
+        match self {
+            Self::LlrSoft => 0,
+            Self::HardDecode => 1,
+            Self::Configured => 2,
+            Self::OrFallback => 3,
+            Self::HeadLocal => 4,
+        }
+    }
+}
+
+/// The ladder bookkeeping behind one fused decision: everything the
+/// `INV-LLR-DEGRADE-ORDER` invariant needs to independently recompute
+/// which rung *should* have decided.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LadderEvidence {
+    /// Whether the soft (noisy long-haul) path fused this round; the
+    /// clean boolean path has no soft or hard-decode rungs.
+    pub soft_path: bool,
+    /// The rung that actually decided.
+    pub rung: RuleUsed,
+    /// Distinct reporters whose reports were fused (after dedup).
+    pub n_distinct: usize,
+    /// Raw delivered reports before reporter dedup.
+    pub n_raw: usize,
+    /// The effective quorum threshold `max(1, min_quorum)`.
+    pub min_quorum: usize,
+    /// Mean decoder confidence over the distinct reports (`1.0` on the
+    /// clean path, `0.0` with no reports).
+    pub mean_confidence: f64,
+    /// The soft rung's reliability floor (`+inf` when the configured
+    /// rule has no soft rung).
+    pub reliability_floor: f64,
 }
 
 /// One fused decision, with the evidence it rests on.
@@ -88,11 +181,28 @@ pub fn quorum_of(rule: FusionRule, n_reports: usize) -> usize {
     match rule {
         FusionRule::And => n_reports,
         FusionRule::Or => 1,
-        FusionRule::KOutOfN { k_frac } => {
+        FusionRule::KOutOfN { k_frac } | FusionRule::Llr { k_frac, .. } => {
             assert!(k_frac > 0.0 && k_frac <= 1.0, "k_frac must be in (0, 1]");
             ((k_frac * n_reports as f64).ceil() as usize).clamp(1, n_reports)
         }
     }
+}
+
+/// Keeps the first report from each distinct reporter, preserving
+/// arrival order. Transport already dedupes in-round retransmissions,
+/// but a duplicate that slips through late (e.g. a stale frame accepted
+/// across a round boundary) must not inflate `n` — and with it the
+/// re-derived `k` — past the number of distinct reporters.
+fn dedupe_by_reporter<T: Copy>(reports: &[(usize, T)]) -> Vec<(usize, T)> {
+    let mut seen: Vec<usize> = Vec::with_capacity(reports.len());
+    let mut out = Vec::with_capacity(reports.len());
+    for &(id, payload) in reports {
+        if !seen.contains(&id) {
+            seen.push(id);
+            out.push((id, payload));
+        }
+    }
+    out
 }
 
 /// Fuses the arrived `reports` (one bool per surviving reporter) under
@@ -125,6 +235,124 @@ pub fn fuse(cfg: &FusionConfig, reports: &[bool], head_local: bool) -> FusionDec
             reports_used: n,
             quorum: 1,
         }
+    }
+}
+
+/// [`fuse`] over the *distinct* reporters in `reports` (`(reporter_id,
+/// busy)` pairs, first report per reporter wins): the clean-path entry
+/// point for callers that track provenance, closing the duplicate
+/// quorum-inflation hole of bare [`fuse`]. Also returns the
+/// [`LadderEvidence`] the chaos invariants consume.
+pub fn fuse_reports(
+    cfg: &FusionConfig,
+    reports: &[(usize, bool)],
+    head_local: bool,
+) -> (FusionDecision, LadderEvidence) {
+    let distinct = dedupe_by_reporter(reports);
+    let bits: Vec<bool> = distinct.iter().map(|&(_, b)| b).collect();
+    let decision = fuse(cfg, &bits, head_local);
+    let evidence = LadderEvidence {
+        soft_path: false,
+        rung: decision.rule_used,
+        n_distinct: distinct.len(),
+        n_raw: reports.len(),
+        min_quorum: cfg.min_quorum.max(1),
+        mean_confidence: if distinct.is_empty() { 0.0 } else { 1.0 },
+        reliability_floor: cfg.reliability_floor(),
+    };
+    (decision, evidence)
+}
+
+/// Fuses soft reports decoded off the noisy long-haul, walking the full
+/// degradation ladder:
+///
+/// 1. **soft LLR** — quorum holds *and* the mean decoder confidence is
+///    at or above the rule's reliability floor: busy iff the summed
+///    posteriors reach the re-derived `k`;
+/// 2. **hard-decode** — quorum holds but the channel left the decoder
+///    unsure: the LLR signs are fused as hard bits under the same `k`;
+/// 3. **OR fallback** — below quorum: OR over the hard bits that made it;
+/// 4. **head-local** — nothing arrived: the head decides alone.
+///
+/// Reports are deduped to distinct reporters first (first report wins),
+/// so a duplicate can never inflate the re-derived quorum. Total: never
+/// panics, never divides by a zero reporter count.
+pub fn fuse_soft(
+    cfg: &FusionConfig,
+    reports: &[(usize, SoftReport)],
+    head_local: bool,
+) -> (FusionDecision, LadderEvidence) {
+    let distinct = dedupe_by_reporter(reports);
+    let n = distinct.len();
+    let min_quorum = cfg.min_quorum.max(1);
+    let floor = cfg.reliability_floor();
+    let mean_confidence = if n == 0 {
+        0.0
+    } else {
+        distinct.iter().map(|(_, r)| r.confidence()).sum::<f64>() / n as f64
+    };
+    let evidence = |rung| LadderEvidence {
+        soft_path: true,
+        rung,
+        n_distinct: n,
+        n_raw: reports.len(),
+        min_quorum,
+        mean_confidence,
+        reliability_floor: floor,
+    };
+    if n == 0 {
+        return (
+            FusionDecision {
+                busy: head_local,
+                rule_used: RuleUsed::HeadLocal,
+                reports_used: 0,
+                quorum: 0,
+            },
+            evidence(RuleUsed::HeadLocal),
+        );
+    }
+    let hard_positives = distinct.iter().filter(|(_, r)| r.hard_bit()).count();
+    if n >= min_quorum {
+        let quorum = quorum_of(cfg.rule, n);
+        if mean_confidence >= floor {
+            // soft rung: busy iff the posterior vote mass rounds to at
+            // least k busy reporters. The half-vote slack matters: a
+            // strict `V ≥ k` can never fire at `k = n` under finite
+            // SNR (n posteriors of 1−ε sum below n forever). At report
+            // SNR → ∞ the posteriors saturate to exactly 0/1, the sum
+            // is an exact integer, and `V ≥ k − ½ ⟺ V ≥ k` — making
+            // this count-identical to k-out-of-N
+            let soft_votes: f64 = distinct.iter().map(|(_, r)| r.posterior_busy()).sum();
+            (
+                FusionDecision {
+                    busy: soft_votes >= quorum as f64 - 0.5,
+                    rule_used: RuleUsed::LlrSoft,
+                    reports_used: n,
+                    quorum,
+                },
+                evidence(RuleUsed::LlrSoft),
+            )
+        } else {
+            (
+                FusionDecision {
+                    busy: hard_positives >= quorum,
+                    rule_used: RuleUsed::HardDecode,
+                    reports_used: n,
+                    quorum,
+                },
+                evidence(RuleUsed::HardDecode),
+            )
+        }
+    } else {
+        (
+            FusionDecision {
+                busy: hard_positives >= 1,
+                rule_used: RuleUsed::OrFallback,
+                reports_used: n,
+                quorum: 1,
+            },
+            evidence(RuleUsed::OrFallback),
+        )
     }
 }
 
@@ -235,6 +463,141 @@ mod tests {
         }
     }
 
+    /// A soft report with the given LLR (gain/SNR fields irrelevant to
+    /// fusion).
+    fn soft(llr: f64) -> SoftReport {
+        SoftReport {
+            llr,
+            channel_gain: 1.0,
+            report_snr: llr.abs(),
+        }
+    }
+
+    #[test]
+    fn duplicate_reporters_cannot_inflate_the_rederived_quorum() {
+        // regression: three frames from ONE reporter used to count as
+        // n = 3, deriving k = 2 under majority and jumping straight to
+        // the configured rung — a single distinct reporter must walk
+        // the OR fallback instead
+        let cfg = FusionConfig::paper();
+        let (d, ev) = fuse_reports(&cfg, &[(4, true), (4, true), (4, true)], false);
+        assert_eq!(ev.n_raw, 3);
+        assert_eq!(ev.n_distinct, 1);
+        assert_eq!(d.rule_used, RuleUsed::OrFallback);
+        assert_eq!(d.reports_used, 1);
+        assert!(d.quorum <= ev.n_distinct, "k must never exceed distinct");
+        // first report per reporter wins; a later contradicting dupe is
+        // discarded: majority over [(0,true),(1,false)] has k = 1 → busy
+        let (d, _) = fuse_reports(&cfg, &[(0, true), (1, false), (0, false)], false);
+        assert_eq!(d.reports_used, 2);
+        assert_eq!(d.rule_used, RuleUsed::Configured);
+        assert!(d.busy, "the late duplicate must not overwrite reporter 0");
+        let (soft_d, soft_ev) = fuse_soft(
+            &FusionConfig::paper_llr(0.6),
+            &[(7, soft(50.0)), (7, soft(50.0))],
+            false,
+        );
+        assert_eq!(soft_ev.n_distinct, 1);
+        assert_eq!(soft_d.rule_used, RuleUsed::OrFallback);
+    }
+
+    #[test]
+    fn soft_rung_decides_when_confident() {
+        let cfg = FusionConfig::paper_llr(0.9);
+        let (d, ev) = fuse_soft(
+            &cfg,
+            &[(0, soft(40.0)), (1, soft(35.0)), (2, soft(-42.0))],
+            false,
+        );
+        assert_eq!(d.rule_used, RuleUsed::LlrSoft);
+        assert_eq!(ev.rung, RuleUsed::LlrSoft);
+        assert_eq!(d.quorum, 2);
+        assert!(d.busy, "2 of 3 confident busy posteriors beat k = 2");
+        assert!(ev.mean_confidence >= 0.9);
+        assert_eq!(ev.rung.rung_index(), 0);
+    }
+
+    #[test]
+    fn low_confidence_degrades_to_hard_decoding() {
+        // |llr| ≈ 0.2 → confidence ≈ 0.55, under a 0.9 floor
+        let cfg = FusionConfig::paper_llr(0.9);
+        let (d, ev) = fuse_soft(
+            &cfg,
+            &[(0, soft(0.2)), (1, soft(0.2)), (2, soft(-0.1))],
+            false,
+        );
+        assert_eq!(d.rule_used, RuleUsed::HardDecode);
+        assert!(ev.mean_confidence < 0.9);
+        assert!(d.busy, "hard bits 2/3 busy meet k = 2");
+        assert_eq!(ev.rung.rung_index(), 1);
+    }
+
+    #[test]
+    fn sub_quorum_soft_rounds_use_the_or_fallback() {
+        let cfg = FusionConfig::paper_llr(0.9);
+        let (d, _) = fuse_soft(&cfg, &[(3, soft(100.0))], false);
+        assert_eq!(d.rule_used, RuleUsed::OrFallback);
+        assert!(d.busy);
+        let (d, _) = fuse_soft(&cfg, &[(3, soft(-100.0))], true);
+        assert_eq!(d.rule_used, RuleUsed::OrFallback);
+        assert!(!d.busy, "OR fallback ignores the head-local bit");
+    }
+
+    #[test]
+    fn empty_soft_rounds_fall_back_to_head_local() {
+        let cfg = FusionConfig::paper_llr(0.9);
+        for head_local in [false, true] {
+            let (d, ev) = fuse_soft(&cfg, &[], head_local);
+            assert_eq!(d.rule_used, RuleUsed::HeadLocal);
+            assert_eq!(d.busy, head_local);
+            assert_eq!(ev.mean_confidence, 0.0);
+            assert_eq!(ev.rung.rung_index(), 4);
+        }
+    }
+
+    #[test]
+    fn saturated_posteriors_reproduce_k_out_of_n_exactly() {
+        // the SNR → ∞ oracle property at the fusion layer: ±inf LLRs
+        // give posteriors of exactly 1.0/0.0, so the soft vote equals
+        // the hard count bit for bit
+        let soft_cfg = FusionConfig::paper_llr(0.9);
+        let hard_cfg = FusionConfig::paper();
+        for mask in 0..32u32 {
+            let softs: Vec<(usize, SoftReport)> = (0..5)
+                .map(|i| {
+                    let bit = mask & (1 << i) != 0;
+                    (
+                        i,
+                        soft(if bit {
+                            f64::INFINITY
+                        } else {
+                            f64::NEG_INFINITY
+                        }),
+                    )
+                })
+                .collect();
+            let bits: Vec<bool> = (0..5).map(|i| mask & (1 << i) != 0).collect();
+            let (soft_d, ev) = fuse_soft(&soft_cfg, &softs, false);
+            let hard_d = fuse(&hard_cfg, &bits, false);
+            assert_eq!(soft_d.rule_used, RuleUsed::LlrSoft);
+            assert_eq!(ev.mean_confidence, 1.0);
+            assert_eq!(soft_d.busy, hard_d.busy, "mask {mask:05b}");
+            assert_eq!(soft_d.quorum, hard_d.quorum);
+            assert_eq!(soft_d.reports_used, hard_d.reports_used);
+        }
+    }
+
+    #[test]
+    fn non_llr_rules_never_reach_the_soft_rung() {
+        // a KOutOfN rule has no reliability floor: its soft-path fusions
+        // hard-decode even at perfect confidence
+        let cfg = FusionConfig::paper();
+        assert_eq!(cfg.reliability_floor(), f64::INFINITY);
+        let (d, _) = fuse_soft(&cfg, &[(0, soft(f64::INFINITY)), (1, soft(80.0))], false);
+        assert_eq!(d.rule_used, RuleUsed::HardDecode);
+        assert!(d.busy);
+    }
+
     #[test]
     fn binomial_tail_matches_hand_computable_points() {
         // n=3, k=2, p=0.5: 3·(1/8) + 1/8 = 0.5
@@ -289,6 +652,53 @@ mod proptests {
                     let positives = reports.iter().filter(|&&b| b).count();
                     prop_assert_eq!(d.busy, positives >= d.quorum);
                 }
+            }
+        }
+
+        /// `fuse_soft` is total and always lands on the *first* eligible
+        /// rung of the ladder — the structural property
+        /// `INV-LLR-DEGRADE-ORDER` pins at the world level.
+        #[test]
+        fn prop_fuse_soft_walks_the_ladder_in_order(
+            ids in proptest::collection::vec(0usize..6, 0..16),
+            llrs in proptest::collection::vec(-30.0f64..30.0, 0..16),
+            min_quorum in 0usize..8,
+            k_frac in 0.01f64..1.0,
+            reliability_floor in 0.5f64..1.0,
+            use_llr_rule in any::<bool>(),
+        ) {
+            let reports: Vec<(usize, f64)> =
+                ids.iter().copied().zip(llrs.iter().copied()).collect();
+            let rule = if use_llr_rule {
+                FusionRule::Llr { k_frac, reliability_floor }
+            } else {
+                FusionRule::KOutOfN { k_frac }
+            };
+            let cfg = FusionConfig { rule, min_quorum };
+            let softs: Vec<(usize, SoftReport)> = reports
+                .iter()
+                .map(|&(id, llr)| (id, SoftReport {
+                    llr,
+                    channel_gain: 1.0,
+                    report_snr: llr.abs(),
+                }))
+                .collect();
+            let (d, ev) = fuse_soft(&cfg, &softs, true);
+            prop_assert!(ev.soft_path);
+            prop_assert_eq!(ev.rung, d.rule_used);
+            prop_assert!(ev.n_distinct <= ev.n_raw);
+            prop_assert_eq!(d.reports_used, ev.n_distinct);
+            let first_eligible = if ev.n_distinct == 0 {
+                4
+            } else if ev.n_distinct >= ev.min_quorum {
+                if ev.mean_confidence >= ev.reliability_floor { 0 } else { 1 }
+            } else {
+                3
+            };
+            prop_assert_eq!(ev.rung.rung_index(), first_eligible);
+            if d.rule_used != RuleUsed::HeadLocal {
+                prop_assert!(d.quorum >= 1 && d.quorum <= d.reports_used);
+                prop_assert!(d.quorum <= ev.n_distinct, "k never exceeds distinct");
             }
         }
     }

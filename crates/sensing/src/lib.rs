@@ -18,8 +18,9 @@
 //!   for pinning fused curves;
 //! * [`round`] — one hardened round end to end: detector draws under
 //!   reporter faults, report transport over `comimo_net::report`
-//!   (timeout, bounded backoff retry, loss/stale/duplicate handling),
-//!   then fusion;
+//!   (timeout, bounded backoff retry, loss/stale/duplicate handling) —
+//!   either as clean booleans (the pinned oracle) or as BPSK report
+//!   words over the noisy block-Rayleigh long-haul — then fusion;
 //! * [`roc`] — Pd/Pfa ROC campaigns on the `comimo-campaign`
 //!   supervisor: checkpointable, crash-resumable, bit-identical at any
 //!   thread count.
@@ -32,8 +33,11 @@ pub mod round;
 
 pub use detector::EnergyDetector;
 pub use fusion::{
-    fuse, fused_positive_prob, quorum_of, FusionConfig, FusionDecision, FusionRule, RuleUsed,
+    fuse, fuse_reports, fuse_soft, fused_positive_prob, quorum_of, FusionConfig, FusionDecision,
+    FusionRule, LadderEvidence, RuleUsed,
 };
 pub use markov::MarkovOnOff;
-pub use roc::{roc_shard_counts, run_roc_campaign, RocGridSpec, RocPoint};
-pub use round::{run_round, RoundOutcome, SensingRound};
+pub use roc::{roc_shard_counts, run_roc_campaign, RocGridPoint, RocGridSpec, RocPoint};
+pub use round::{
+    run_round, run_round_faulted, ReportChannelConfig, RoundOutcome, SensingError, SensingRound,
+};

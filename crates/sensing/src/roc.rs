@@ -1,27 +1,46 @@
 //! Pd/Pfa ROC campaigns on the Monte-Carlo supervisor.
 //!
-//! Each grid point is a `(SNR, k-out-of-N fraction)` pair; each shard
-//! simulates `trials` fused decisions under `H1` (counting detections)
-//! and `trials` under `H0` (counting false alarms), so every point owns
-//! two campaign streams. Shard counts are pure functions of
+//! Each grid point is a `(report SNR, SNR, k-out-of-N fraction)` triple;
+//! each shard simulates `trials` fused decisions under `H1` (counting
+//! detections) and `trials` under `H0` (counting false alarms), so every
+//! point owns two campaign streams. Shard counts are pure functions of
 //! `(seed, shard label)` — the supervisor's checkpoint/crash-resume and
 //! any-thread-count bit-identity guarantees apply unchanged, and the
 //! measured curve can be pinned against the closed-form binomial tail
 //! of [`crate::fusion::fused_positive_prob`].
+//!
+//! Every decision runs the **full noisy-long-haul path**: each
+//! reporter's bit rides a BPSK report word over a block-Rayleigh
+//! channel and the head fuses the decoded posteriors on the soft rung
+//! ([`crate::fusion::fuse_soft`]). The paper grid pins the report SNR
+//! at `+inf` — the channel draws still happen, the LLRs saturate to
+//! exactly `±inf`, and the soft decisions reproduce the clean
+//! k-out-of-N counts bit for bit (`infinite_report_snr_is_the_oracle`
+//! below), so the historical clean-transport curves stay pinned while
+//! finite report SNRs expose the long-haul's erosion.
 
 use crate::detector::EnergyDetector;
-use crate::fusion::quorum_of;
-use crate::fusion::FusionRule;
-use comimo_campaign::{run_campaign_multi, CampaignConfig, CampaignError, CampaignReport};
+use crate::fusion::{fuse_soft, quorum_of, FusionConfig, FusionRule};
+use comimo_campaign::{
+    fingerprint64, run_campaign_multi, CampaignConfig, CampaignError, CampaignReport,
+};
+use comimo_channel::BlockRayleigh;
 use comimo_math::rng::derive;
+use comimo_stbc::report::{ReportWordConfig, SoftReport};
 use comimo_stbc::sim::BerResult;
+use comimo_stbc::transmit_report_word;
 use serde::Serialize;
 
-/// Salt separating ROC trial streams from every other consumer of the
-/// workspace seed.
+/// Salt separating ROC detector-trial streams from every other consumer
+/// of the workspace seed.
 const ROC_SALT: u64 = 0x5EA5_E000_0003;
 
-/// The `(SNR, k)` grid a ROC campaign sweeps.
+/// Salt for the report-word channel draws of a ROC point: a separate
+/// stream family, so the detector streams stay byte-identical to the
+/// clean-transport era at any report SNR.
+const ROC_REPORT_SALT: u64 = 0x5EA5_E000_0006;
+
+/// The `(report SNR, SNR, k)` grid a ROC campaign sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RocGridSpec {
     /// Samples per detector decision.
@@ -31,6 +50,9 @@ pub struct RocGridSpec {
     /// Cooperating reporters per fused decision (all healthy — the ROC
     /// is the fault-free operating characteristic).
     pub n_reporters: usize,
+    /// Report-channel SNR grid (dB), the outermost axis. `+inf` runs
+    /// the soft path noiselessly (the pinned-oracle operating point).
+    pub report_snrs_db: Vec<f64>,
     /// SNR grid (dB).
     pub snrs_db: Vec<f64>,
     /// k-out-of-N fractions to sweep.
@@ -41,14 +63,28 @@ pub struct RocGridSpec {
     pub n_shards: u64,
 }
 
+/// One grid point in stream order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RocGridPoint {
+    /// Report-channel SNR (dB).
+    pub report_snr_db: f64,
+    /// Primary SNR at each reporter (dB).
+    pub snr_db: f64,
+    /// k-out-of-N fraction.
+    pub k_frac: f64,
+}
+
 impl RocGridSpec {
     /// The experiments' default grid: a 16-sample detector at 10 %
-    /// per-SU Pfa, 5 reporters, 4 SNRs × OR/majority/AND fractions.
+    /// per-SU Pfa, 5 reporters, 4 SNRs × OR/majority/AND fractions,
+    /// report channel pinned at `+inf` (same point set as the
+    /// clean-transport era).
     pub fn paper() -> Self {
         Self {
             n_samples: 16,
             target_pfa: 0.1,
             n_reporters: 5,
+            report_snrs_db: vec![f64::INFINITY],
             snrs_db: vec![-5.0, -2.0, 0.0, 3.0],
             k_fracs: vec![0.2, 0.5, 1.0],
             trials_per_shard: 400,
@@ -56,18 +92,50 @@ impl RocGridSpec {
         }
     }
 
-    /// The grid points in stream order: `snrs_db` major, `k_fracs` minor.
-    pub fn points(&self) -> Vec<(f64, f64)> {
-        self.snrs_db
+    /// The grid points in stream order: `report_snrs_db` outermost,
+    /// then `snrs_db`, then `k_fracs`. With the paper's single-`inf`
+    /// report axis the point indices (and so every stream salt) are
+    /// identical to the pre-noisy grid.
+    pub fn points(&self) -> Vec<RocGridPoint> {
+        self.report_snrs_db
             .iter()
-            .flat_map(|&snr| self.k_fracs.iter().map(move |&k| (snr, k)))
+            .flat_map(|&report_snr_db| {
+                self.snrs_db.iter().flat_map(move |&snr_db| {
+                    self.k_fracs.iter().map(move |&k_frac| RocGridPoint {
+                        report_snr_db,
+                        snr_db,
+                        k_frac,
+                    })
+                })
+            })
             .collect()
+    }
+
+    /// Checkpoint fingerprint of the grid: any change to the shape —
+    /// including the report-SNR axis — invalidates a resume against an
+    /// old checkpoint instead of silently merging mismatched counts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut words = vec![
+            self.n_samples as u64,
+            self.target_pfa.to_bits(),
+            self.n_reporters as u64,
+            self.trials_per_shard,
+            self.n_shards,
+        ];
+        for axis in [&self.report_snrs_db, &self.snrs_db, &self.k_fracs] {
+            words.push(axis.len() as u64);
+            words.extend(axis.iter().map(|v| v.to_bits()));
+        }
+        fingerprint64(&words)
     }
 }
 
 /// One measured ROC point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct RocPoint {
+    /// Report-channel SNR (dB). `f64::INFINITY` is the clean-transport
+    /// oracle — note serde_json renders it as `null` in `report.json`.
+    pub report_snr_db: f64,
     /// SNR at each reporter (dB).
     pub snr_db: f64,
     /// k-out-of-N fraction.
@@ -113,23 +181,40 @@ pub fn roc_shard_counts(
     trials: usize,
 ) -> Vec<BerResult> {
     let det = EnergyDetector::from_target_pfa(spec.n_samples, spec.target_pfa);
+    let long_haul = BlockRayleigh::unit();
     let mut out = Vec::with_capacity(2 * spec.points().len());
-    for (pi, (snr_db, k_frac)) in spec.points().into_iter().enumerate() {
-        let snr = comimo_math::db::db_to_lin(snr_db);
-        let k = quorum_of(FusionRule::KOutOfN { k_frac }, spec.n_reporters);
+    for (pi, p) in spec.points().into_iter().enumerate() {
+        let snr = comimo_math::db::db_to_lin(p.snr_db);
+        let word = ReportWordConfig::from_report_snr_db(2, 1, 2, p.report_snr_db);
+        // the raw soft rung: floor 0 and quorum 1 so a full healthy
+        // roster always fuses on the LLR rule itself
+        let fusion = FusionConfig {
+            rule: FusionRule::Llr {
+                k_frac: p.k_frac,
+                reliability_floor: 0.0,
+            },
+            min_quorum: 1,
+        };
         for hyp_busy in [true, false] {
-            let salt = ROC_SALT
-                ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            let point_salt = label.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ ((pi as u64) << 1)
                 ^ u64::from(hyp_busy);
-            let mut rng = derive(seed, salt);
+            let mut rng = derive(seed, ROC_SALT ^ point_salt);
+            let mut report_rng = derive(seed, ROC_REPORT_SALT ^ point_salt);
             let trial_snr = if hyp_busy { snr } else { 0.0 };
             let mut positives = 0u64;
+            let mut reports: Vec<(usize, SoftReport)> = Vec::with_capacity(spec.n_reporters);
             for _ in 0..trials {
-                let votes = (0..spec.n_reporters)
-                    .filter(|_| det.decide(det.sample_statistic(&mut rng, trial_snr)))
-                    .count();
-                if votes >= k {
+                reports.clear();
+                for r in 0..spec.n_reporters {
+                    let bit = det.decide(det.sample_statistic(&mut rng, trial_snr));
+                    reports.push((
+                        r,
+                        transmit_report_word(bit, 1.0, &word, &long_haul, &mut report_rng),
+                    ));
+                }
+                let (decision, _) = fuse_soft(&fusion, &reports, false);
+                if decision.busy {
                     positives += 1;
                 }
             }
@@ -161,14 +246,15 @@ pub fn run_roc_campaign(
     let roc = points
         .iter()
         .enumerate()
-        .map(|(pi, &(snr_db, k_frac))| {
+        .map(|(pi, p)| {
             let h1 = report.stream_counts[2 * pi];
             let h0 = report.stream_counts[2 * pi + 1];
             debug_assert_eq!(h1.bits, h0.bits);
             RocPoint {
-                snr_db,
-                k_frac,
-                k: quorum_of(FusionRule::KOutOfN { k_frac }, spec.n_reporters),
+                report_snr_db: p.report_snr_db,
+                snr_db: p.snr_db,
+                k_frac: p.k_frac,
+                k: quorum_of(FusionRule::KOutOfN { k_frac: p.k_frac }, spec.n_reporters),
                 trials: h1.bits,
                 detections: h1.errors,
                 false_alarms: h0.errors,
@@ -201,7 +287,7 @@ mod tests {
     }
 
     fn base_cfg() -> CampaignConfig {
-        let mut cfg = CampaignConfig::new(SEED, 0x50C5);
+        let mut cfg = CampaignConfig::new(SEED, small_spec().fingerprint());
         cfg.backoff_base = Duration::ZERO;
         cfg.checkpoint_every_shards = 3;
         cfg
@@ -216,6 +302,8 @@ mod tests {
 
     #[test]
     fn measured_curve_tracks_the_binomial_tail_closed_form() {
+        // at report SNR = inf the long-haul is transparent, so the
+        // closed form of the clean fused counts still pins the curve
         let spec = small_spec();
         let (report, roc) = run_roc_campaign(&spec, &base_cfg()).unwrap();
         assert_eq!(report.status, CampaignStatus::Complete);
@@ -248,6 +336,82 @@ mod tests {
             assert!(w[0].detections >= w[1].detections, "{w:?}");
             assert!(w[0].false_alarms >= w[1].false_alarms, "{w:?}");
         }
+    }
+
+    #[test]
+    fn infinite_report_snr_is_the_oracle_count_for_count() {
+        // the acceptance pin: the full soft path at report SNR = inf
+        // must reproduce the clean-boolean k-out-of-N counts exactly,
+        // shard by shard — here the clean oracle is recomputed from the
+        // same detector streams without any channel in the way
+        let spec = small_spec();
+        for label in [0u64, 3, 11] {
+            let soft = roc_shard_counts(&spec, SEED, label, 150);
+            let det = EnergyDetector::from_target_pfa(spec.n_samples, spec.target_pfa);
+            let mut clean = Vec::new();
+            for (pi, p) in spec.points().into_iter().enumerate() {
+                let snr = comimo_math::db::db_to_lin(p.snr_db);
+                let k = quorum_of(FusionRule::KOutOfN { k_frac: p.k_frac }, spec.n_reporters);
+                for hyp_busy in [true, false] {
+                    let salt = ROC_SALT
+                        ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ ((pi as u64) << 1)
+                        ^ u64::from(hyp_busy);
+                    let mut rng = derive(SEED, salt);
+                    let trial_snr = if hyp_busy { snr } else { 0.0 };
+                    let mut positives = 0u64;
+                    for _ in 0..150 {
+                        let votes = (0..spec.n_reporters)
+                            .filter(|_| det.decide(det.sample_statistic(&mut rng, trial_snr)))
+                            .count();
+                        if votes >= k {
+                            positives += 1;
+                        }
+                    }
+                    clean.push(BerResult {
+                        bits: 150,
+                        errors: positives,
+                    });
+                }
+            }
+            assert_eq!(soft, clean, "shard {label} diverged from the oracle");
+        }
+    }
+
+    #[test]
+    fn finite_report_snr_erodes_the_operating_characteristic() {
+        // a noisy long-haul scrambles posteriors toward ½, dragging the
+        // fused false-alarm rate up relative to the transparent channel
+        let spec = RocGridSpec {
+            report_snrs_db: vec![f64::INFINITY, -10.0],
+            snrs_db: vec![3.0],
+            k_fracs: vec![0.5],
+            trials_per_shard: 300,
+            n_shards: 8,
+            ..RocGridSpec::paper()
+        };
+        let mut cfg = CampaignConfig::new(SEED, spec.fingerprint());
+        cfg.backoff_base = Duration::ZERO;
+        let (_, roc) = run_roc_campaign(&spec, &cfg).unwrap();
+        assert_eq!(roc.len(), 2);
+        assert_eq!(roc[0].report_snr_db, f64::INFINITY);
+        assert_eq!(roc[1].report_snr_db, -10.0);
+        assert!(
+            roc[1].false_alarms > roc[0].false_alarms,
+            "a -10 dB report channel must inflate false alarms: {roc:?}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_covers_every_grid_axis() {
+        let spec = small_spec();
+        let mut wider = spec.clone();
+        wider.report_snrs_db = vec![f64::INFINITY, 10.0];
+        let mut shifted = spec.clone();
+        shifted.snrs_db[0] += 0.5;
+        assert_ne!(spec.fingerprint(), wider.fingerprint());
+        assert_ne!(spec.fingerprint(), shifted.fingerprint());
+        assert_eq!(spec.fingerprint(), small_spec().fingerprint());
     }
 
     #[test]

@@ -1,25 +1,73 @@
 //! One hardened sensing round, end to end: local detection under
-//! reporter faults → report transport over the lossy intra-cluster
-//! channel → decision fusion with graceful degradation.
+//! reporter faults → report transport over the *noisy virtual-MIMO
+//! long-haul* (or the clean-boolean oracle path) → decision fusion with
+//! graceful degradation.
 //!
 //! The round is a pure function of `(config, channel state, reporter
-//! states, seed, round index)`: every detector draws from its own
-//! `derive(seed, salt ^ round ^ reporter)` stream, and the transport
+//! states, report-channel states, seed, round index)`: every detector
+//! draws from its own `derive(seed, ROUND_SALT ^ round ^ reporter)`
+//! stream, every report word from its own `derive(seed,
+//! REPORT_WORD_SALT ^ round ^ reporter)` stream, and the transport
 //! uses the split-stream discipline of [`comimo_net::report`]. Stuck
-//! reporters still *burn their detector draws* (their payload is
-//! overridden, not their stream position), so toggling a fault never
-//! shifts any other reporter's randomness.
+//! reporters still *burn their detector draws*, dead reporters still
+//! burn their report-word draws, and report-channel faults scale noise
+//! and gain downstream of the draws — toggling any fault never shifts
+//! any other stream.
+//!
+//! The clean path is the pinned oracle for the noisy one: at report
+//! SNR → ∞ the decoded posteriors saturate to exactly 0/1 and
+//! [`fuse_soft`] reproduces the clean path's k-out-of-N decisions
+//! count for count (`oracle_equivalence` test below).
 
 use crate::detector::EnergyDetector;
-use crate::fusion::{fuse, FusionConfig, FusionDecision};
+use crate::fusion::{fuse_reports, fuse_soft, FusionConfig, FusionDecision, LadderEvidence};
+use comimo_channel::BlockRayleigh;
+use comimo_faults::report_channel::ReportChannelState;
 use comimo_faults::sensing::ReporterState;
+use comimo_math::db::db_to_lin;
 use comimo_math::rng::derive;
-use comimo_net::report::{collect_reports, ReportConfig, Reporter};
+use comimo_net::report::{try_collect_reports, ReportConfig, ReportError, Reporter};
 use comimo_sim::time::SimTime;
+use comimo_stbc::report::{transmit_report_word, ReportWordConfig, SoftReport};
 
 /// Salt separating per-round detector draws from every other consumer
 /// of the workspace seed.
 const ROUND_SALT: u64 = 0x5EA5_E000_0002;
+
+/// Salt separating per-round report-word channel draws: the noisy
+/// long-haul gets its own stream family, so the detector streams stay
+/// byte-identical to the clean-transport era.
+const REPORT_WORD_SALT: u64 = 0x5EA5_E000_0005;
+
+/// How sensing reports reach the fusion center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportChannelConfig {
+    /// Shape and power of the BPSK report words on the long-haul.
+    pub word: ReportWordConfig,
+    /// The pinned oracle flag: `true` bypasses the long-haul entirely
+    /// and delivers clean booleans (PR 7 semantics, bit for bit).
+    pub clean_transport: bool,
+}
+
+impl ReportChannelConfig {
+    /// The clean-boolean oracle: ideal transport, no channel draws.
+    pub fn clean() -> Self {
+        Self {
+            word: ReportWordConfig::from_report_snr_db(2, 1, 2, f64::INFINITY),
+            clean_transport: true,
+        }
+    }
+
+    /// Reports ride an Alamouti-shaped (2×1, 2-block) long-haul at the
+    /// given report SNR. `f64::INFINITY` keeps the channel noiseless
+    /// while still exercising the full soft decode path.
+    pub fn noisy(report_snr_db: f64) -> Self {
+        Self {
+            word: ReportWordConfig::from_report_snr_db(2, 1, 2, report_snr_db),
+            clean_transport: false,
+        }
+    }
+}
 
 /// Everything a sensing round needs to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +78,8 @@ pub struct SensingRound {
     pub fusion: FusionConfig,
     /// Report-transport knobs (timeout, retry, deadline).
     pub transport: ReportConfig,
+    /// How reports reach the head: noisy long-haul or clean oracle.
+    pub report_channel: ReportChannelConfig,
     /// Linear SNR of the primary signal at each reporter when the
     /// channel is busy.
     pub snr: f64,
@@ -37,14 +87,67 @@ pub struct SensingRound {
 
 impl SensingRound {
     /// The experiments' default round: 16-sample CFAR detector at 10 %
-    /// per-SU false alarm, majority fusion, lossless transport.
+    /// per-SU false alarm, majority fusion, lossless clean transport.
     pub fn paper(snr: f64) -> Self {
         Self {
             detector: EnergyDetector::from_target_pfa(16, 0.1),
             fusion: FusionConfig::paper(),
             transport: ReportConfig::default(),
+            report_channel: ReportChannelConfig::clean(),
             snr,
         }
+    }
+
+    /// The noisy-long-haul default: same detector and transport, LLR
+    /// fusion (majority, reliability floor 0.65) over report words at
+    /// `report_snr_db`.
+    pub fn paper_noisy(snr: f64, report_snr_db: f64) -> Self {
+        Self {
+            fusion: FusionConfig::paper_llr(0.65),
+            report_channel: ReportChannelConfig::noisy(report_snr_db),
+            ..Self::paper(snr)
+        }
+    }
+}
+
+/// Typed failure of a sensing round — the chaos explorer reaches this
+/// path with fault-scaled configs, so bad inputs must surface as values
+/// rather than panics inside the detector or transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensingError {
+    /// The report transport rejected its config.
+    Transport(ReportError),
+    /// The primary SNR is negative, NaN or infinite.
+    InvalidSnr(f64),
+    /// A reporter's delay fault is negative or non-finite.
+    InvalidDelay {
+        /// The offending reporter.
+        reporter: usize,
+        /// The bad delay (s).
+        delay_s: f64,
+    },
+}
+
+impl std::fmt::Display for SensingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Transport(e) => write!(f, "report transport: {e}"),
+            Self::InvalidSnr(snr) => write!(f, "primary SNR {snr} is not finite and >= 0"),
+            Self::InvalidDelay { reporter, delay_s } => {
+                write!(
+                    f,
+                    "reporter {reporter} delay {delay_s} s is not finite and >= 0"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SensingError {}
+
+impl From<ReportError> for SensingError {
+    fn from(e: ReportError) -> Self {
+        Self::Transport(e)
     }
 }
 
@@ -53,6 +156,11 @@ impl SensingRound {
 pub struct RoundOutcome {
     /// The fused verdict with its quorum evidence.
     pub decision: FusionDecision,
+    /// The ladder bookkeeping behind it (rung eligibility evidence).
+    pub ladder: LadderEvidence,
+    /// Mean effective report SNR over the delivered reports (linear);
+    /// `inf` on the clean path, `0.0` when nothing was delivered.
+    pub mean_report_snr: f64,
     /// Reports that reached the head in time.
     pub delivered: usize,
     /// Live reporters whose report never made it.
@@ -65,10 +173,10 @@ pub struct RoundOutcome {
     pub stale: u64,
 }
 
-/// Runs one sensing round. `channel_busy` is the ground-truth primary
-/// state this slot, `states[i]` is reporter `i`'s fault condition, and
-/// `head_local` is the head's own detector decision (the last rung of
-/// the degradation ladder).
+/// Runs one sensing round with a nominal (fault-free) report channel.
+/// `channel_busy` is the ground-truth primary state this slot,
+/// `states[i]` is reporter `i`'s fault condition, and `head_local` is
+/// the head's own detector decision (the last rung of the ladder).
 pub fn run_round(
     cfg: &SensingRound,
     channel_busy: bool,
@@ -76,48 +184,142 @@ pub fn run_round(
     head_local: bool,
     seed: u64,
     round: u64,
-) -> RoundOutcome {
+) -> Result<RoundOutcome, SensingError> {
+    run_round_faulted(cfg, channel_busy, states, &[], head_local, seed, round)
+}
+
+/// [`run_round`] with per-reporter report-channel fault states.
+/// `report_states[i]` is reporter `i`'s long-haul condition; reporters
+/// past the end of the slice see a nominal channel. Ignored entirely on
+/// the clean-transport oracle path.
+pub fn run_round_faulted(
+    cfg: &SensingRound,
+    channel_busy: bool,
+    states: &[ReporterState],
+    report_states: &[ReportChannelState],
+    head_local: bool,
+    seed: u64,
+    round: u64,
+) -> Result<RoundOutcome, SensingError> {
+    if !cfg.snr.is_finite() || cfg.snr < 0.0 {
+        return Err(SensingError::InvalidSnr(cfg.snr));
+    }
     let truth_snr = if channel_busy { cfg.snr } else { 0.0 };
-    let mut reporters: Vec<Reporter<bool>> = Vec::with_capacity(states.len());
+    let round_mix = round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+
+    // stage 1: local detection — fixed draw count per reporter; faults
+    // override the payload downstream, never the stream position
+    let mut bits: Vec<bool> = Vec::with_capacity(states.len());
+    let mut faults: Vec<(SimTime, Option<SimTime>)> = Vec::with_capacity(states.len());
     for (i, &state) in states.iter().enumerate() {
-        // fixed draw count per live reporter: faults override the payload
-        // downstream, never the stream position
-        let salt = ROUND_SALT ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64);
-        let mut rng = derive(seed, salt);
+        let mut rng = derive(seed, ROUND_SALT ^ round_mix ^ (i as u64));
         let own = cfg
             .detector
             .decide(cfg.detector.sample_statistic(&mut rng, truth_snr));
-        let mut r = Reporter::healthy(i, own);
+        let (mut bit, mut extra_delay, mut dies_at) = (own, SimTime::ZERO, None);
         match state {
             ReporterState::Healthy => {}
-            ReporterState::StuckH0 => r.payload = false,
-            ReporterState::StuckH1 => r.payload = true,
+            ReporterState::StuckH0 => bit = false,
+            ReporterState::StuckH1 => bit = true,
             ReporterState::Delayed { delay_s } => {
-                r.extra_delay = SimTime::from_secs_f64(delay_s);
+                if !delay_s.is_finite() || delay_s < 0.0 {
+                    return Err(SensingError::InvalidDelay {
+                        reporter: i,
+                        delay_s,
+                    });
+                }
+                extra_delay = SimTime::from_secs_f64(delay_s);
             }
-            ReporterState::Dead => {
-                r.dies_at = Some(SimTime::ZERO);
-            }
+            ReporterState::Dead => dies_at = Some(SimTime::ZERO),
         }
-        reporters.push(r);
+        bits.push(bit);
+        faults.push((extra_delay, dies_at));
     }
-    let out = collect_reports(&reporters, &cfg.transport, seed, round);
-    let payloads: Vec<bool> = out.delivered.iter().map(|&(_, p)| p).collect();
-    let decision = fuse(&cfg.fusion, &payloads, head_local);
-    RoundOutcome {
+
+    if cfg.report_channel.clean_transport {
+        // the pinned oracle: clean booleans, zero channel draws
+        let reporters: Vec<Reporter<bool>> = bits
+            .iter()
+            .zip(&faults)
+            .enumerate()
+            .map(|(i, (&bit, &(extra_delay, dies_at)))| Reporter {
+                id: i,
+                payload: bit,
+                extra_delay,
+                dies_at,
+            })
+            .collect();
+        let out = try_collect_reports(&reporters, &cfg.transport, seed, round)?;
+        let (decision, ladder) = fuse_reports(&cfg.fusion, &out.delivered, head_local);
+        return Ok(RoundOutcome {
+            decision,
+            ladder,
+            mean_report_snr: f64::INFINITY,
+            delivered: out.delivered.len(),
+            missing: out.missing.len(),
+            frames_sent: out.frames_sent,
+            duplicates: out.duplicates,
+            stale: out.stale,
+        });
+    }
+
+    // stage 2: every reporter's decision rides a BPSK report word over
+    // the block-Rayleigh long-haul, one derived stream per reporter —
+    // dead reporters still burn their draws
+    let long_haul = BlockRayleigh::unit();
+    let soft: Vec<SoftReport> = bits
+        .iter()
+        .enumerate()
+        .map(|(i, &bit)| {
+            let rc = report_states
+                .get(i)
+                .copied()
+                .unwrap_or_else(ReportChannelState::nominal);
+            let mut word = cfg.report_channel.word;
+            // collapse inflates the noise; desync erodes the coherent
+            // gain — both applied after the draws (burn-their-draws)
+            word.n0 *= db_to_lin(rc.snr_drop_db);
+            let mut rng = derive(seed, REPORT_WORD_SALT ^ round_mix ^ (i as u64));
+            transmit_report_word(bit, rc.gain, &word, &long_haul, &mut rng)
+        })
+        .collect();
+    let reporters: Vec<Reporter<SoftReport>> = soft
+        .iter()
+        .zip(&faults)
+        .enumerate()
+        .map(|(i, (&payload, &(extra_delay, dies_at)))| Reporter {
+            id: i,
+            payload,
+            extra_delay,
+            dies_at,
+        })
+        .collect();
+    let out = try_collect_reports(&reporters, &cfg.transport, seed, round)?;
+    let (decision, ladder) = fuse_soft(&cfg.fusion, &out.delivered, head_local);
+    let mean_report_snr = if out.delivered.is_empty() {
+        0.0
+    } else {
+        out.delivered.iter().map(|(_, r)| r.report_snr).sum::<f64>() / out.delivered.len() as f64
+    };
+    Ok(RoundOutcome {
         decision,
+        ladder,
+        mean_report_snr,
         delivered: out.delivered.len(),
         missing: out.missing.len(),
         frames_sent: out.frames_sent,
         duplicates: out.duplicates,
         stale: out.stale,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fusion::RuleUsed;
+    use comimo_faults::report_channel::{
+        build_report_channel_schedule, ReportChannelFaultConfig, ReportChannelTimeline,
+    };
     use comimo_faults::sensing::{build_reporter_schedule, ReporterFaultConfig, ReporterTimeline};
 
     /// High-SNR round where every healthy detector is essentially exact.
@@ -129,15 +331,25 @@ mod tests {
         }
     }
 
+    /// The sharp round with its reports on the noisy long-haul.
+    fn sharp_noisy(report_snr_db: f64) -> SensingRound {
+        SensingRound {
+            fusion: FusionConfig::paper_llr(0.65),
+            report_channel: ReportChannelConfig::noisy(report_snr_db),
+            ..sharp_round()
+        }
+    }
+
     #[test]
     fn healthy_round_detects_both_channel_states() {
         let cfg = sharp_round();
         let states = vec![ReporterState::Healthy; 6];
-        let busy = run_round(&cfg, true, &states, true, 2013, 0);
+        let busy = run_round(&cfg, true, &states, true, 2013, 0).unwrap();
         assert!(busy.decision.busy);
         assert_eq!(busy.decision.rule_used, RuleUsed::Configured);
         assert_eq!(busy.delivered, 6);
-        let idle = run_round(&cfg, false, &states, false, 2013, 1);
+        assert_eq!(busy.mean_report_snr, f64::INFINITY);
+        let idle = run_round(&cfg, false, &states, false, 2013, 1).unwrap();
         assert!(!idle.decision.busy);
         assert_eq!(idle.missing, 0);
     }
@@ -146,11 +358,14 @@ mod tests {
     fn rounds_are_pure_functions_of_seed_and_round() {
         let cfg = SensingRound::paper(1.0);
         let states = vec![ReporterState::Healthy; 5];
-        let a = run_round(&cfg, true, &states, true, 42, 9);
-        assert_eq!(a, run_round(&cfg, true, &states, true, 42, 9));
+        let a = run_round(&cfg, true, &states, true, 42, 9).unwrap();
+        assert_eq!(a, run_round(&cfg, true, &states, true, 42, 9).unwrap());
         assert_ne!(
             a.decision.busy,
-            run_round(&cfg, false, &states, false, 42, 9).decision.busy,
+            run_round(&cfg, false, &states, false, 42, 9)
+                .unwrap()
+                .decision
+                .busy,
             "a high-SNR busy slot and an idle slot should usually differ"
         );
     }
@@ -167,7 +382,7 @@ mod tests {
             ReporterState::StuckH0,
             ReporterState::StuckH0,
         ];
-        let out = run_round(&cfg, true, &states, true, 2013, 2);
+        let out = run_round(&cfg, true, &states, true, 2013, 2).unwrap();
         assert!(
             out.decision.busy,
             "3-of-5 healthy majority must still detect"
@@ -181,7 +396,7 @@ mod tests {
             ReporterState::StuckH0,
             ReporterState::StuckH0,
         ];
-        let out = run_round(&cfg, true, &mostly_stuck, true, 2013, 3);
+        let out = run_round(&cfg, true, &mostly_stuck, true, 2013, 3).unwrap();
         assert!(!out.decision.busy, "stuck-at-H0 majority causes the miss");
     }
 
@@ -193,7 +408,7 @@ mod tests {
         states[0] = ReporterState::Healthy;
         states[1] = ReporterState::Healthy;
         states[2] = ReporterState::Healthy;
-        let out = run_round(&cfg, true, &states, true, 2013, 4);
+        let out = run_round(&cfg, true, &states, true, 2013, 4).unwrap();
         assert_eq!(out.delivered, 3);
         assert_eq!(out.decision.rule_used, RuleUsed::Configured);
         assert_eq!(out.decision.quorum, 2, "k must shrink with the roster");
@@ -201,12 +416,12 @@ mod tests {
         // 7 dead → one report → below min_quorum → OR fallback
         let mut states = vec![ReporterState::Dead; 8];
         states[0] = ReporterState::Healthy;
-        let out = run_round(&cfg, true, &states, true, 2013, 5);
+        let out = run_round(&cfg, true, &states, true, 2013, 5).unwrap();
         assert_eq!(out.decision.rule_used, RuleUsed::OrFallback);
         assert!(out.decision.busy);
         // all dead → zero reports → head-local, and no division anywhere
         let states = vec![ReporterState::Dead; 8];
-        let out = run_round(&cfg, true, &states, true, 2013, 6);
+        let out = run_round(&cfg, true, &states, true, 2013, 6).unwrap();
         assert_eq!(out.decision.rule_used, RuleUsed::HeadLocal);
         assert_eq!(out.delivered, 0);
         assert_eq!(out.frames_sent, 0);
@@ -230,7 +445,7 @@ mod tests {
         let mut rungs_seen = Vec::new();
         for (round, t) in (0..2000).map(|s| (s as u64, s as f64 * 1.0)) {
             let states: Vec<_> = (0..n).map(|r| tl.state_at(t, r)).collect();
-            let out = run_round(&cfg, true, &states, true, 77, round);
+            let out = run_round(&cfg, true, &states, true, 77, round).unwrap();
             assert!(
                 out.decision.busy,
                 "busy channel at high SNR must be detected on every rung (t={t})"
@@ -251,9 +466,182 @@ mod tests {
         let mut cfg = sharp_round();
         cfg.transport.loss_prob = 0.6;
         let states = vec![ReporterState::Healthy; 6];
-        let out = run_round(&cfg, true, &states, true, 11, 0);
+        let out = run_round(&cfg, true, &states, true, 11, 0).unwrap();
         assert_eq!(out.delivered + out.missing, 6);
         assert!(out.decision.busy, "high-SNR busy must survive 60% loss");
         assert!(out.decision.quorum <= out.decision.reports_used.max(1));
+    }
+
+    #[test]
+    fn invalid_configs_surface_typed_errors() {
+        let states = vec![ReporterState::Healthy; 3];
+        let mut cfg = sharp_round();
+        cfg.snr = f64::NAN;
+        assert!(matches!(
+            run_round(&cfg, true, &states, true, 1, 0),
+            Err(SensingError::InvalidSnr(_))
+        ));
+        let mut cfg = sharp_round();
+        cfg.transport.loss_prob = 1.5;
+        assert!(matches!(
+            run_round(&cfg, true, &states, true, 1, 0),
+            Err(SensingError::Transport(ReportError::InvalidLossProb(_)))
+        ));
+        let cfg = sharp_round();
+        let bad = vec![ReporterState::Delayed { delay_s: -2.0 }];
+        assert_eq!(
+            run_round(&cfg, true, &bad, true, 1, 0),
+            Err(SensingError::InvalidDelay {
+                reporter: 0,
+                delay_s: -2.0
+            })
+        );
+    }
+
+    #[test]
+    fn oracle_equivalence_noisy_at_infinite_snr_matches_clean_count_for_count() {
+        // THE acceptance property: the full soft path — report words,
+        // channel draws, LLR decode, soft fusion — at report SNR → ∞
+        // must reproduce the clean k-out-of-N decisions count for count,
+        // under a live reporter-fault schedule
+        let clean = sharp_round();
+        let noisy = sharp_noisy(f64::INFINITY);
+        let n = 6usize;
+        let fcfg = ReporterFaultConfig::nominal(500.0).scaled(3.0);
+        let tl = ReporterTimeline::from_schedule(&build_reporter_schedule(&fcfg, n, 2013));
+        let mut busy_clean = 0u64;
+        let mut busy_noisy = 0u64;
+        for (round, t) in (0..500).map(|s| (s as u64, s as f64)) {
+            let states: Vec<_> = (0..n).map(|r| tl.state_at(t, r)).collect();
+            let truth = round % 3 != 0;
+            let head = truth;
+            let a = run_round(&clean, truth, &states, head, 2013, round).unwrap();
+            let b = run_round(&noisy, truth, &states, head, 2013, round).unwrap();
+            assert_eq!(
+                a.decision.busy, b.decision.busy,
+                "decision diverged at round {round}"
+            );
+            assert_eq!(a.decision.quorum, b.decision.quorum);
+            assert_eq!(a.delivered, b.delivered);
+            assert_eq!(a.frames_sent, b.frames_sent, "transport must not shift");
+            assert!(b.ladder.soft_path);
+            busy_clean += u64::from(a.decision.busy);
+            busy_noisy += u64::from(b.decision.busy);
+        }
+        assert_eq!(busy_clean, busy_noisy);
+        assert!(
+            busy_clean > 0 && busy_clean < 500,
+            "both verdicts exercised"
+        );
+    }
+
+    #[test]
+    fn report_channel_faults_walk_the_soft_ladder() {
+        // a hot collapse/desync schedule must push rounds off the soft
+        // rung into hard decoding while the roster stays full
+        let cfg = sharp_noisy(25.0);
+        let n = 6usize;
+        let rcfg = ReportChannelFaultConfig::nominal(400.0).scaled(8.0);
+        let tl = ReportChannelTimeline::from_schedule(&build_report_channel_schedule(&rcfg, n, 99));
+        let states = vec![ReporterState::Healthy; n];
+        let mut soft_rounds = 0u64;
+        let mut hard_rounds = 0u64;
+        for (round, t) in (0..400).map(|s| (s as u64, s as f64)) {
+            let rstates: Vec<_> = (0..n).map(|r| tl.state_at(t, r)).collect();
+            let out = run_round_faulted(&cfg, true, &states, &rstates, true, 99, round).unwrap();
+            match out.decision.rule_used {
+                RuleUsed::LlrSoft => soft_rounds += 1,
+                RuleUsed::HardDecode => hard_rounds += 1,
+                other => panic!("full roster cannot reach {other:?}"),
+            }
+            assert!(out.decision.busy, "30 dB busy must survive every rung");
+        }
+        assert!(soft_rounds > 0, "nominal stretches must fuse softly");
+        assert!(hard_rounds > 0, "collapses must force hard decoding");
+    }
+
+    #[test]
+    fn noisy_rounds_are_pure_and_fault_scaling_never_shifts_streams() {
+        let cfg = sharp_noisy(12.0);
+        let states = vec![ReporterState::Healthy; 5];
+        let nominal = vec![ReportChannelState::nominal(); 5];
+        let a = run_round_faulted(&cfg, true, &states, &nominal, true, 7, 3).unwrap();
+        assert_eq!(
+            a,
+            run_round_faulted(&cfg, true, &states, &nominal, true, 7, 3).unwrap()
+        );
+        // an empty report-state slice means a nominal channel
+        assert_eq!(a, run_round(&cfg, true, &states, true, 7, 3).unwrap());
+        // a desync on reporter 0 must not change reporter 1+'s llrs:
+        // compare through the fused mean at full vs scaled gain
+        let mut desynced = nominal.clone();
+        desynced[0] = ReportChannelState {
+            snr_drop_db: 0.0,
+            gain: 0.0,
+        };
+        let b = run_round_faulted(&cfg, true, &states, &desynced, true, 7, 3).unwrap();
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert_eq!(a.delivered, b.delivered);
+        assert!(
+            b.ladder.mean_confidence < a.ladder.mean_confidence,
+            "killing one reporter's coherence must only erode confidence"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use comimo_faults::report_channel::{
+        build_report_channel_schedule, ReportChannelFaultConfig, ReportChannelTimeline,
+    };
+    use comimo_faults::sensing::{build_reporter_schedule, ReporterFaultConfig, ReporterTimeline};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Under arbitrary reporter and report-channel fault timelines,
+        /// every round lands on exactly one rung: the per-rung counters
+        /// always sum to the rounds run, on both transport paths.
+        #[test]
+        fn prop_rule_used_accounting_sums_to_rounds_run(
+            seed in 0u64..1000,
+            lambda in 0.0f64..6.0,
+            report_snr_db in -5.0f64..30.0,
+            clean in any::<bool>(),
+        ) {
+            let n = 5usize;
+            let horizon = 60.0;
+            let rtl = ReporterTimeline::from_schedule(&build_reporter_schedule(
+                &ReporterFaultConfig::nominal(horizon).scaled(lambda), n, seed));
+            let ctl = ReportChannelTimeline::from_schedule(&build_report_channel_schedule(
+                &ReportChannelFaultConfig::nominal(horizon).scaled(lambda), n, seed));
+            let cfg = if clean {
+                SensingRound::paper(4.0)
+            } else {
+                SensingRound::paper_noisy(4.0, report_snr_db)
+            };
+            let rounds = 60u64;
+            let mut counts = [0u64; 5];
+            for round in 0..rounds {
+                let t = round as f64;
+                let states: Vec<_> = (0..n).map(|r| rtl.state_at(t, r)).collect();
+                let rstates: Vec<_> = (0..n).map(|r| ctl.state_at(t, r)).collect();
+                let out = run_round_faulted(
+                    &cfg, round % 2 == 0, &states, &rstates, false, seed, round,
+                ).unwrap();
+                counts[out.decision.rule_used.rung_index() as usize] += 1;
+                prop_assert_eq!(out.decision.rule_used, out.ladder.rung);
+            }
+            prop_assert_eq!(counts.iter().sum::<u64>(), rounds);
+            if clean {
+                // the clean path never reaches the soft rungs
+                prop_assert_eq!(counts[0] + counts[1], 0);
+            } else {
+                // the soft path never lands on the clean Configured rung
+                prop_assert_eq!(counts[2], 0);
+            }
+        }
     }
 }
