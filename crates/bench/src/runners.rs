@@ -20,7 +20,8 @@ use comimo_faults::report_channel::{
 use comimo_faults::sensing::{build_reporter_schedule, ReporterFaultConfig, ReporterTimeline};
 use comimo_math::rng::derive;
 use comimo_sensing::{
-    run_roc_campaign, run_round_faulted, MarkovOnOff, RocGridSpec, RocPoint, RuleUsed, SensingRound,
+    run_byz_campaign, run_roc_campaign, run_round_faulted, ByzCell, ByzSweepSpec, MarkovOnOff,
+    RocGridSpec, RocPoint, RuleUsed, SensingRound,
 };
 use comimo_stbc::design::{Ostbc, StbcKind};
 use comimo_stbc::grid::{simulate_ber_grid_par, GridPoint};
@@ -332,6 +333,11 @@ pub struct SenseSweepRow {
     pub detections: u64,
     /// Fused busy verdicts on idle slots.
     pub false_alarms: u64,
+    /// Slots fused on the reputation-weighted LLR rung (only reachable
+    /// when the head carries a reputation view — the λ sweeps run
+    /// without one, so this stays 0 here; the byzantine sweep is where
+    /// it lights up).
+    pub used_weighted_llr: u64,
     /// Slots fused on the soft LLR rung (noisy long-haul, confident).
     pub used_llr_soft: u64,
     /// Slots degraded to hard-decoding the report words (shaky decode).
@@ -406,6 +412,7 @@ fn sense_sweep_with(lambda: f64, mut cfg: SensingRound, noisy: bool) -> SenseSwe
         idle_slots: 0,
         detections: 0,
         false_alarms: 0,
+        used_weighted_llr: 0,
         used_llr_soft: 0,
         used_hard_decode: 0,
         used_configured: 0,
@@ -442,6 +449,7 @@ fn sense_sweep_with(lambda: f64, mut cfg: SensingRound, noisy: bool) -> SenseSwe
             row.false_alarms += u64::from(out.decision.busy);
         }
         match out.decision.rule_used {
+            RuleUsed::WeightedLlr => row.used_weighted_llr += 1,
             RuleUsed::LlrSoft => row.used_llr_soft += 1,
             RuleUsed::HardDecode => row.used_hard_decode += 1,
             RuleUsed::Configured => row.used_configured += 1,
@@ -494,6 +502,69 @@ pub fn sensing_roc() -> Vec<RocPoint> {
     .expect("the fault-free ROC campaign completes");
     assert_eq!(report.status, CampaignStatus::Complete);
     roc
+}
+
+/// The fused-Pd floor a tolerable adversary cast must not drag the head
+/// below: the containment acceptance line of the byzantine sweep.
+pub const BYZ_PD_FLOOR: f64 = 0.9;
+
+/// The byzantine-fraction sweep behind the report's containment table:
+/// the paper axis ([`ByzSweepSpec::paper`] — `f ∈ {0, 1, 2}` always-no
+/// vandals of 7) on the campaign supervisor, no checkpoint. Cells are
+/// pure functions of [`EXPERIMENT_SEED`].
+pub fn byz_sweep() -> Vec<ByzCell> {
+    let spec = ByzSweepSpec::paper();
+    let (report, cells) = run_byz_campaign(
+        &spec,
+        &CampaignConfig::new(EXPERIMENT_SEED, spec.fingerprint()),
+    )
+    .expect("the paper byzantine sweep completes");
+    assert_eq!(report.status, CampaignStatus::Complete);
+    cells
+}
+
+/// The containment acceptance verdict at one adversary count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ByzVerdict {
+    /// Adversary count the verdict inspects (`⌊(n−1)/3⌋` at acceptance).
+    pub byz_count: usize,
+    /// Fused Pd of the reputation-weighted head.
+    pub weighted_pd: f64,
+    /// Fused Pd of the unweighted head over the same falsified draws.
+    pub unweighted_pd: f64,
+    /// The weighted head held the missed-detect budget
+    /// (`Pd ≥` [`BYZ_PD_FLOOR`]).
+    pub restored: bool,
+    /// The unweighted head measurably violated it (`Pd <` the floor).
+    pub violated: bool,
+}
+
+impl ByzVerdict {
+    /// The acceptance criterion: weighting restores what its absence
+    /// measurably loses.
+    pub fn holds(&self) -> bool {
+        self.restored && self.violated
+    }
+}
+
+/// Extracts the containment verdict at the Byzantine tolerance
+/// `f = ⌊(n−1)/3⌋` from a sweep's cells. `None` when the axis never
+/// sampled that count (the verdict is then vacuous, not failed).
+pub fn byz_containment_verdict(spec: &ByzSweepSpec, cells: &[ByzCell]) -> Option<ByzVerdict> {
+    let f_max = spec.n_reporters.saturating_sub(1) / 3;
+    let pick = |weighted: bool| {
+        cells
+            .iter()
+            .find(|c| c.byz_count == f_max && c.weighted == weighted)
+    };
+    let (w, u) = (pick(true)?, pick(false)?);
+    Some(ByzVerdict {
+        byz_count: f_max,
+        weighted_pd: w.pd(),
+        unweighted_pd: u.pd(),
+        restored: w.pd() >= BYZ_PD_FLOOR,
+        violated: u.pd() < BYZ_PD_FLOOR,
+    })
 }
 
 #[cfg(test)]
@@ -622,6 +693,7 @@ mod tests {
         assert_eq!(clean.fault_events, 0);
         assert_eq!(clean.used_llr_soft, SENSE_HORIZON_S as u64);
         assert_eq!(clean.used_configured, 0, "the soft path never uses it");
+        assert_eq!(clean.used_weighted_llr, 0, "no reputation view, no rung 0");
         assert!(
             clean.pd() > 0.85,
             "soft-fused Pd at 0 dB over a 15 dB long-haul: {}",
@@ -635,5 +707,29 @@ mod tests {
             "SNR collapses must force hard decoding: {hot:?}"
         );
         assert_eq!(hot, sense_sweep_noisy(4.0), "pure function of (λ, seed)");
+    }
+
+    /// The paper byzantine axis meets the acceptance criterion sensebench
+    /// asserts: at `f = ⌊(n−1)/3⌋` always-no adversaries the unweighted
+    /// head's fused Pd collapses below the floor while the
+    /// reputation-weighted head, fusing the same falsified draws,
+    /// restores it.
+    #[test]
+    fn byz_sweep_meets_the_containment_acceptance() {
+        let spec = ByzSweepSpec::paper();
+        let cells = byz_sweep();
+        assert_eq!(cells.len(), 2 * spec.byz_counts.len());
+        let v = byz_containment_verdict(&spec, &cells).expect("the paper axis samples f_max");
+        assert_eq!(v.byz_count, 2, "7 reporters tolerate f = 2");
+        assert!(v.restored, "weighted Pd {} under the floor", v.weighted_pd);
+        assert!(
+            v.violated,
+            "unweighted Pd {} should collapse",
+            v.unweighted_pd
+        );
+        assert!(v.holds());
+        // a sweep that never sampled f_max yields a vacuous verdict
+        let narrow: Vec<ByzCell> = cells.iter().copied().filter(|c| c.byz_count == 0).collect();
+        assert_eq!(byz_containment_verdict(&spec, &narrow), None);
     }
 }

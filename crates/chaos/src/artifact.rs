@@ -21,7 +21,11 @@ use serde::{Deserialize, Serialize};
 /// v3: [`InvariantBounds`] gained the report long-haul ceiling
 /// (`report_epa_floor_db`) and the world emits the report/ladder
 /// observations it checks.
-pub const ARTIFACT_VERSION: u32 = 3;
+/// v4: [`InvariantBounds`] gained the Byzantine containment budget
+/// (`byz_missed_budget`), [`ChaosConfig`] gained the adversary cast
+/// (`n_byz`), and the world emits the reputation/containment
+/// observations.
+pub const ARTIFACT_VERSION: u32 = 4;
 
 /// One fault event in serialized form (`SimTime` itself carries no serde;
 /// nanoseconds are its exact representation).

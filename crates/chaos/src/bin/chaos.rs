@@ -8,7 +8,7 @@
 //!               [--lambda-min F] [--lambda-max F] [--mt N]
 //!               [--epa-floor-db F] [--null-residual-max F] [--overdraw-max F]
 //!               [--missed-budget N] [--fusion-quorum-min N]
-//!               [--report-epa-floor-db F]
+//!               [--report-epa-floor-db F] [--byz-containment N]
 //!               [--out DIR] [--serial] [--no-shrink]
 //!     run a deterministic sweep; write one replayable JSON artifact per
 //!     violating run into DIR (default chaos-artifacts/).
@@ -87,6 +87,9 @@ fn bounds_from(args: &[String]) -> InvariantBounds {
     }
     if let Some(v) = flag(args, "--report-epa-floor-db") {
         b.report_epa_floor_db = v;
+    }
+    if let Some(v) = flag(args, "--byz-containment") {
+        b.byz_missed_budget = v;
     }
     b
 }

@@ -442,6 +442,57 @@ mod tests {
     }
 
     #[test]
+    fn weakened_byz_containment_is_found_and_shrunk() {
+        // a zero Byzantine containment budget turns the (legitimate,
+        // within paper budget) one-slot miss after a mid-slot PU return
+        // into a containment violation — but only once the reputation
+        // tracker has converged, so ddmin must keep a PuReturn landing
+        // deep enough into the horizon to fire
+        let cfg = ExploreConfig {
+            runs: 8,
+            horizon_s: 120.0,
+            lambda_min: 2.0,
+            lambda_max: 4.0,
+            bounds: InvariantBounds {
+                byz_missed_budget: 0,
+                ..InvariantBounds::paper()
+            },
+            serial: true,
+            ..ExploreConfig::new(2013)
+        };
+        let report = explore(&cfg);
+        assert!(
+            !report.findings.is_empty(),
+            "λ ∈ [2,4] over 120 s must land a PU return inside a radiating slot \
+             after reputation convergence"
+        );
+        for f in &report.findings {
+            assert_eq!(f.invariant, crate::invariant::INV_BYZ_CONTAINMENT);
+            assert!(!f.minimized.is_empty(), "a fault is required to violate");
+            assert!(f.minimized.len() <= f.schedule_len);
+            assert!(f.shrink_probes > 0);
+            assert!(
+                f.minimized
+                    .iter()
+                    .any(|e| matches!(e.kind, comimo_faults::FaultKind::PuReturn { .. })),
+                "a PuReturn must survive shrinking — it causes the miss"
+            );
+            // the minimized trace must replay to the identical violation
+            let wcfg = ChaosConfig::paper(f.run_seed, cfg.horizon_s);
+            let reg = InvariantRegistry::with_bounds(cfg.bounds);
+            let replay = crate::world::run_events(&wcfg, &f.minimized, &reg, true);
+            let v = replay
+                .violations
+                .iter()
+                .find(|v| v.invariant == f.invariant)
+                .expect("minimized trace still fires");
+            assert_eq!(v.at_ns, f.at_ns);
+            assert_eq!(v.observed.to_bits(), f.observed.to_bits());
+            assert_eq!(v.detail, f.detail);
+        }
+    }
+
+    #[test]
     fn serial_and_pooled_sweeps_agree() {
         let serial = ExploreConfig {
             runs: 6,

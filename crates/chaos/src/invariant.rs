@@ -14,7 +14,9 @@
 //! | `INV-MISSED-DETECT-BUDGET` | cooperative-sensing contract | the cluster never radiates into an active primary for more consecutive slots than the budget |
 //! | `INV-FUSION-QUORUM` | decision-fusion degradation ladder | every non-head-local fused decision rests on at least its own quorum of arrived reports |
 //! | `INV-REPORT-EPA` | Sec. 3/4 `E_PA` ceiling on the report long-haul | sensing report words never radiate past the same PA energy ceiling the data obeys |
-//! | `INV-LLR-DEGRADE-ORDER` | soft-fusion degradation ladder | every fused decision lands on the *first eligible* rung — never skipping soft → hard-decode → quorum → head-local order |
+//! | `INV-LLR-DEGRADE-ORDER` | soft-fusion degradation ladder | every fused decision lands on the *first eligible* rung — never skipping weighted → soft → hard-decode → quorum → head-local order |
+//! | `INV-BYZ-CONTAINMENT` | Sec. 5 sensing contract under SSDF | with ≤ f = ⌊(n−1)/3⌋ adversaries cast, the missed-detection budget still holds once reputation has converged |
+//! | `INV-REPUTATION-SANE` | Beta-posterior trust contract | trust weights stay in [0, 1] and quarantined reporters are never counted toward the fused quorum |
 //!
 //! Checks are driven by [`Observation`]s the chaos world emits — one per
 //! simulated slot, event pop, or campaign completion — and produce
@@ -44,6 +46,12 @@ pub const INV_FUSION_QUORUM: &str = "INV-FUSION-QUORUM";
 pub const INV_REPORT_EPA: &str = "INV-REPORT-EPA";
 /// Stable identifier: soft fusion degrades in ladder order.
 pub const INV_LLR_DEGRADE_ORDER: &str = "INV-LLR-DEGRADE-ORDER";
+/// Stable identifier: the missed-detection budget survives ≤ f Byzantine
+/// reporters once reputation has converged.
+pub const INV_BYZ_CONTAINMENT: &str = "INV-BYZ-CONTAINMENT";
+/// Stable identifier: trust weights bounded, quarantined reporters never
+/// counted toward the fused quorum.
+pub const INV_REPUTATION_SANE: &str = "INV-REPUTATION-SANE";
 
 /// One fact the chaos world observed; the registry fans each observation
 /// out to every invariant.
@@ -129,9 +137,12 @@ pub enum Observation {
         at_ns: u64,
         /// Whether the soft (noisy long-haul) fusion path ran.
         soft_path: bool,
+        /// Whether a reputation view was supplied, making the weighted
+        /// LLR rung eligible ahead of the unweighted soft rung.
+        weighted: bool,
         /// The rung that decided ([`RuleUsed::rung_index`] encoding:
-        /// 0 = soft LLR, 1 = hard decode, 2 = configured, 3 = OR
-        /// fallback, 4 = head local).
+        /// 0 = weighted LLR, 1 = soft LLR, 2 = hard decode,
+        /// 3 = configured, 4 = OR fallback, 5 = head local).
         rung: u8,
         /// Distinct reports fused.
         n_reports: usize,
@@ -142,6 +153,36 @@ pub enum Observation {
         /// Reliability floor of the soft rung (`+∞` on rules with no
         /// soft rung).
         reliability_floor: f64,
+    },
+    /// One slot's reputation-tracker health next to the fused decision
+    /// it weighted.
+    ReputationSlot {
+        /// Slot start (ns) — when the view was consulted for fusion.
+        at_ns: u64,
+        /// Smallest trust weight on the roster.
+        min_weight: f64,
+        /// Largest trust weight on the roster.
+        max_weight: f64,
+        /// Reports the fused decision actually counted.
+        reports_used: usize,
+        /// Distinct delivered reports from non-quarantined reporters —
+        /// the most any rung may legitimately count toward its quorum.
+        eligible_distinct: usize,
+    },
+    /// One slot's Byzantine containment accounting: the adversary cast
+    /// against the tolerance bound, and the miss streak it produced.
+    ByzContainment {
+        /// Slot midpoint (ns) — when the miss is charged.
+        at_ns: u64,
+        /// Adversarial reporters cast into the roster this run.
+        n_adversaries: usize,
+        /// The tolerance bound `f = ⌊(n−1)/3⌋` of the roster.
+        f_max: usize,
+        /// Whether the reputation tracker had converged by slot start.
+        converged: bool,
+        /// Consecutive slots (this one included) the cluster radiated
+        /// into a primary that returned mid-slot; 0 on a clean slot.
+        missed_streak: u32,
     },
     /// One event-queue pop: the clock before and after.
     EventPop {
@@ -176,6 +217,8 @@ impl Observation {
             | Self::FusionDecision { at_ns, .. }
             | Self::ReportLongHaul { at_ns, .. }
             | Self::FusionLadder { at_ns, .. }
+            | Self::ReputationSlot { at_ns, .. }
+            | Self::ByzContainment { at_ns, .. }
             | Self::CampaignCounts { at_ns, .. } => *at_ns,
             Self::EventPop { now_ns, .. } => *now_ns,
         }
@@ -226,6 +269,11 @@ pub struct InvariantBounds {
     /// reuse the underlay `E_PA` ceiling, so a transmitted report never
     /// radiates past the primary noise floor.
     pub report_epa_floor_db: f64,
+    /// Maximum missed-detection streak tolerated with ≤ f Byzantine
+    /// reporters cast, *after* reputation convergence. Paper: 1 — the
+    /// same slotted-sensing budget as `missed_detect_budget`; containment
+    /// means adversaries must not be able to stretch it.
+    pub byz_missed_budget: u32,
 }
 
 impl InvariantBounds {
@@ -238,6 +286,7 @@ impl InvariantBounds {
             missed_detect_budget: 1,
             fusion_quorum_min: 1,
             report_epa_floor_db: 0.0,
+            byz_missed_budget: 1,
         }
     }
 }
@@ -263,7 +312,7 @@ pub trait Invariant: Send + Sync {
 }
 
 // ---------------------------------------------------------------------
-// The nine paper invariants
+// The eleven paper invariants
 // ---------------------------------------------------------------------
 
 struct EpaCeiling {
@@ -675,6 +724,7 @@ impl LlrDegradeOrder {
     /// rung-skipping bug cannot hide behind its own bookkeeping.
     fn first_eligible(
         soft_path: bool,
+        weighted: bool,
         n: usize,
         min_quorum: usize,
         mean_confidence: f64,
@@ -684,21 +734,25 @@ impl LlrDegradeOrder {
         if soft_path {
             if n >= mq {
                 if mean_confidence >= reliability_floor {
-                    0 // soft LLR
+                    if weighted {
+                        0 // weighted LLR — a reputation view is held
+                    } else {
+                        1 // soft LLR
+                    }
                 } else {
-                    1 // hard decode
+                    2 // hard decode
                 }
             } else if n >= 1 {
-                3 // OR fallback
+                4 // OR fallback
             } else {
-                4 // head local
+                5 // head local
             }
         } else if n >= mq {
-            2 // configured rule
+            3 // configured rule
         } else if n >= 1 {
-            3
-        } else {
             4
+        } else {
+            5
         }
     }
 }
@@ -708,8 +762,8 @@ impl Invariant for LlrDegradeOrder {
         INV_LLR_DEGRADE_ORDER
     }
     fn paper_ref(&self) -> &'static str {
-        "soft-fusion degradation ladder: LLR soft → hard decode → configured rule → \
-         OR fallback → head local, first eligible rung decides"
+        "soft-fusion degradation ladder: weighted LLR → LLR soft → hard decode → \
+         configured rule → OR fallback → head local, first eligible rung decides"
     }
     fn guards(&self) -> &'static str {
         "comimo-sensing fuse_soft / fuse_reports rung selection and LadderEvidence accounting"
@@ -721,6 +775,7 @@ impl Invariant for LlrDegradeOrder {
         let Observation::FusionLadder {
             at_ns,
             soft_path,
+            weighted,
             rung,
             n_reports,
             min_quorum,
@@ -732,6 +787,7 @@ impl Invariant for LlrDegradeOrder {
         };
         let expected = Self::first_eligible(
             *soft_path,
+            *weighted,
             *n_reports,
             *min_quorum,
             *mean_confidence,
@@ -745,8 +801,127 @@ impl Invariant for LlrDegradeOrder {
                 bound: f64::from(expected),
                 detail: format!(
                     "fusion decided on rung {rung} but the evidence (soft={soft_path}, \
-                     n={n_reports}, min_quorum={min_quorum}, confidence={mean_confidence:.4}, \
-                     floor={reliability_floor:.4}) makes rung {expected} the first eligible"
+                     weighted={weighted}, n={n_reports}, min_quorum={min_quorum}, \
+                     confidence={mean_confidence:.4}, floor={reliability_floor:.4}) makes \
+                     rung {expected} the first eligible"
+                ),
+            });
+        }
+        None
+    }
+}
+
+struct ByzContainmentBudget {
+    budget: u32,
+}
+
+impl Invariant for ByzContainmentBudget {
+    fn id(&self) -> &'static str {
+        INV_BYZ_CONTAINMENT
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Sec. 5 sensing contract under SSDF: with f = ⌊(n−1)/3⌋ falsifiers the fused \
+         verdict still detects a returning primary within the slotted budget"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-sensing fuse_soft_weighted + ReputationTracker quarantine; chaos-world \
+         Byzantine cast and sensing stage"
+    }
+    fn bound_text(&self) -> String {
+        format!(
+            "≤ f adversaries after reputation convergence: missed-detection streak ≤ {} slot(s)",
+            self.budget
+        )
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        let Observation::ByzContainment {
+            at_ns,
+            n_adversaries,
+            f_max,
+            converged,
+            missed_streak,
+        } = obs
+        else {
+            return None;
+        };
+        // containment is only promised inside the tolerance bound and
+        // after the trust posteriors have had time to converge — the
+        // cold-start window is the median guard's problem, and > f
+        // adversaries is outside the paper's contract
+        if !converged || n_adversaries > f_max {
+            return None;
+        }
+        if *missed_streak > self.budget {
+            return Some(Violation {
+                invariant: INV_BYZ_CONTAINMENT,
+                at_ns: *at_ns,
+                observed: f64::from(*missed_streak),
+                bound: f64::from(self.budget),
+                detail: format!(
+                    "with {n_adversaries} adversary(ies) ≤ f = {f_max} and converged \
+                     reputation, the cluster radiated into an active primary for \
+                     {missed_streak} consecutive slot(s), budget {}",
+                    self.budget
+                ),
+            });
+        }
+        None
+    }
+}
+
+struct ReputationSane;
+
+impl Invariant for ReputationSane {
+    fn id(&self) -> &'static str {
+        INV_REPUTATION_SANE
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Beta-posterior trust contract: weights are posterior means in [0, 1]; \
+         quarantined reporters are dropped before quorum-k re-derivation"
+    }
+    fn guards(&self) -> &'static str {
+        "comimo-sensing ReputationTracker / ReputationView; fuse_* eligibility filtering"
+    }
+    fn bound_text(&self) -> String {
+        "weights ∈ [0, 1]; fused reports_used ≤ distinct eligible reports".into()
+    }
+    fn check(&self, obs: &Observation) -> Option<Violation> {
+        let Observation::ReputationSlot {
+            at_ns,
+            min_weight,
+            max_weight,
+            reports_used,
+            eligible_distinct,
+        } = obs
+        else {
+            return None;
+        };
+        if !(0.0..=1.0).contains(min_weight) || !(0.0..=1.0).contains(max_weight) {
+            return Some(Violation {
+                invariant: INV_REPUTATION_SANE,
+                at_ns: *at_ns,
+                observed: if *min_weight < 0.0 {
+                    *min_weight
+                } else {
+                    *max_weight
+                },
+                bound: 1.0,
+                detail: format!(
+                    "trust weights left the Beta-posterior range: min {min_weight:.6}, \
+                     max {max_weight:.6} outside [0, 1]"
+                ),
+            });
+        }
+        if reports_used > eligible_distinct {
+            return Some(Violation {
+                invariant: INV_REPUTATION_SANE,
+                at_ns: *at_ns,
+                observed: *reports_used as f64,
+                bound: *eligible_distinct as f64,
+                detail: format!(
+                    "fusion counted {reports_used} report(s) toward its quorum but only \
+                     {eligible_distinct} distinct non-quarantined report(s) arrived — a \
+                     quarantined reporter was counted"
                 ),
             });
         }
@@ -772,12 +947,12 @@ impl InvariantRegistry {
         }
     }
 
-    /// The nine paper invariants at their true bounds.
+    /// The eleven paper invariants at their true bounds.
     pub fn paper() -> Self {
         Self::with_bounds(InvariantBounds::paper())
     }
 
-    /// The nine paper invariants at explicit (possibly weakened) bounds.
+    /// The eleven paper invariants at explicit (possibly weakened) bounds.
     pub fn with_bounds(b: InvariantBounds) -> Self {
         let mut reg = Self::empty();
         reg.register(Box::new(EpaCeiling {
@@ -801,6 +976,10 @@ impl InvariantRegistry {
             floor_db: b.report_epa_floor_db,
         }));
         reg.register(Box::new(LlrDegradeOrder));
+        reg.register(Box::new(ByzContainmentBudget {
+            budget: b.byz_missed_budget,
+        }));
+        reg.register(Box::new(ReputationSane));
         reg
     }
 
@@ -869,9 +1048,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn paper_registry_has_the_nine_stable_ids() {
+    fn paper_registry_has_the_eleven_stable_ids() {
         let reg = InvariantRegistry::paper();
-        assert_eq!(reg.len(), 9);
+        assert_eq!(reg.len(), 11);
         for id in [
             INV_EPA_CEILING,
             INV_NULL_DEPTH,
@@ -882,6 +1061,8 @@ mod tests {
             INV_FUSION_QUORUM,
             INV_REPORT_EPA,
             INV_LLR_DEGRADE_ORDER,
+            INV_BYZ_CONTAINMENT,
+            INV_REPUTATION_SANE,
         ] {
             let inv = reg.get(id).unwrap_or_else(|| panic!("missing {id}"));
             assert_eq!(inv.id(), id);
@@ -914,7 +1095,7 @@ mod tests {
             },
             &mut v,
         );
-        assert_eq!(checks, 9, "every slot consults every invariant");
+        assert_eq!(checks, 11, "every slot consults every invariant");
         assert!(v.is_empty());
         // transmitting below the floor: violation
         reg.check(
@@ -1194,18 +1375,20 @@ mod tests {
         let reg = InvariantRegistry::paper();
         let mut v = Vec::new();
         // every legitimate rung in ladder order holds
-        for (soft_path, rung, n, conf) in [
-            (true, 0u8, 5usize, 0.9), // confident quorum → soft
-            (true, 1, 5, 0.3),        // shaky quorum → hard decode
-            (false, 2, 5, 1.0),       // clean path → configured
-            (true, 3, 1, 0.9),        // sub-quorum → OR fallback
-            (false, 3, 1, 1.0),
-            (true, 4, 0, 0.0), // empty → head local
+        for (soft_path, weighted, rung, n, conf) in [
+            (true, true, 0u8, 5usize, 0.9), // view held, confident quorum → weighted
+            (true, false, 1, 5, 0.9),       // no view, confident quorum → soft
+            (true, false, 2, 5, 0.3),       // shaky quorum → hard decode
+            (false, false, 3, 5, 1.0),      // clean path → configured
+            (true, false, 4, 1, 0.9),       // sub-quorum → OR fallback
+            (false, false, 4, 1, 1.0),
+            (true, false, 5, 0, 0.0), // empty → head local
         ] {
             reg.check(
                 &Observation::FusionLadder {
                     at_ns: 1,
                     soft_path,
+                    weighted,
                     rung,
                     n_reports: n,
                     min_quorum: 2,
@@ -1216,11 +1399,12 @@ mod tests {
             );
         }
         assert!(v.is_empty(), "{v:?}");
-        // skipping the soft rung while its evidence says eligible fires
+        // skipping the weighted rung while a view is held fires
         reg.check(
             &Observation::FusionLadder {
                 at_ns: 2,
                 soft_path: true,
+                weighted: true,
                 rung: 1,
                 n_reports: 5,
                 min_quorum: 2,
@@ -1234,7 +1418,8 @@ mod tests {
             &Observation::FusionLadder {
                 at_ns: 3,
                 soft_path: false,
-                rung: 4,
+                weighted: false,
+                rung: 5,
                 n_reports: 1,
                 min_quorum: 2,
                 mean_confidence: 1.0,
@@ -1245,7 +1430,7 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert!(v.iter().all(|x| x.invariant == INV_LLR_DEGRADE_ORDER));
         assert_eq!(v[0].bound, 0.0);
-        assert_eq!(v[1].bound, 3.0);
+        assert_eq!(v[1].bound, 4.0);
     }
 
     #[test]
@@ -1257,6 +1442,7 @@ mod tests {
             missed_detect_budget: 0,
             fusion_quorum_min: 4,
             report_epa_floor_db: 5.0,
+            byz_missed_budget: 0,
         });
         let mut v = Vec::new();
         // a margin fine at the paper floor breaks a +3 dB floor
@@ -1309,6 +1495,119 @@ mod tests {
             },
             &mut v,
         );
-        assert_eq!(v.len(), 5);
+        // a one-slot miss under a converged, ≤ f adversary cast — within
+        // the paper containment budget — breaks a zero budget
+        weak.check(
+            &Observation::ByzContainment {
+                at_ns: 0,
+                n_adversaries: 1,
+                f_max: 2,
+                converged: true,
+                missed_streak: 1,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn byz_containment_fires_only_inside_the_contract() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        // within budget: holds
+        reg.check(
+            &Observation::ByzContainment {
+                at_ns: 1,
+                n_adversaries: 2,
+                f_max: 2,
+                converged: true,
+                missed_streak: 1,
+            },
+            &mut v,
+        );
+        // cold start: the contract has not begun, however long the streak
+        reg.check(
+            &Observation::ByzContainment {
+                at_ns: 2,
+                n_adversaries: 2,
+                f_max: 2,
+                converged: false,
+                missed_streak: 7,
+            },
+            &mut v,
+        );
+        // over-tolerance cast: outside the paper's promise
+        reg.check(
+            &Observation::ByzContainment {
+                at_ns: 3,
+                n_adversaries: 3,
+                f_max: 2,
+                converged: true,
+                missed_streak: 7,
+            },
+            &mut v,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // converged, ≤ f, streak past the budget: the breach
+        reg.check(
+            &Observation::ByzContainment {
+                at_ns: 4,
+                n_adversaries: 2,
+                f_max: 2,
+                converged: true,
+                missed_streak: 2,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, INV_BYZ_CONTAINMENT);
+        assert_eq!(v[0].observed, 2.0);
+        assert_eq!(v[0].bound, 1.0);
+    }
+
+    #[test]
+    fn reputation_sane_fires_on_bad_weights_and_on_quarantine_leaks() {
+        let reg = InvariantRegistry::paper();
+        let mut v = Vec::new();
+        // healthy slot: weights bounded, fused count within eligibility
+        reg.check(
+            &Observation::ReputationSlot {
+                at_ns: 1,
+                min_weight: 0.2,
+                max_weight: 0.9,
+                reports_used: 4,
+                eligible_distinct: 5,
+            },
+            &mut v,
+        );
+        assert!(v.is_empty());
+        // a weight past 1 breaks the posterior-mean contract
+        reg.check(
+            &Observation::ReputationSlot {
+                at_ns: 2,
+                min_weight: 0.2,
+                max_weight: 1.5,
+                reports_used: 0,
+                eligible_distinct: 0,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, INV_REPUTATION_SANE);
+        assert_eq!(v[0].observed, 1.5);
+        // counting more reports than eligible means a quarantined
+        // reporter leaked into the quorum
+        reg.check(
+            &Observation::ReputationSlot {
+                at_ns: 3,
+                min_weight: 0.2,
+                max_weight: 0.9,
+                reports_used: 5,
+                eligible_distinct: 4,
+            },
+            &mut v,
+        );
+        assert_eq!(v.len(), 2);
+        assert!(v[1].detail.contains("quarantined"));
     }
 }

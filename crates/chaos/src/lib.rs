@@ -7,12 +7,13 @@
 //!
 //! The pipeline:
 //!
-//! 1. **[`invariant`]** — the seven paper invariants behind stable IDs
+//! 1. **[`invariant`]** — the eleven paper invariants behind stable IDs
 //!    (`INV-EPA-CEILING`, `INV-NULL-DEPTH`, `INV-DEGRADE-POWER`,
 //!    `INV-EVENTQ-TIME`, `INV-CKPT-COUNTS`, `INV-MISSED-DETECT-BUDGET`,
-//!    `INV-FUSION-QUORUM`), each tied to the equation or
-//!    section it encodes and the code path it guards, in a registry every
-//!    checker (the explorer, `faultbench`, tests) shares.
+//!    `INV-FUSION-QUORUM`, `INV-REPORT-EPA`, `INV-LLR-DEGRADE-ORDER`,
+//!    `INV-BYZ-CONTAINMENT`, `INV-REPUTATION-SANE`), each tied to the
+//!    equation or section it encodes and the code path it guards, in a
+//!    registry every checker (the explorer, `faultbench`, tests) shares.
 //! 2. **[`world`]** — one end-to-end scenario that drives a fault
 //!    schedule through the event queue, cooperative spectrum sensing
 //!    with hardened decision fusion, all three paradigm degradation
@@ -65,9 +66,10 @@ where
 pub use artifact::{replay, ArtifactError, ChaosArtifact, ReplayOutcome, TraceEvent};
 pub use explore::{explore, run_params, soak, ExploreConfig, ExploreReport, RunFinding};
 pub use invariant::{
-    Invariant, InvariantBounds, InvariantRegistry, Observation, Violation, INV_CKPT_COUNTS,
-    INV_DEGRADE_POWER, INV_EPA_CEILING, INV_EVENTQ_TIME, INV_FUSION_QUORUM,
-    INV_MISSED_DETECT_BUDGET, INV_NULL_DEPTH,
+    Invariant, InvariantBounds, InvariantRegistry, Observation, Violation, INV_BYZ_CONTAINMENT,
+    INV_CKPT_COUNTS, INV_DEGRADE_POWER, INV_EPA_CEILING, INV_EVENTQ_TIME, INV_FUSION_QUORUM,
+    INV_LLR_DEGRADE_ORDER, INV_MISSED_DETECT_BUDGET, INV_NULL_DEPTH, INV_REPORT_EPA,
+    INV_REPUTATION_SANE,
 };
 pub use shrink::{ddmin, ShrinkResult};
 pub use world::{run_events, ChaosConfig, ChaosOutcome, ChaosWorld};

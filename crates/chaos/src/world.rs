@@ -15,6 +15,14 @@
 //! (`INV-MISSED-DETECT-BUDGET`); the cluster then backs off for one full
 //! slot, which is what keeps the streak within the paper budget of 1.
 //!
+//! The sensing stage is Byzantine-hostile: `n_byz` always-no SSDF
+//! vandals are cast into the reporter roster and a per-reporter
+//! reputation tracker trains on every fused round, so the weighted
+//! fusion rung, the quarantine machinery and the two containment
+//! invariants (`INV-BYZ-CONTAINMENT`, `INV-REPUTATION-SANE`) are
+//! exercised on every run. Quarantined reporters are passed over when
+//! recruitment elects the cluster head.
+//!
 //! Everything is a pure function of `(config, events)`: same inputs,
 //! same observations, same violations — at any thread count. That is
 //! what makes shrinking sound and replay bit-identical.
@@ -28,15 +36,19 @@ use comimo_core::overlay::{Overlay, OverlayConfig};
 use comimo_core::underlay::{Underlay, UnderlayConfig};
 use comimo_energy::model::EnergyModel;
 use comimo_faults::{
-    beam_positions, build_report_channel_schedule, build_reporter_schedule, CampaignFaultPlan,
-    FaultEvent, FaultKind, ReportChannelFaultConfig, ReportChannelState, ReportChannelTimeline,
-    ReporterFaultConfig, ReporterState, ReporterTimeline, Timeline, Topology,
+    beam_positions, build_report_channel_schedule, build_reporter_schedule, ByzantineConfig,
+    ByzantineSuite, CampaignFaultPlan, FaultEvent, FaultKind, ReportChannelFaultConfig,
+    ReportChannelState, ReportChannelTimeline, ReporterFaultConfig, ReporterState,
+    ReporterTimeline, Timeline, Topology,
 };
 use comimo_math::rng::derive;
 use comimo_net::graph::SuGraph;
 use comimo_net::node::SuNode;
-use comimo_net::recruit::{run_recruitment, RecruitConfig};
-use comimo_sensing::{run_round_faulted, RoundOutcome, RuleUsed, SensingRound};
+use comimo_net::recruit::{run_recruitment_excluding, RecruitConfig};
+use comimo_sensing::{
+    run_round_byz, ReportSummary, ReputationConfig, ReputationTracker, ReputationView,
+    RoundOutcome, RuleUsed, SensingRound,
+};
 use comimo_sim::engine::{EventQueue, StepProbe};
 use comimo_sim::time::SimTime;
 use comimo_stbc::sim::BerResult;
@@ -89,6 +101,10 @@ pub struct ChaosConfig {
     pub pu_distance_m: f64,
     /// Licensed channels the interweave cluster can hop between.
     pub n_channels: usize,
+    /// Always-no SSDF vandals cast into the sensing reporter roster
+    /// (clamped to the roster size; their report words are falsified
+    /// *after* every detector draw — burn-their-draws discipline).
+    pub n_byz: usize,
     /// Shards of the supervised mini-campaign.
     pub campaign_shards: u64,
     /// Injected per-(shard, attempt) panic probability of the campaign.
@@ -114,6 +130,7 @@ impl ChaosConfig {
             d_long_m: 200.0,
             pu_distance_m: 600.0,
             n_channels: 3,
+            n_byz: 1,
             campaign_shards: 12,
             campaign_panic_prob: 0.35,
             campaign_max_attempts: 2,
@@ -330,6 +347,18 @@ fn run_in_world(
     // one-slot back-off a miss imposes before the cluster radiates again
     let mut missed_streak: u32 = 0;
     let mut backoff_mute = false;
+    // the Byzantine cast and the reputation tracker it trains against:
+    // the vandals falsify their report words downstream of every
+    // detector draw, the tracker scores each delivered report against
+    // the fused verdict, and its view weights the next round's fusion
+    let byz_cast = cfg.n_byz.min(topo.n_nodes);
+    let suite = ByzantineSuite::new(
+        &ByzantineConfig::always_no(byz_cast),
+        topo.n_nodes,
+        cfg.seed,
+    );
+    let f_max = topo.n_nodes.saturating_sub(1) / 3;
+    let mut tracker = ReputationTracker::new(ReputationConfig::paper(), topo.n_nodes);
 
     let slots = cfg.n_slots();
     for slot in 0..slots {
@@ -428,30 +457,43 @@ fn run_in_world(
         let report_states: Vec<ReportChannelState> = (0..topo.n_nodes)
             .map(|r| world.report_tl.state_at(slot_start, r))
             .collect();
+        let converged_at_start = tracker.converged();
         let mut picked: Option<usize> = None;
-        let mut last_round: Option<RoundOutcome> = None;
+        let mut last_round: Option<(RoundOutcome, Vec<ReportSummary>, ReputationView)> = None;
         if head_alive && !backoff_mute {
             for c in 0..cfg.n_channels {
                 let truth_busy = tl.pu_active(slot_start, c);
                 let round = (slot * cfg.n_channels + c) as u64;
+                let view = tracker.view();
+                let overrides = suite.overrides(round);
                 // a config the round rejects is a dead long-haul, not an
                 // abort: the head keeps deciding alone
-                let Ok(out) = run_round_faulted(
+                let Ok((out, summaries)) = run_round_byz(
                     &round_cfg,
                     truth_busy,
                     &states,
                     &report_states,
+                    &overrides,
                     truth_busy,
                     cfg.seed,
                     round,
+                    Some(&view),
                 ) else {
                     break;
                 };
+                // every delivered (possibly falsified) report is scored
+                // against the fused verdict — the vandals dig their own
+                // quarantine
+                let scored: Vec<(usize, bool, f64)> = summaries
+                    .iter()
+                    .map(|s| (s.reporter, s.busy, s.confidence))
+                    .collect();
+                tracker.observe_round(out.decision.busy, &scored);
                 // transmit only where fusion AND the head's own look say
                 // idle: a fused miss is vetoed, a fused false alarm just
                 // skips a usable channel — both directions stay safe
                 let busy = out.decision.busy;
-                last_round = Some(out);
+                last_round = Some((out, summaries, view));
                 if !busy && !truth_busy {
                     picked = Some(c);
                     break;
@@ -459,60 +501,90 @@ fn run_in_world(
             }
         }
         backoff_mute = false;
-        let (fusion_obs, report_obs, ladder_obs) = match &last_round {
-            Some(out) => (
-                Observation::FusionDecision {
-                    at_ns: start_ns,
-                    reports_used: out.decision.reports_used,
-                    quorum: out.decision.quorum,
-                    head_local: out.decision.rule_used == RuleUsed::HeadLocal,
-                },
-                Observation::ReportLongHaul {
-                    at_ns: start_ns,
-                    transmitted: !round_cfg.report_channel.clean_transport && out.frames_sent > 0,
-                    margin_db: report_margin_db,
-                    mt: round_cfg.report_channel.word.mt,
-                },
-                Observation::FusionLadder {
-                    at_ns: start_ns,
-                    soft_path: out.ladder.soft_path,
-                    rung: out.ladder.rung.rung_index(),
-                    n_reports: out.ladder.n_distinct,
-                    min_quorum: out.ladder.min_quorum,
-                    mean_confidence: out.ladder.mean_confidence,
-                    reliability_floor: out.ladder.reliability_floor,
-                },
-            ),
+        let (fusion_obs, report_obs, ladder_obs, reputation_obs) = match &last_round {
+            Some((out, summaries, view)) => {
+                let mut eligible: Vec<usize> = summaries
+                    .iter()
+                    .filter(|s| view.is_eligible(s.reporter))
+                    .map(|s| s.reporter)
+                    .collect();
+                eligible.sort_unstable();
+                eligible.dedup();
+                (
+                    Observation::FusionDecision {
+                        at_ns: start_ns,
+                        reports_used: out.decision.reports_used,
+                        quorum: out.decision.quorum,
+                        head_local: out.decision.rule_used == RuleUsed::HeadLocal,
+                    },
+                    Observation::ReportLongHaul {
+                        at_ns: start_ns,
+                        transmitted: !round_cfg.report_channel.clean_transport
+                            && out.frames_sent > 0,
+                        margin_db: report_margin_db,
+                        mt: round_cfg.report_channel.word.mt,
+                    },
+                    Observation::FusionLadder {
+                        at_ns: start_ns,
+                        soft_path: out.ladder.soft_path,
+                        weighted: out.ladder.weighted,
+                        rung: out.ladder.rung.rung_index(),
+                        n_reports: out.ladder.n_distinct,
+                        min_quorum: out.ladder.min_quorum,
+                        mean_confidence: out.ladder.mean_confidence,
+                        reliability_floor: out.ladder.reliability_floor,
+                    },
+                    Observation::ReputationSlot {
+                        at_ns: start_ns,
+                        min_weight: view.min_weight(),
+                        max_weight: view.max_weight(),
+                        reports_used: out.decision.reports_used,
+                        eligible_distinct: eligible.len(),
+                    },
+                )
+            }
             // no sensing ran (dead head, or the post-miss back-off
             // slot): whatever is left of the head decided alone and
             // nothing rode the long-haul
-            None => (
-                Observation::FusionDecision {
-                    at_ns: start_ns,
-                    reports_used: 0,
-                    quorum: 0,
-                    head_local: true,
-                },
-                Observation::ReportLongHaul {
-                    at_ns: start_ns,
-                    transmitted: false,
-                    margin_db: f64::INFINITY,
-                    mt: round_cfg.report_channel.word.mt,
-                },
-                Observation::FusionLadder {
-                    at_ns: start_ns,
-                    soft_path: !round_cfg.report_channel.clean_transport,
-                    rung: RuleUsed::HeadLocal.rung_index(),
-                    n_reports: 0,
-                    min_quorum: round_cfg.fusion.min_quorum.max(1),
-                    mean_confidence: 0.0,
-                    reliability_floor: round_cfg.fusion.reliability_floor(),
-                },
-            ),
+            None => {
+                let view = tracker.view();
+                (
+                    Observation::FusionDecision {
+                        at_ns: start_ns,
+                        reports_used: 0,
+                        quorum: 0,
+                        head_local: true,
+                    },
+                    Observation::ReportLongHaul {
+                        at_ns: start_ns,
+                        transmitted: false,
+                        margin_db: f64::INFINITY,
+                        mt: round_cfg.report_channel.word.mt,
+                    },
+                    Observation::FusionLadder {
+                        at_ns: start_ns,
+                        soft_path: !round_cfg.report_channel.clean_transport,
+                        weighted: false,
+                        rung: RuleUsed::HeadLocal.rung_index(),
+                        n_reports: 0,
+                        min_quorum: round_cfg.fusion.min_quorum.max(1),
+                        mean_confidence: 0.0,
+                        reliability_floor: round_cfg.fusion.reliability_floor(),
+                    },
+                    Observation::ReputationSlot {
+                        at_ns: start_ns,
+                        min_weight: view.min_weight(),
+                        max_weight: view.max_weight(),
+                        reports_used: 0,
+                        eligible_distinct: 0,
+                    },
+                )
+            }
         };
         checks += reg.check(&fusion_obs, &mut violations);
         checks += reg.check(&report_obs, &mut violations);
         checks += reg.check(&ladder_obs, &mut violations);
+        checks += reg.check(&reputation_obs, &mut violations);
 
         // interweave: deaths re-pair the null-steering cluster on the
         // sensed channel
@@ -582,6 +654,19 @@ fn run_in_world(
             },
             &mut violations,
         );
+        // containment accounting: the same streak, charged against the
+        // Byzantine-tolerance contract (convergence measured at slot
+        // start — the view the slot's fusion actually consulted)
+        checks += reg.check(
+            &Observation::ByzContainment {
+                at_ns: mid_ns,
+                n_adversaries: byz_cast,
+                f_max,
+                converged: converged_at_start,
+                missed_streak,
+            },
+            &mut violations,
+        );
     }
 
     // ---- stage C: cluster recruitment under the schedule's stress ----
@@ -610,8 +695,16 @@ fn run_in_world(
         head_death_at,
         ..RecruitConfig::default()
     };
+    // reporters the reputation tracker quarantined are passed over for
+    // head election (they still join as plain members)
+    let excluded: Vec<usize> = {
+        let view = tracker.view();
+        (0..topo.n_nodes)
+            .filter(|&r| !view.is_eligible(r))
+            .collect()
+    };
     let (recruit_completed, recruit_joined, recruit_abandoned) =
-        match run_recruitment(&graph, &members, &rc, cfg.seed) {
+        match run_recruitment_excluding(&graph, &members, &excluded, &rc, cfg.seed) {
             Ok(out) => (true, out.joined.len(), out.abandoned.len()),
             Err(_) => (false, 0, 0),
         };
@@ -716,13 +809,13 @@ mod tests {
         );
         assert!(out.events > 0, "faults must be scheduled");
         assert_eq!(out.slots, 120);
-        // every slot consulted the full registry seven times (overlay,
+        // every slot consulted the full registry nine times (overlay,
         // underlay, fusion decision, report long-haul, fusion ladder,
-        // interweave, sensing streak) plus once per event pop, plus the
-        // campaign-counts observation
+        // reputation, interweave, sensing streak, byz containment) plus
+        // once per event pop, plus the campaign-counts observation
         assert_eq!(
             out.checks,
-            reg.len() as u64 * (7 * 120 + out.events as u64 + 1)
+            reg.len() as u64 * (9 * 120 + out.events as u64 + 1)
         );
     }
 
@@ -731,7 +824,7 @@ mod tests {
         // the K = 128 interweave cluster (64 virtual antennas via RC-C2
         // pairing) runs the same slotted world with the full paper
         // registry — INV-NULL-DEPTH and INV-DEGRADE-POWER among it —
-        // consulted on every one of the seven per-slot observations
+        // consulted on every one of the nine per-slot observations
         let cfg = ChaosConfig::large_cluster(11, 60.0);
         let faults = FaultConfig::nominal(60.0).scaled(2.0);
         let schedule = build_schedule(&faults, &cfg.topology(), 11);
@@ -750,7 +843,7 @@ mod tests {
         assert_eq!(out.slots, 60);
         assert_eq!(
             out.checks,
-            reg.len() as u64 * (7 * 60 + out.events as u64 + 1)
+            reg.len() as u64 * (9 * 60 + out.events as u64 + 1)
         );
     }
 
@@ -846,6 +939,48 @@ mod tests {
             .collect();
         assert_eq!(fired.len(), 1, "exactly the one mid-slot miss fires");
         assert_eq!(fired[0].observed, 1.0, "the streak never exceeds 1");
+    }
+
+    #[test]
+    fn weakened_byz_containment_budget_fires_after_convergence() {
+        let (cfg, _) = paper_world(8, 40.0);
+        assert_eq!(cfg.n_byz, 1, "the paper world casts one vandal");
+        // a primary returns mid-slot long after the reputation tracker
+        // has converged: one charged miss, within both paper budgets
+        let events = [FaultEvent {
+            at: SimTime::from_secs_f64(30.5),
+            kind: FaultKind::PuReturn {
+                channel: 0,
+                duration_s: 0.2,
+            },
+        }];
+        let reg = InvariantRegistry::paper();
+        let out = run_events(&cfg, &events, &reg, true);
+        assert!(
+            out.violations.is_empty(),
+            "one converged miss sits within the containment budget of 1: {:?}",
+            out.violations.first()
+        );
+        // a zero containment budget turns that same miss into a
+        // violation — and only the containment invariant fires, because
+        // the plain missed-detect budget stays at its paper value
+        let reg0 = InvariantRegistry::with_bounds(InvariantBounds {
+            byz_missed_budget: 0,
+            ..InvariantBounds::paper()
+        });
+        let out = run_events(&cfg, &events, &reg0, true);
+        let fired: Vec<_> = out
+            .violations
+            .iter()
+            .filter(|v| v.invariant == crate::invariant::INV_BYZ_CONTAINMENT)
+            .collect();
+        assert_eq!(fired.len(), 1, "exactly the one converged miss fires");
+        assert_eq!(fired[0].observed, 1.0);
+        assert!(fired[0].detail.contains("adversary"));
+        assert!(!out
+            .violations
+            .iter()
+            .any(|v| v.invariant == crate::invariant::INV_MISSED_DETECT_BUDGET));
     }
 
     #[test]

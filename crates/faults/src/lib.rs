@@ -30,8 +30,12 @@
 //! * [`report_channel`] — faults of the long-haul the sensing reports
 //!   ride: cluster-wide SNR collapse and per-SU phase desync, scaling
 //!   noise and coherence *after* the channel draws so schedules never
-//!   shift an RNG stream.
+//!   shift an RNG stream;
+//! * [`byzantine`] — deterministic SSDF adversaries (always-yes,
+//!   always-no, p-flip, lockstep coalition) whose falsifications
+//!   override report payloads downstream of every draw.
 
+pub mod byzantine;
 pub mod campaign;
 pub mod injector;
 pub mod model;
@@ -64,6 +68,7 @@ where
     items.iter().map(f).collect()
 }
 
+pub use byzantine::{assign_roles, ByzantineConfig, ByzantineRole, ByzantineSuite, ReportOverride};
 pub use campaign::CampaignFaultPlan;
 pub use injector::{inject_all, FaultTrace, TraceEntry};
 pub use model::{FaultConfig, FaultEvent, FaultKind, Topology};

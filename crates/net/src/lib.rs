@@ -54,7 +54,9 @@ pub use grid::{GridEntry, SpatialGrid};
 pub use lifetime::{run_lifetime, try_run_lifetime, LifetimeConfig, LifetimeError, LifetimeResult};
 pub use mobility::{MobileNetwork, MobilityError, RandomWaypoint, WaypointConfig};
 pub use node::SuNode;
-pub use recruit::{backoff_delay, run_recruitment, RecruitConfig, RecruitOutcome};
+pub use recruit::{
+    backoff_delay, run_recruitment, run_recruitment_excluding, RecruitConfig, RecruitOutcome,
+};
 pub use report::{
     collect_reports, try_collect_reports, ReportConfig, ReportError, ReportOutcome, Reporter,
 };

@@ -100,17 +100,29 @@ fn elect_local(
     graph: &SuGraph,
     members: &[usize],
     locally_dead: &[usize],
+    excluded: &[usize],
 ) -> Result<usize, ClusterError> {
-    members
-        .iter()
-        .filter(|&&m| graph.nodes()[m].alive && !locally_dead.contains(&m))
-        .max_by(|&&a, &&b| {
-            let (na, nb) = (&graph.nodes()[a], &graph.nodes()[b]);
-            // total_cmp: a NaN battery (corrupt telemetry) sorts instead
-            // of panicking mid-protocol
-            na.battery_j.total_cmp(&nb.battery_j).then(b.cmp(&a))
-        })
-        .copied()
+    let pick = |honor_exclusion: bool| {
+        members
+            .iter()
+            .filter(|&&m| {
+                graph.nodes()[m].alive
+                    && !locally_dead.contains(&m)
+                    && !(honor_exclusion && excluded.contains(&m))
+            })
+            .max_by(|&&a, &&b| {
+                let (na, nb) = (&graph.nodes()[a], &graph.nodes()[b]);
+                // total_cmp: a NaN battery (corrupt telemetry) sorts instead
+                // of panicking mid-protocol
+                na.battery_j.total_cmp(&nb.battery_j).then(b.cmp(&a))
+            })
+            .copied()
+    };
+    // a cluster whose every live member is quarantined still needs a
+    // head — a suspect head beats no head, so the exclusion is only
+    // honored while it leaves a candidate standing
+    pick(true)
+        .or_else(|| pick(false))
         .ok_or_else(|| ClusterError::NoAliveMember {
             members: members.to_vec(),
         })
@@ -136,8 +148,25 @@ pub fn run_recruitment(
     cfg: &RecruitConfig,
     seed: u64,
 ) -> Result<RecruitOutcome, ClusterError> {
+    run_recruitment_excluding(graph, members, &[], cfg, seed)
+}
+
+/// [`run_recruitment`] with head-election exclusions: members in
+/// `excluded` (e.g. reporters quarantined by the sensing reputation
+/// machine) are never elected head — at formation or at any re-election
+/// — as long as at least one non-excluded live candidate remains. They
+/// are still invited and still join as ordinary members: quarantine
+/// controls authority, not membership. When exclusion would leave the
+/// cluster headless it is ignored (a suspect head beats no head).
+pub fn run_recruitment_excluding(
+    graph: &SuGraph,
+    members: &[usize],
+    excluded: &[usize],
+    cfg: &RecruitConfig,
+    seed: u64,
+) -> Result<RecruitOutcome, ClusterError> {
     let mut locally_dead: Vec<usize> = Vec::new();
-    let mut head = elect_local(graph, members, &locally_dead)?;
+    let mut head = elect_local(graph, members, &locally_dead, excluded)?;
     let mut head_reelections = 0u32;
     let mut frames_sent = 0u64;
     let mut completed_at = SimTime::ZERO;
@@ -228,7 +257,7 @@ pub fn run_recruitment(
             }
             Ev::HeadDies => {
                 locally_dead.push(head);
-                head = elect_local(graph, members, &locally_dead)?;
+                head = elect_local(graph, members, &locally_dead, excluded)?;
                 head_reelections += 1;
                 // the new head restarts every unresolved invite from
                 // scratch; already-joined members stay joined (the roster
@@ -360,6 +389,49 @@ mod tests {
         };
         let err = run_recruitment(&g, &[0, 1], &cfg, 7).unwrap_err();
         assert!(matches!(err, ClusterError::NoAliveMember { .. }));
+    }
+
+    #[test]
+    fn quarantined_members_are_passed_over_for_head_but_still_join() {
+        let g = line_graph(4);
+        // node 3 has the best battery but is quarantined: node 2 leads,
+        // and 3 is recruited as an ordinary member
+        let out = run_recruitment_excluding(&g, &[0, 1, 2, 3], &[3], &RecruitConfig::default(), 7)
+            .unwrap();
+        assert_eq!(out.head, 2);
+        assert_eq!(out.joined, vec![0, 1, 3]);
+        assert!(out.abandoned.is_empty());
+        // no exclusions is exactly run_recruitment
+        let a = run_recruitment_excluding(&g, &[0, 1, 2, 3], &[], &RecruitConfig::default(), 7)
+            .unwrap();
+        let b = run_recruitment(&g, &[0, 1, 2, 3], &RecruitConfig::default(), 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reelection_after_head_death_also_honors_the_exclusion() {
+        let g = line_graph(4);
+        let cfg = RecruitConfig {
+            head_death_at: Some(SimTime::from_micros(500)),
+            ..RecruitConfig::default()
+        };
+        // head 3 dies; next-best battery 2 is quarantined, so 1 leads
+        let out = run_recruitment_excluding(&g, &[0, 1, 2, 3], &[2], &cfg, 7).unwrap();
+        assert_eq!(out.head_reelections, 1);
+        assert_eq!(out.head, 1);
+        assert!(out.joined.contains(&2), "the quarantined node still joins");
+    }
+
+    #[test]
+    fn all_excluded_cluster_still_elects_a_head() {
+        // every live member quarantined: a suspect head beats no head,
+        // so the battery order reasserts itself
+        let g = line_graph(3);
+        let out =
+            run_recruitment_excluding(&g, &[0, 1, 2], &[0, 1, 2], &RecruitConfig::default(), 7)
+                .unwrap();
+        assert_eq!(out.head, 2);
+        assert_eq!(out.joined, vec![0, 1]);
     }
 
     #[test]

@@ -11,19 +11,27 @@
 //! head degrades down a fixed ladder:
 //!
 //! ```text
-//! soft LLR  →  hard-decode  →  (configured rule)  →  OR over whatever
-//! arrived  →  head-local sensing
+//! weighted LLR  →  soft LLR  →  hard-decode  →  (configured rule)  →
+//! OR over whatever arrived  →  head-local sensing
 //! ```
 //!
-//! The first two rungs exist only on the soft path ([`fuse_soft`]): when
-//! the mean decoder confidence of the arrived [`SoftReport`]s drops
-//! below the [`FusionRule::Llr`] reliability floor the head stops
-//! trusting the posteriors and hard-decodes the LLR signs; the clean
-//! boolean path ([`fuse`]/[`fuse_reports`]) starts at the configured
-//! rung. Every decision records which rung produced it ([`RuleUsed`])
-//! plus the report count and quorum it used — the observability the
-//! `INV-FUSION-QUORUM` and `INV-LLR-DEGRADE-ORDER` invariants check.
+//! The first three rungs exist only on the soft path
+//! ([`fuse_soft_weighted`]/[`fuse_soft`]): when the head holds a
+//! [`ReputationView`] (Byzantine-resilient mode) each reporter's
+//! posterior is scaled by its trust weight and quarantined reporters
+//! are dropped *before* quorum-k re-derivation — on every rung, OR and
+//! head-local fallbacks included; without a view the unweighted soft
+//! rung fuses the raw posteriors. When the mean decoder confidence of
+//! the arrived [`SoftReport`]s drops below the [`FusionRule::Llr`]
+//! reliability floor the head stops trusting the posteriors and
+//! hard-decodes the LLR signs; the clean boolean path
+//! ([`fuse`]/[`fuse_reports`]) starts at the configured rung. Every
+//! decision records which rung produced it ([`RuleUsed`]) plus the
+//! report count and quorum it used — the observability the
+//! `INV-FUSION-QUORUM`, `INV-LLR-DEGRADE-ORDER` and
+//! `INV-REPUTATION-SANE` invariants check.
 
+use crate::reputation::ReputationView;
 use comimo_math::special::ln_gamma;
 use comimo_stbc::SoftReport;
 use serde::Serialize;
@@ -104,6 +112,11 @@ impl FusionConfig {
 /// Which rung of the degradation ladder produced a decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum RuleUsed {
+    /// Reputation-weighted soft LLR fusion ran: a reputation view was
+    /// available, quorum held over the *eligible* reporters and the
+    /// decoded posteriors were reliable enough to trust (soft path
+    /// only).
+    WeightedLlr,
     /// Soft LLR fusion ran: quorum held and the decoded posteriors were
     /// reliable enough to trust (soft path only).
     LlrSoft,
@@ -120,17 +133,18 @@ pub enum RuleUsed {
 }
 
 impl RuleUsed {
-    /// Position on the degradation ladder, `0` (most capable) to `4`
+    /// Position on the degradation ladder, `0` (most capable) to `5`
     /// (head-local). The `INV-LLR-DEGRADE-ORDER` invariant checks that
     /// every decision sits on the *first* eligible rung — the ladder is
     /// walked monotonically, never skipping upward.
     pub fn rung_index(self) -> u8 {
         match self {
-            Self::LlrSoft => 0,
-            Self::HardDecode => 1,
-            Self::Configured => 2,
-            Self::OrFallback => 3,
-            Self::HeadLocal => 4,
+            Self::WeightedLlr => 0,
+            Self::LlrSoft => 1,
+            Self::HardDecode => 2,
+            Self::Configured => 3,
+            Self::OrFallback => 4,
+            Self::HeadLocal => 5,
         }
     }
 }
@@ -143,12 +157,19 @@ pub struct LadderEvidence {
     /// Whether the soft (noisy long-haul) path fused this round; the
     /// clean boolean path has no soft or hard-decode rungs.
     pub soft_path: bool,
+    /// Whether a reputation view was supplied, making the weighted rung
+    /// eligible (soft path only).
+    pub weighted: bool,
     /// The rung that actually decided.
     pub rung: RuleUsed,
     /// Distinct reporters whose reports were fused (after dedup).
     pub n_distinct: usize,
     /// Raw delivered reports before reporter dedup.
     pub n_raw: usize,
+    /// Distinct quarantined reporters whose delivered reports were
+    /// dropped *before* quorum-k re-derivation — `INV-REPUTATION-SANE`
+    /// pins that they are never counted toward `k`.
+    pub n_quarantined: usize,
     /// The effective quorum threshold `max(1, min_quorum)`.
     pub min_quorum: usize,
     /// Mean decoder confidence over the distinct reports (`1.0` on the
@@ -205,6 +226,53 @@ fn dedupe_by_reporter<T: Copy>(reports: &[(usize, T)]) -> Vec<(usize, T)> {
     out
 }
 
+/// Drops reports from quarantined reporters *before* dedup and quorum
+/// re-derivation, returning the survivors plus the count of distinct
+/// quarantined reporters whose reports were discarded. With no view
+/// every report survives — the unweighted paths are bit-identical to
+/// the pre-reputation era.
+fn filter_eligible<T: Copy>(
+    reports: &[(usize, T)],
+    rep: Option<&ReputationView>,
+) -> (Vec<(usize, T)>, usize) {
+    let Some(view) = rep else {
+        return (reports.to_vec(), 0);
+    };
+    let mut dropped: Vec<usize> = Vec::new();
+    let kept: Vec<(usize, T)> = reports
+        .iter()
+        .filter(|&&(id, _)| {
+            let ok = view.is_eligible(id);
+            if !ok && !dropped.contains(&id) {
+                dropped.push(id);
+            }
+            ok
+        })
+        .copied()
+        .collect();
+    (kept, dropped.len())
+}
+
+/// Median of a non-empty sample (total order over f64 bits; the mean of
+/// the two middles for even sizes).
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// Robust-median outlier cut for the cold-start window: a report is an
+/// outlier when its posterior sits more than `MAD_K × max(MAD,
+/// MAD_FLOOR)` from the roster median. The floor keeps a saturated
+/// honest majority (MAD = 0) from being unable to reject anything.
+const MAD_K: f64 = 3.0;
+const MAD_FLOOR: f64 = 0.05;
+
 /// Fuses the arrived `reports` (one bool per surviving reporter) under
 /// `cfg`, degrading to OR and then to the head's own `head_local`
 /// decision as the quorum thins. Total: never panics, never divides by
@@ -248,14 +316,33 @@ pub fn fuse_reports(
     reports: &[(usize, bool)],
     head_local: bool,
 ) -> (FusionDecision, LadderEvidence) {
-    let distinct = dedupe_by_reporter(reports);
+    fuse_reports_weighted(cfg, reports, head_local, None)
+}
+
+/// [`fuse_reports`] under a reputation view: reports from quarantined
+/// reporters are dropped *before* dedup, so they can never count toward
+/// the re-derived quorum on any rung — the configured rule, the OR
+/// fallback, and (when everyone delivered is quarantined) the
+/// head-local rung all see only eligible reporters. The clean path has
+/// no weighted rung (there are no posteriors to scale), so the view
+/// only filters here.
+pub fn fuse_reports_weighted(
+    cfg: &FusionConfig,
+    reports: &[(usize, bool)],
+    head_local: bool,
+    rep: Option<&ReputationView>,
+) -> (FusionDecision, LadderEvidence) {
+    let (eligible, n_quarantined) = filter_eligible(reports, rep);
+    let distinct = dedupe_by_reporter(&eligible);
     let bits: Vec<bool> = distinct.iter().map(|&(_, b)| b).collect();
     let decision = fuse(cfg, &bits, head_local);
     let evidence = LadderEvidence {
         soft_path: false,
+        weighted: false,
         rung: decision.rule_used,
         n_distinct: distinct.len(),
         n_raw: reports.len(),
+        n_quarantined,
         min_quorum: cfg.min_quorum.max(1),
         mean_confidence: if distinct.is_empty() { 0.0 } else { 1.0 },
         reliability_floor: cfg.reliability_floor(),
@@ -264,7 +351,8 @@ pub fn fuse_reports(
 }
 
 /// Fuses soft reports decoded off the noisy long-haul, walking the full
-/// degradation ladder:
+/// degradation ladder (without a reputation view — the weighted rung is
+/// never eligible here; see [`fuse_soft_weighted`]):
 ///
 /// 1. **soft LLR** — quorum holds *and* the mean decoder confidence is
 ///    at or above the rule's reliability floor: busy iff the summed
@@ -282,7 +370,41 @@ pub fn fuse_soft(
     reports: &[(usize, SoftReport)],
     head_local: bool,
 ) -> (FusionDecision, LadderEvidence) {
-    let distinct = dedupe_by_reporter(reports);
+    fuse_soft_weighted(cfg, reports, head_local, None)
+}
+
+/// [`fuse_soft`] with an optional [`ReputationView`] — the
+/// Byzantine-resilient entry point, adding the weighted rung on top of
+/// the ladder:
+///
+/// 0. **weighted LLR** — a view is held, quorum holds over the
+///    *eligible* (non-quarantined, distinct) reporters, and the
+///    posteriors are reliable: each reporter's posterior is scaled by
+///    its trust weight and the normalized vote `n·Σwᵢpᵢ/Σwᵢ` is
+///    compared to the same `k − ½` threshold as the unweighted rung.
+///    Under any *uniform* weight vector the normalization cancels
+///    exactly and the rung reproduces unweighted soft fusion count for
+///    count (the pinned oracle). While the view is **not yet
+///    converged** (cold start, near-prior weights), robust-median
+///    outlier rejection zeroes the weight of reports whose posterior
+///    sits far from the roster median — the guard that keeps an
+///    SSDF coalition from steering verdicts before reputation has
+///    evidence to separate it;
+///
+/// Rungs 1–5 fall back to the unweighted ladder of [`fuse_soft`], over
+/// eligible reporters only.
+///
+/// Quarantined reporters are dropped *before* dedup and quorum-k
+/// re-derivation on every rung; with everyone quarantined the head
+/// decides alone. Total: never panics, never divides by zero.
+pub fn fuse_soft_weighted(
+    cfg: &FusionConfig,
+    reports: &[(usize, SoftReport)],
+    head_local: bool,
+    rep: Option<&ReputationView>,
+) -> (FusionDecision, LadderEvidence) {
+    let (eligible, n_quarantined) = filter_eligible(reports, rep);
+    let distinct = dedupe_by_reporter(&eligible);
     let n = distinct.len();
     let min_quorum = cfg.min_quorum.max(1);
     let floor = cfg.reliability_floor();
@@ -293,9 +415,11 @@ pub fn fuse_soft(
     };
     let evidence = |rung| LadderEvidence {
         soft_path: true,
+        weighted: rep.is_some(),
         rung,
         n_distinct: n,
         n_raw: reports.len(),
+        n_quarantined,
         min_quorum,
         mean_confidence,
         reliability_floor: floor,
@@ -315,23 +439,64 @@ pub fn fuse_soft(
     if n >= min_quorum {
         let quorum = quorum_of(cfg.rule, n);
         if mean_confidence >= floor {
-            // soft rung: busy iff the posterior vote mass rounds to at
-            // least k busy reporters. The half-vote slack matters: a
-            // strict `V ≥ k` can never fire at `k = n` under finite
-            // SNR (n posteriors of 1−ε sum below n forever). At report
-            // SNR → ∞ the posteriors saturate to exactly 0/1, the sum
-            // is an exact integer, and `V ≥ k − ½ ⟺ V ≥ k` — making
-            // this count-identical to k-out-of-N
+            // soft vote mass: busy iff it rounds to at least k busy
+            // reporters. The half-vote slack matters: a strict `V ≥ k`
+            // can never fire at `k = n` under finite SNR (n posteriors
+            // of 1−ε sum below n forever). At report SNR → ∞ the
+            // posteriors saturate to exactly 0/1, the sum is an exact
+            // integer, and `V ≥ k − ½ ⟺ V ≥ k` — count-identical to
+            // k-out-of-N
             let soft_votes: f64 = distinct.iter().map(|(_, r)| r.posterior_busy()).sum();
-            (
-                FusionDecision {
-                    busy: soft_votes >= quorum as f64 - 0.5,
-                    rule_used: RuleUsed::LlrSoft,
-                    reports_used: n,
-                    quorum,
-                },
-                evidence(RuleUsed::LlrSoft),
-            )
+            match rep {
+                Some(view) => {
+                    let posteriors: Vec<f64> =
+                        distinct.iter().map(|(_, r)| r.posterior_busy()).collect();
+                    let mut weights: Vec<f64> =
+                        distinct.iter().map(|&(id, _)| view.weight_of(id)).collect();
+                    if !view.converged() && n >= 3 {
+                        // cold-start guard: the weights are still near
+                        // the prior, so reject outliers around the
+                        // robust median instead of trusting them
+                        let med = median(&posteriors);
+                        let devs: Vec<f64> = posteriors.iter().map(|p| (p - med).abs()).collect();
+                        let cut = MAD_K * median(&devs).max(MAD_FLOOR);
+                        for (w, d) in weights.iter_mut().zip(&devs) {
+                            if *d > cut {
+                                *w = 0.0;
+                            }
+                        }
+                    }
+                    let w_sum: f64 = weights.iter().sum();
+                    let uniform = weights.iter().all(|&w| w == weights[0]);
+                    // a uniform weight vector cancels exactly: use the
+                    // raw vote so the reduction to unweighted fusion is
+                    // bit-identical, not merely close
+                    let vote = if uniform || w_sum <= 0.0 {
+                        soft_votes
+                    } else {
+                        let wp: f64 = weights.iter().zip(&posteriors).map(|(w, p)| w * p).sum();
+                        n as f64 * wp / w_sum
+                    };
+                    (
+                        FusionDecision {
+                            busy: vote >= quorum as f64 - 0.5,
+                            rule_used: RuleUsed::WeightedLlr,
+                            reports_used: n,
+                            quorum,
+                        },
+                        evidence(RuleUsed::WeightedLlr),
+                    )
+                }
+                None => (
+                    FusionDecision {
+                        busy: soft_votes >= quorum as f64 - 0.5,
+                        rule_used: RuleUsed::LlrSoft,
+                        reports_used: n,
+                        quorum,
+                    },
+                    evidence(RuleUsed::LlrSoft),
+                ),
+            }
         } else {
             (
                 FusionDecision {
@@ -514,7 +679,9 @@ mod tests {
         assert_eq!(d.quorum, 2);
         assert!(d.busy, "2 of 3 confident busy posteriors beat k = 2");
         assert!(ev.mean_confidence >= 0.9);
-        assert_eq!(ev.rung.rung_index(), 0);
+        assert!(!ev.weighted, "no reputation view was supplied");
+        assert_eq!(ev.n_quarantined, 0);
+        assert_eq!(ev.rung.rung_index(), 1);
     }
 
     #[test]
@@ -529,7 +696,7 @@ mod tests {
         assert_eq!(d.rule_used, RuleUsed::HardDecode);
         assert!(ev.mean_confidence < 0.9);
         assert!(d.busy, "hard bits 2/3 busy meet k = 2");
-        assert_eq!(ev.rung.rung_index(), 1);
+        assert_eq!(ev.rung.rung_index(), 2);
     }
 
     #[test]
@@ -551,7 +718,7 @@ mod tests {
             assert_eq!(d.rule_used, RuleUsed::HeadLocal);
             assert_eq!(d.busy, head_local);
             assert_eq!(ev.mean_confidence, 0.0);
-            assert_eq!(ev.rung.rung_index(), 4);
+            assert_eq!(ev.rung.rung_index(), 5);
         }
     }
 
@@ -596,6 +763,152 @@ mod tests {
         let (d, _) = fuse_soft(&cfg, &[(0, soft(f64::INFINITY)), (1, soft(80.0))], false);
         assert_eq!(d.rule_used, RuleUsed::HardDecode);
         assert!(d.busy);
+    }
+
+    #[test]
+    fn uniform_converged_weights_reproduce_unweighted_llr_count_for_count() {
+        // THE pinned oracle at the fusion layer: under any uniform,
+        // converged weight vector the weighted rung's normalization
+        // cancels exactly — same busy bit, same quorum, same report
+        // count as unweighted soft fusion, for saturated and finite
+        // LLRs alike
+        use crate::reputation::ReputationView;
+        let cfg = FusionConfig::paper_llr(0.6);
+        let view = ReputationView::uniform_converged(5);
+        for mask in 0..32u32 {
+            for scale in [0.4, 2.0, f64::INFINITY] {
+                let softs: Vec<(usize, SoftReport)> = (0..5)
+                    .map(|i| {
+                        let bit = mask & (1 << i) != 0;
+                        (i, soft(if bit { scale } else { -scale }))
+                    })
+                    .collect();
+                let (unweighted, _) = fuse_soft(&cfg, &softs, false);
+                let (weighted, ev) = fuse_soft_weighted(&cfg, &softs, false, Some(&view));
+                if unweighted.rule_used == RuleUsed::LlrSoft {
+                    assert_eq!(weighted.rule_used, RuleUsed::WeightedLlr);
+                    assert!(ev.weighted);
+                    assert_eq!(ev.rung.rung_index(), 0);
+                } else {
+                    assert_eq!(weighted.rule_used, unweighted.rule_used);
+                }
+                assert_eq!(weighted.busy, unweighted.busy, "mask {mask:05b} × {scale}");
+                assert_eq!(weighted.quorum, unweighted.quorum);
+                assert_eq!(weighted.reports_used, unweighted.reports_used);
+            }
+        }
+    }
+
+    #[test]
+    fn quarantined_reporters_are_excluded_on_every_rung() {
+        // satellite regression: quorum-k re-derivation must count only
+        // eligible reporters — configured, OR and head-local included
+        use crate::reputation::{ReputationConfig, ReputationTracker, TrustState};
+        let mut tracker = ReputationTracker::new(ReputationConfig::paper(), 4);
+        // quarantine reporter 3 with a disagreement streak
+        while tracker.trust_of(3).state != TrustState::Quarantined {
+            tracker.observe_round(true, &[(3, false, 1.0)]);
+        }
+        let view = tracker.view();
+        assert_eq!(view.n_quarantined(), 1);
+
+        // clean configured rung: 4 raw reporters, 3 eligible → k over 3
+        let cfg = FusionConfig::paper();
+        let all = [(0, true), (1, true), (2, false), (3, false)];
+        let (d, ev) = fuse_reports_weighted(&cfg, &all, false, Some(&view));
+        assert_eq!(ev.n_distinct, 3);
+        assert_eq!(ev.n_quarantined, 1);
+        assert_eq!(d.rule_used, RuleUsed::Configured);
+        assert_eq!(d.quorum, 2, "k derives over the 3 eligible, not 4");
+        assert!(d.busy);
+
+        // OR fallback: only the quarantined vandal and one honest idle
+        // arrive — the vandal's busy vote must not exist
+        let (d, ev) = fuse_reports_weighted(&cfg, &[(3, true), (0, false)], false, Some(&view));
+        assert_eq!(d.rule_used, RuleUsed::OrFallback);
+        assert_eq!(ev.n_distinct, 1);
+        assert!(!d.busy, "the quarantined busy vote must be dropped");
+
+        // head-local: everyone delivered is quarantined
+        let (d, ev) = fuse_reports_weighted(&cfg, &[(3, true)], false, Some(&view));
+        assert_eq!(d.rule_used, RuleUsed::HeadLocal);
+        assert_eq!(d.reports_used, 0);
+        assert_eq!(ev.n_quarantined, 1);
+        assert!(!d.busy);
+
+        // and the soft path walks the same exclusions
+        let soft_cfg = FusionConfig::paper_llr(0.6);
+        let (d, ev) = fuse_soft_weighted(
+            &soft_cfg,
+            &[(3, soft(60.0)), (0, soft(-50.0))],
+            false,
+            Some(&view),
+        );
+        assert_eq!(d.rule_used, RuleUsed::OrFallback);
+        assert_eq!(ev.n_distinct, 1);
+        assert!(!d.busy);
+        let (d, _) = fuse_soft_weighted(&soft_cfg, &[(3, soft(60.0))], true, Some(&view));
+        assert_eq!(d.rule_used, RuleUsed::HeadLocal);
+        assert!(d.busy, "with everyone quarantined the head decides alone");
+    }
+
+    #[test]
+    fn cold_start_median_guard_rejects_always_no_outliers() {
+        // unconverged near-prior weights cannot separate a coalition;
+        // the robust-median cut must — 3 saturated honest busy reports
+        // vs 2 always-no falsifiers at k = ceil(0.8·5) = 4 misses
+        // unweighted but detects under the guard
+        let cfg = FusionConfig {
+            rule: FusionRule::Llr {
+                k_frac: 0.8,
+                reliability_floor: 0.6,
+            },
+            min_quorum: 2,
+        };
+        let reports: Vec<(usize, SoftReport)> = vec![
+            (0, soft(50.0)),
+            (1, soft(45.0)),
+            (2, soft(55.0)),
+            (3, soft(-60.0)),
+            (4, soft(-60.0)),
+        ];
+        let (unweighted, _) = fuse_soft(&cfg, &reports, false);
+        assert!(!unweighted.busy, "3 honest of 5 under k = 4 must miss");
+        // a fresh (unconverged) tracker view: uniform prior weights
+        let tracker = crate::reputation::ReputationTracker::new(
+            crate::reputation::ReputationConfig::paper(),
+            5,
+        );
+        let view = tracker.view();
+        assert!(!view.converged());
+        let (guarded, ev) = fuse_soft_weighted(&cfg, &reports, false, Some(&view));
+        assert_eq!(guarded.rule_used, RuleUsed::WeightedLlr);
+        assert!(guarded.busy, "the median cut must zero the outliers");
+        assert_eq!(ev.n_quarantined, 0, "cold start quarantines nobody");
+        // converged low weights achieve the same containment without
+        // the median guard
+        let mut t = crate::reputation::ReputationTracker::new(
+            crate::reputation::ReputationConfig::paper(),
+            5,
+        );
+        for _ in 0..30 {
+            t.observe_round(
+                true,
+                &[
+                    (0, true, 1.0),
+                    (1, true, 1.0),
+                    (2, true, 1.0),
+                    (3, false, 1.0),
+                    (4, false, 1.0),
+                ],
+            );
+        }
+        let view = t.view();
+        assert!(view.converged());
+        let (weighted, ev) = fuse_soft_weighted(&cfg, &reports, false, Some(&view));
+        assert!(weighted.busy, "converged weights must restore detection");
+        assert_eq!(ev.n_quarantined, 2, "the vandals are quarantined by now");
+        assert_eq!(ev.n_distinct, 3);
     }
 
     #[test]
@@ -655,9 +968,11 @@ mod proptests {
             }
         }
 
-        /// `fuse_soft` is total and always lands on the *first* eligible
-        /// rung of the ladder — the structural property
-        /// `INV-LLR-DEGRADE-ORDER` pins at the world level.
+        /// `fuse_soft_weighted` is total and always lands on the *first*
+        /// eligible rung of the ladder — the structural property
+        /// `INV-LLR-DEGRADE-ORDER` pins at the world level. With a
+        /// uniform converged view the decision bit matches unweighted
+        /// fusion exactly.
         #[test]
         fn prop_fuse_soft_walks_the_ladder_in_order(
             ids in proptest::collection::vec(0usize..6, 0..16),
@@ -666,6 +981,7 @@ mod proptests {
             k_frac in 0.01f64..1.0,
             reliability_floor in 0.5f64..1.0,
             use_llr_rule in any::<bool>(),
+            use_view in any::<bool>(),
         ) {
             let reports: Vec<(usize, f64)> =
                 ids.iter().copied().zip(llrs.iter().copied()).collect();
@@ -683,23 +999,39 @@ mod proptests {
                     report_snr: llr.abs(),
                 }))
                 .collect();
-            let (d, ev) = fuse_soft(&cfg, &softs, true);
+            let view = crate::reputation::ReputationView::uniform_converged(6);
+            let rep = if use_view { Some(&view) } else { None };
+            let (d, ev) = fuse_soft_weighted(&cfg, &softs, true, rep);
             prop_assert!(ev.soft_path);
+            prop_assert_eq!(ev.weighted, use_view);
+            prop_assert_eq!(ev.n_quarantined, 0);
             prop_assert_eq!(ev.rung, d.rule_used);
             prop_assert!(ev.n_distinct <= ev.n_raw);
             prop_assert_eq!(d.reports_used, ev.n_distinct);
             let first_eligible = if ev.n_distinct == 0 {
-                4
+                5
             } else if ev.n_distinct >= ev.min_quorum {
-                if ev.mean_confidence >= ev.reliability_floor { 0 } else { 1 }
+                if ev.mean_confidence >= ev.reliability_floor {
+                    if ev.weighted { 0 } else { 1 }
+                } else {
+                    2
+                }
             } else {
-                3
+                4
             };
             prop_assert_eq!(ev.rung.rung_index(), first_eligible);
             if d.rule_used != RuleUsed::HeadLocal {
                 prop_assert!(d.quorum >= 1 && d.quorum <= d.reports_used);
                 prop_assert!(d.quorum <= ev.n_distinct, "k never exceeds distinct");
             }
+            // the uniform converged view is the pinned oracle: the
+            // weighted walk must agree with the unweighted one bit for
+            // bit on every field but the rung name
+            let (du, evu) = fuse_soft(&cfg, &softs, true);
+            prop_assert_eq!(d.busy, du.busy);
+            prop_assert_eq!(d.quorum, du.quorum);
+            prop_assert_eq!(d.reports_used, du.reports_used);
+            prop_assert_eq!(ev.n_distinct, evu.n_distinct);
         }
     }
 }

@@ -20,7 +20,8 @@
 //! finite report SNRs expose the long-haul's erosion.
 
 use crate::detector::EnergyDetector;
-use crate::fusion::{fuse_soft, quorum_of, FusionConfig, FusionRule};
+use crate::fusion::{fuse_soft_weighted, quorum_of, FusionConfig, FusionRule};
+use crate::reputation::ReputationView;
 use comimo_campaign::{
     fingerprint64, run_campaign_multi, CampaignConfig, CampaignError, CampaignReport,
 };
@@ -180,6 +181,23 @@ pub fn roc_shard_counts(
     label: u64,
     trials: usize,
 ) -> Vec<BerResult> {
+    roc_shard_counts_with_view(spec, seed, label, trials, None)
+}
+
+/// [`roc_shard_counts`] fused through the Byzantine-resilient entry
+/// point under an optional reputation view. This is the pinned oracle
+/// for the weighted rung: with `Some(&ReputationView::
+/// uniform_converged(n))` the equal-weights fast path reproduces the
+/// unweighted LLR counts bit for bit
+/// (`uniform_converged_weights_reproduce_the_grid_count_for_count`
+/// below), at any thread count — the streams are untouched.
+pub fn roc_shard_counts_with_view(
+    spec: &RocGridSpec,
+    seed: u64,
+    label: u64,
+    trials: usize,
+    rep: Option<&ReputationView>,
+) -> Vec<BerResult> {
     let det = EnergyDetector::from_target_pfa(spec.n_samples, spec.target_pfa);
     let long_haul = BlockRayleigh::unit();
     let mut out = Vec::with_capacity(2 * spec.points().len());
@@ -213,7 +231,7 @@ pub fn roc_shard_counts(
                         transmit_report_word(bit, 1.0, &word, &long_haul, &mut report_rng),
                     ));
                 }
-                let (decision, _) = fuse_soft(&fusion, &reports, false);
+                let (decision, _) = fuse_soft_weighted(&fusion, &reports, false, rep);
                 if decision.busy {
                     positives += 1;
                 }
@@ -375,6 +393,24 @@ mod tests {
                 }
             }
             assert_eq!(soft, clean, "shard {label} diverged from the oracle");
+        }
+    }
+
+    #[test]
+    fn uniform_converged_weights_reproduce_the_grid_count_for_count() {
+        // the Byzantine-mode pinned oracle: zero adversaries + a
+        // uniform converged reputation view must reproduce the
+        // unweighted FusionRule::Llr counts exactly, shard by shard —
+        // the weighted rung's equal-weights fast path is the same sum
+        let spec = small_spec();
+        let view = ReputationView::uniform_converged(spec.n_reporters);
+        for label in [0u64, 5, 9] {
+            let weighted = roc_shard_counts_with_view(&spec, SEED, label, 120, Some(&view));
+            let unweighted = roc_shard_counts(&spec, SEED, label, 120);
+            assert_eq!(
+                weighted, unweighted,
+                "shard {label}: uniform converged weights must be the identity"
+            );
         }
     }
 

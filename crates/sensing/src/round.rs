@@ -20,8 +20,12 @@
 //! count for count (`oracle_equivalence` test below).
 
 use crate::detector::EnergyDetector;
-use crate::fusion::{fuse_reports, fuse_soft, FusionConfig, FusionDecision, LadderEvidence};
+use crate::fusion::{
+    fuse_reports_weighted, fuse_soft_weighted, FusionConfig, FusionDecision, LadderEvidence,
+};
+use crate::reputation::ReputationView;
 use comimo_channel::BlockRayleigh;
+use comimo_faults::byzantine::ReportOverride;
 use comimo_faults::report_channel::ReportChannelState;
 use comimo_faults::sensing::ReporterState;
 use comimo_math::db::db_to_lin;
@@ -126,6 +130,12 @@ pub enum SensingError {
         /// The bad delay (s).
         delay_s: f64,
     },
+    /// A sweep/campaign spec failed validation before any shard ran
+    /// (see [`crate::byz::ByzSweepSpec::validate`]).
+    InvalidSpec {
+        /// What was wrong.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for SensingError {
@@ -139,6 +149,7 @@ impl std::fmt::Display for SensingError {
                     "reporter {reporter} delay {delay_s} s is not finite and >= 0"
                 )
             }
+            Self::InvalidSpec { what } => write!(f, "invalid sweep spec: {what}"),
         }
     }
 }
@@ -149,6 +160,18 @@ impl From<ReportError> for SensingError {
     fn from(e: ReportError) -> Self {
         Self::Transport(e)
     }
+}
+
+/// One delivered report as the reputation tracker consumes it: who
+/// said what, with how much decode confidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportSummary {
+    /// The reporting SU.
+    pub reporter: usize,
+    /// Its (possibly falsified) hard decision as the head decoded it.
+    pub busy: bool,
+    /// Decode confidence in `[0.5, 1]` (`1.0` on the clean path).
+    pub confidence: f64,
 }
 
 /// What one round produced, decision and transport accounting together.
@@ -201,6 +224,48 @@ pub fn run_round_faulted(
     seed: u64,
     round: u64,
 ) -> Result<RoundOutcome, SensingError> {
+    run_round_byz(
+        cfg,
+        channel_busy,
+        states,
+        report_states,
+        &[],
+        head_local,
+        seed,
+        round,
+        None,
+    )
+    .map(|(outcome, _)| outcome)
+}
+
+/// [`run_round_faulted`] under Byzantine adversaries and an optional
+/// reputation view — the full-stack entry point:
+///
+/// * `overrides[i]` is reporter `i`'s SSDF falsification this round
+///   (from `comimo_faults::byzantine`), applied *after* the detector
+///   draw and after the honest fault-state override, so toggling an
+///   adversary never shifts any stream (reporters past the end are
+///   honest);
+/// * `rep` is the head's trust snapshot: quarantined reporters are
+///   dropped before quorum-k re-derivation on every rung, and on the
+///   soft path the weighted LLR rung scales posteriors by trust.
+///
+/// Also returns the delivered report summaries so the caller can fold
+/// the round into a [`crate::reputation::ReputationTracker`] —
+/// quarantined reporters still transmit and still appear here (the
+/// machine controls fusion eligibility, never the evidence flow).
+#[allow(clippy::too_many_arguments)]
+pub fn run_round_byz(
+    cfg: &SensingRound,
+    channel_busy: bool,
+    states: &[ReporterState],
+    report_states: &[ReportChannelState],
+    overrides: &[ReportOverride],
+    head_local: bool,
+    seed: u64,
+    round: u64,
+    rep: Option<&ReputationView>,
+) -> Result<(RoundOutcome, Vec<ReportSummary>), SensingError> {
     if !cfg.snr.is_finite() || cfg.snr < 0.0 {
         return Err(SensingError::InvalidSnr(cfg.snr));
     }
@@ -208,7 +273,8 @@ pub fn run_round_faulted(
     let round_mix = round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
 
     // stage 1: local detection — fixed draw count per reporter; faults
-    // override the payload downstream, never the stream position
+    // and falsifications override the payload downstream, never the
+    // stream position
     let mut bits: Vec<bool> = Vec::with_capacity(states.len());
     let mut faults: Vec<(SimTime, Option<SimTime>)> = Vec::with_capacity(states.len());
     for (i, &state) in states.iter().enumerate() {
@@ -232,6 +298,14 @@ pub fn run_round_faulted(
             }
             ReporterState::Dead => dies_at = Some(SimTime::ZERO),
         }
+        // the SSDF falsification is the last override: a stuck-at-H1
+        // vandal still lies on top of its stuck bit, and the detector
+        // draw above burned either way
+        bit = overrides
+            .get(i)
+            .copied()
+            .unwrap_or(ReportOverride::None)
+            .apply(bit);
         bits.push(bit);
         faults.push((extra_delay, dies_at));
     }
@@ -250,17 +324,30 @@ pub fn run_round_faulted(
             })
             .collect();
         let out = try_collect_reports(&reporters, &cfg.transport, seed, round)?;
-        let (decision, ladder) = fuse_reports(&cfg.fusion, &out.delivered, head_local);
-        return Ok(RoundOutcome {
-            decision,
-            ladder,
-            mean_report_snr: f64::INFINITY,
-            delivered: out.delivered.len(),
-            missing: out.missing.len(),
-            frames_sent: out.frames_sent,
-            duplicates: out.duplicates,
-            stale: out.stale,
-        });
+        let (decision, ladder) =
+            fuse_reports_weighted(&cfg.fusion, &out.delivered, head_local, rep);
+        let summaries: Vec<ReportSummary> = out
+            .delivered
+            .iter()
+            .map(|&(reporter, busy)| ReportSummary {
+                reporter,
+                busy,
+                confidence: 1.0,
+            })
+            .collect();
+        return Ok((
+            RoundOutcome {
+                decision,
+                ladder,
+                mean_report_snr: f64::INFINITY,
+                delivered: out.delivered.len(),
+                missing: out.missing.len(),
+                frames_sent: out.frames_sent,
+                duplicates: out.duplicates,
+                stale: out.stale,
+            },
+            summaries,
+        ));
     }
 
     // stage 2: every reporter's decision rides a BPSK report word over
@@ -295,22 +382,34 @@ pub fn run_round_faulted(
         })
         .collect();
     let out = try_collect_reports(&reporters, &cfg.transport, seed, round)?;
-    let (decision, ladder) = fuse_soft(&cfg.fusion, &out.delivered, head_local);
+    let (decision, ladder) = fuse_soft_weighted(&cfg.fusion, &out.delivered, head_local, rep);
+    let summaries: Vec<ReportSummary> = out
+        .delivered
+        .iter()
+        .map(|&(reporter, r)| ReportSummary {
+            reporter,
+            busy: r.hard_bit(),
+            confidence: r.confidence(),
+        })
+        .collect();
     let mean_report_snr = if out.delivered.is_empty() {
         0.0
     } else {
         out.delivered.iter().map(|(_, r)| r.report_snr).sum::<f64>() / out.delivered.len() as f64
     };
-    Ok(RoundOutcome {
-        decision,
-        ladder,
-        mean_report_snr,
-        delivered: out.delivered.len(),
-        missing: out.missing.len(),
-        frames_sent: out.frames_sent,
-        duplicates: out.duplicates,
-        stale: out.stale,
-    })
+    Ok((
+        RoundOutcome {
+            decision,
+            ladder,
+            mean_report_snr,
+            delivered: out.delivered.len(),
+            missing: out.missing.len(),
+            frames_sent: out.frames_sent,
+            duplicates: out.duplicates,
+            stale: out.stale,
+        },
+        summaries,
+    ))
 }
 
 #[cfg(test)]
@@ -561,6 +660,96 @@ mod tests {
     }
 
     #[test]
+    fn byz_round_with_no_adversaries_and_no_view_is_the_identity() {
+        // run_round_byz(.., &[], .., None) must be run_round_faulted
+        // bit for bit, on both transport paths, and the summaries must
+        // mirror the delivered set
+        let states = vec![ReporterState::Healthy; 5];
+        for cfg in [sharp_round(), sharp_noisy(18.0)] {
+            let base = run_round_faulted(&cfg, true, &states, &[], true, 31, 4).unwrap();
+            let (byz, summaries) =
+                run_round_byz(&cfg, true, &states, &[], &[], true, 31, 4, None).unwrap();
+            assert_eq!(base, byz);
+            assert_eq!(summaries.len(), byz.delivered);
+            for s in &summaries {
+                assert!(s.reporter < 5);
+                assert!((0.5..=1.0).contains(&s.confidence));
+            }
+        }
+    }
+
+    #[test]
+    fn reputation_contains_an_always_no_coalition_end_to_end() {
+        // f = floor((n-1)/3) = 2 always-no vandals of n = 7: train the
+        // tracker on live rounds, then check the converged weighted
+        // head detects where the unweighted head (same falsified
+        // reports) is measurably degraded
+        use crate::reputation::{ReputationConfig, ReputationTracker};
+        use comimo_faults::byzantine::{ByzantineConfig, ByzantineSuite};
+        let n = 7usize;
+        let cfg = SensingRound {
+            fusion: FusionConfig {
+                rule: crate::fusion::FusionRule::Llr {
+                    k_frac: 0.75,
+                    reliability_floor: 0.65,
+                },
+                min_quorum: 2,
+            },
+            report_channel: ReportChannelConfig::noisy(25.0),
+            ..SensingRound::paper(30.0)
+        };
+        let states = vec![ReporterState::Healthy; n];
+        let suite = ByzantineSuite::new(&ByzantineConfig::always_no(2), n, 2013);
+        let mut tracker = ReputationTracker::new(ReputationConfig::paper(), n);
+        let mut unweighted_misses = 0u64;
+        let mut weighted_misses_converged = 0u64;
+        let mut converged_rounds = 0u64;
+        for round in 0..120u64 {
+            let truth = round % 2 == 0;
+            let ov = suite.overrides(round);
+            let view = tracker.view();
+            let (weighted, summaries) = run_round_byz(
+                &cfg,
+                truth,
+                &states,
+                &[],
+                &ov,
+                truth,
+                2013,
+                round,
+                Some(&view),
+            )
+            .unwrap();
+            let (unweighted, _) =
+                run_round_byz(&cfg, truth, &states, &[], &ov, truth, 2013, round, None).unwrap();
+            if truth {
+                unweighted_misses += u64::from(!unweighted.decision.busy);
+                if view.converged() {
+                    converged_rounds += 1;
+                    weighted_misses_converged += u64::from(!weighted.decision.busy);
+                }
+            }
+            let reports: Vec<(usize, bool, f64)> = summaries
+                .iter()
+                .map(|s| (s.reporter, s.busy, s.confidence))
+                .collect();
+            tracker.observe_round(weighted.decision.busy, &reports);
+        }
+        assert!(
+            unweighted_misses > 10,
+            "2-of-7 vandals at k_frac 0.75 must measurably degrade \
+             unweighted fusion (saw {unweighted_misses} misses)"
+        );
+        assert!(converged_rounds > 20, "the tracker must converge");
+        assert_eq!(
+            weighted_misses_converged, 0,
+            "after convergence the weighted head must contain the vandals"
+        );
+        let (_, q, _) = tracker.census();
+        assert_eq!(q, 2, "exactly the two vandals end up quarantined");
+    }
+
+    #[test]
     fn noisy_rounds_are_pure_and_fault_scaling_never_shifts_streams() {
         let cfg = sharp_noisy(12.0);
         let states = vec![ReporterState::Healthy; 5];
@@ -623,7 +812,7 @@ mod proptests {
                 SensingRound::paper_noisy(4.0, report_snr_db)
             };
             let rounds = 60u64;
-            let mut counts = [0u64; 5];
+            let mut counts = [0u64; 6];
             for round in 0..rounds {
                 let t = round as f64;
                 let states: Vec<_> = (0..n).map(|r| rtl.state_at(t, r)).collect();
@@ -637,10 +826,12 @@ mod proptests {
             prop_assert_eq!(counts.iter().sum::<u64>(), rounds);
             if clean {
                 // the clean path never reaches the soft rungs
-                prop_assert_eq!(counts[0] + counts[1], 0);
+                prop_assert_eq!(counts[0] + counts[1] + counts[2], 0);
             } else {
-                // the soft path never lands on the clean Configured rung
-                prop_assert_eq!(counts[2], 0);
+                // the soft path never lands on the clean Configured
+                // rung, and without a reputation view never on the
+                // weighted rung
+                prop_assert_eq!(counts[0] + counts[3], 0);
             }
         }
     }
